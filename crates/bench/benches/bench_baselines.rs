@@ -1,0 +1,37 @@
+//! Criterion bench: the Figure 1 baselines — brute-force flooding and
+//! folklore retry aggregation — next to one AGG+VERI pair, at equal N.
+
+use caaf::Sum;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftagg::baselines::{run_brute, run_folklore, run_tag_once};
+use ftagg::run::run_pair;
+use ftagg::Instance;
+use netsim::{topology, FailureSchedule, NodeId};
+use std::hint::black_box;
+
+fn make() -> Instance {
+    let g = topology::grid(8, 8);
+    let n = g.len();
+    Instance::new(g, NodeId(0), vec![9; n], FailureSchedule::none(), 9).unwrap()
+}
+
+fn bench_baselines(crit: &mut Criterion) {
+    let inst = make();
+    let mut group = crit.benchmark_group("baselines_n64");
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(run_brute(&Sum, &inst, inst.schedule.clone(), 1, 0)))
+    });
+    group.bench_function("tag_once", |b| {
+        b.iter(|| black_box(run_tag_once(&Sum, &inst, inst.schedule.clone(), 1, 0)))
+    });
+    group.bench_function("folklore", |b| {
+        b.iter(|| black_box(run_folklore(&Sum, &inst, 1, 8)))
+    });
+    group.bench_function("agg_veri_pair", |b| {
+        b.iter(|| black_box(run_pair(&Sum, &inst, 1, 2, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

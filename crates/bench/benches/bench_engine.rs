@@ -1,0 +1,62 @@
+//! Criterion bench: raw substrate throughput — the synchronous engine's
+//! cost per round under flooding load, isolating the simulator from the
+//! protocols built on it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{topology, Engine, FailureSchedule, FloodState, Message, NodeId, NodeLogic, RoundCtx};
+use std::hint::black_box;
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Token(u32);
+
+impl Message for Token {
+    fn bit_len(&self) -> u64 {
+        32
+    }
+}
+
+/// Every node originates one token in round 1; everyone floods everything.
+struct Flooder {
+    me: NodeId,
+    flood: FloodState<Token>,
+}
+
+impl NodeLogic<Token> for Flooder {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Token>) {
+        if ctx.round() == 1 {
+            let t = Token(self.me.0);
+            self.flood.mark_seen(t.clone());
+            ctx.send(t);
+        }
+        let inbox: Vec<Token> = ctx.inbox().iter().map(|m| m.msg.clone()).collect();
+        for t in inbox {
+            if self.flood.first_sighting(t.clone()) {
+                ctx.send(t);
+            }
+        }
+    }
+}
+
+fn bench_flood_all(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("engine_flood_all");
+    group.sample_size(20);
+    for n in [64usize, 144, 256] {
+        let side = (n as f64).sqrt() as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &side, |b, &side| {
+            b.iter(|| {
+                let g = topology::grid(side, side);
+                let d = g.diameter() as u64;
+                let mut eng = Engine::new(g, FailureSchedule::none(), |v| Flooder {
+                    me: v,
+                    flood: FloodState::new(),
+                });
+                eng.run(2 * d + 2);
+                black_box(eng.metrics().total_bits())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood_all);
+criterion_main!(benches);

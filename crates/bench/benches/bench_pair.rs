@@ -1,0 +1,62 @@
+//! Criterion bench: one AGG + VERI pair execution across topology
+//! families and tolerance parameters (Theorems 3/6 — E5's runtime view).
+
+use caaf::Sum;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftagg::run::run_pair;
+use ftagg::Instance;
+use netsim::{topology, FailureSchedule, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn inst(g: netsim::Graph) -> Instance {
+    let n = g.len();
+    Instance::new(g, NodeId(0), vec![7; n], FailureSchedule::none(), 7).unwrap()
+}
+
+fn bench_pair_by_family(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("pair_by_family");
+    let mut rng = StdRng::seed_from_u64(1);
+    for fam in [
+        topology::Family::Grid,
+        topology::Family::Cycle,
+        topology::Family::RandomTree,
+        topology::Family::Gnp,
+    ] {
+        let g = fam.build(64, &mut rng);
+        let i = inst(g);
+        group.bench_with_input(BenchmarkId::from_parameter(fam), &i, |b, i| {
+            b.iter(|| black_box(run_pair(&Sum, i, 1, 2, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_by_t(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("pair_by_t");
+    let g = topology::caterpillar(24, 1);
+    let i = inst(g);
+    for t in [0u32, 2, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(run_pair(&Sum, &i, 1, t, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_by_n(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("pair_by_n");
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [32usize, 64, 128, 256] {
+        let g = topology::connected_gnp(n, (3.0 * (n as f64).ln() / n as f64).min(0.5), &mut rng);
+        let i = inst(g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &i, |b, i| {
+            b.iter(|| black_box(run_pair(&Sum, i, 1, 2, true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_by_family, bench_pair_by_t, bench_pair_by_n);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: Algorithm 1 end-to-end across the TC budget `b`
+//! (Theorem 1 / Figure 1 — E1/E6's runtime view).
+
+use caaf::Sum;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg_bench::Env;
+use std::hint::black_box;
+
+fn bench_tradeoff_by_b(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("tradeoff_by_b");
+    group.sample_size(20);
+    for b in [42u64, 126, 378] {
+        let env = Env::caterpillar(b, 30, 16, b, 2);
+        let inst = env.instance();
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let cfg = TradeoffConfig { b, c: 2, f: 16, seed: 3 };
+            bench.iter(|| black_box(run_tradeoff(&Sum, &inst, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tradeoff_by_f(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("tradeoff_by_f");
+    group.sample_size(20);
+    for f in [4usize, 16, 40] {
+        let env = Env::caterpillar(77, 30, f, 126, 2);
+        let inst = env.instance();
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |bench, &f| {
+            let cfg = TradeoffConfig { b: 126, c: 2, f, seed: 3 };
+            bench.iter(|| black_box(run_tradeoff(&Sum, &inst, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff_by_b, bench_tradeoff_by_f);
+criterion_main!(benches);

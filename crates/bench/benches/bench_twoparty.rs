@@ -1,0 +1,58 @@
+//! Criterion bench: Section 7 machinery — UNIONSIZECP protocols, the
+//! Theorem 8 reduction, and the Lemma 11 rank computations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use twoparty::linalg::{rank_mod_p, rank_rational};
+use twoparty::problems::CpInstance;
+use twoparty::protocols::{
+    equality_via_unionsize, CutProtocol, Transcript, TrivialBitmask, UnionSizeProtocol,
+};
+use twoparty::sperner::lemma11_matrix;
+
+fn bench_unionsize(crit: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = crit.benchmark_group("unionsize_n4096");
+    let inst = CpInstance::random(4096, 32, 0.4, &mut rng);
+    group.bench_function("cycle_cut", |b| {
+        b.iter(|| {
+            let mut t = Transcript::new();
+            black_box(CutProtocol.run(&inst, &mut t))
+        })
+    });
+    group.bench_function("bitmask", |b| {
+        b.iter(|| {
+            let mut t = Transcript::new();
+            black_box(TrivialBitmask.run(&inst, &mut t))
+        })
+    });
+    group.bench_function("thm8_reduction", |b| {
+        b.iter(|| {
+            let mut t = Transcript::new();
+            black_box(equality_via_unionsize(&CutProtocol, &inst, &mut t))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rank(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("lemma11_rank");
+    for q in [8usize, 16, 24] {
+        let m = lemma11_matrix(q);
+        group.bench_with_input(BenchmarkId::new("rational", q), &m, |b, m| {
+            b.iter(|| black_box(rank_rational(m)))
+        });
+    }
+    for q in [64usize, 256] {
+        let m = lemma11_matrix(q);
+        group.bench_with_input(BenchmarkId::new("gf_p", q), &m, |b, m| {
+            b.iter(|| black_box(rank_mod_p(m, 1_000_000_007)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unionsize, bench_rank);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E1 — regenerates **Figure 1**: the CC-vs-TC landscape of the SUM
+//! problem.
+//!
+//! For a grid of TC budgets `b`, measures the bottleneck-node CC of
+//! Algorithm 1 (averaged over random adversaries at each point) and prints
+//! it against the paper's curves: the new upper bound
+//! `f/b·log²N + log²N`, the new lower bound `f/(b·log b) + logN/log b`,
+//! the old lower bound `f/(b²·log b)`, and the two fixed-TC baselines
+//! (brute force at `b = O(1)`, folklore at `b = O(f)`).
+//!
+//! The paper's Figure 1 is qualitative; what must reproduce is the
+//! *shape*: measured CC falls roughly like `f/b` before flattening at the
+//! `log²N`-ish floor, sits between the bound curves, and beats brute
+//! force for all but the smallest `b` while approaching folklore's CC at
+//! `b ≈ f` with far better flexibility in between.
+
+use caaf::Sum;
+use ftagg::baselines::{run_brute, run_folklore};
+use ftagg::bounds;
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg_bench::chart::BarChart;
+use ftagg_bench::{f, geomean, Env, Table};
+
+fn main() {
+    let n = 120;
+    let f_bound = 40;
+    let c = 2u32;
+    let trials = 5;
+
+    println!("Figure 1 — communication/time landscape (N = {n}, f = {f_bound}, c = {c})");
+    println!("measured = geometric mean of bottleneck CC over {trials} random adversaries\n");
+
+    let mut table = Table::new(vec![
+        "b", "measured CC", "upper f/b·log²N", "lower new", "lower old", "pairs", "fallbacks",
+    ]);
+    let mut chart = BarChart::new("\nmeasured CC by b (log scale):").log_scale();
+    for &b in &[42u64, 63, 84, 126, 168, 252, 336, 504, 756] {
+        let mut ccs = Vec::new();
+        let mut pairs = 0usize;
+        let mut fallbacks = 0usize;
+        for trial in 0..trials {
+            let env = Env::caterpillar(1000 * b + trial, 60, f_bound, b, c);
+            let inst = env.instance();
+            let cfg = TradeoffConfig { b, c, f: f_bound, seed: trial };
+            let r = run_tradeoff(&Sum, &inst, &cfg);
+            assert!(r.correct, "b = {b}, trial {trial}: incorrect result");
+            ccs.push(r.metrics.max_bits() as f64);
+            pairs += r.pairs_run;
+            fallbacks += usize::from(r.used_fallback);
+        }
+        chart.bar(format!("b = {b}"), geomean(&ccs));
+        table.row(vec![
+            b.to_string(),
+            f(geomean(&ccs), 0),
+            f(bounds::upper_bound_simple(n, f_bound, b), 0),
+            f(bounds::lower_bound_new(n, f_bound, b), 1),
+            f(bounds::lower_bound_old(f_bound, b), 2),
+            format!("{:.1}", pairs as f64 / trials as f64),
+            fallbacks.to_string(),
+        ]);
+    }
+    table.print();
+    chart.print();
+
+    // The fixed-TC baselines anchoring the two ends of the figure.
+    println!("\nbaselines (fixed TC):");
+    let mut ccs_brute = Vec::new();
+    let mut ccs_folk = Vec::new();
+    let mut folk_attempts = 0usize;
+    for trial in 0..trials {
+        let env = Env::caterpillar(7_000 + trial, 60, f_bound, 84, c);
+        let inst = env.instance();
+        let br = run_brute(&Sum, &inst, inst.schedule.clone(), c, 0);
+        assert!(br.correct);
+        ccs_brute.push(br.metrics.max_bits() as f64);
+        let fo = run_folklore(&Sum, &inst, c, 2 * f_bound + 2);
+        assert!(fo.correct);
+        ccs_folk.push(fo.metrics.max_bits() as f64);
+        folk_attempts += fo.attempts;
+    }
+    let mut t2 = Table::new(vec!["protocol", "TC (flooding rounds)", "measured CC", "theory"]);
+    t2.row(vec![
+        "brute force".to_string(),
+        format!("O(1) = {}", 2 * c),
+        f(geomean(&ccs_brute), 0),
+        format!("N·logN = {:.0}", bounds::brute_cc(n)),
+    ]);
+    t2.row(vec![
+        "folklore".to_string(),
+        format!("O(f), avg {:.1} attempts", folk_attempts as f64 / trials as f64),
+        f(geomean(&ccs_folk), 0),
+        format!("f·logN = {:.0}", bounds::folklore_cc(n, f_bound)),
+    ]);
+    t2.print();
+
+    println!("\ngap check: upper/lower ≤ log²N·log b (Theorem 1 vs 2):");
+    let mut t3 = Table::new(vec!["b", "gap", "polylog budget"]);
+    for &b in &[42u64, 168, 756] {
+        t3.row(vec![
+            b.to_string(),
+            f(bounds::gap(n, f_bound, b), 1),
+            f(bounds::log2c(n as f64).powi(2) * bounds::log2c(b as f64), 1),
+        ]);
+    }
+    t3.print();
+}

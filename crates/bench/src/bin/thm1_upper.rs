@@ -1,0 +1,75 @@
+//! E6 — **Theorem 1**: Algorithm 1's measured CC across the (N, f, b)
+//! grid, against `(f/b·logN + logN)·min(b, f, logN)`.
+//!
+//! Also verifies the structural accounting of the proof: the number of
+//! pairs run never exceeds `min(x, f+1, logN)`, TC stays within `b`
+//! flooding rounds (+1 boundary round for the fallback), and every output
+//! is correct.
+
+use caaf::Sum;
+use ftagg::bounds;
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg_bench::{f, geomean, Env, Table};
+
+fn main() {
+    let c = 2u32;
+    let trials = 4u64;
+    println!("Theorem 1 — Algorithm 1 across the (N, f, b) grid (c = {c}, {trials} trials/point)\n");
+    let mut t = Table::new(vec![
+        "N", "f", "b", "measured CC", "bound (precise)", "bound (simple)", "pairs", "min(x,f+1,logN)",
+        "TC used", "correct",
+    ]);
+    for &n_spine in &[30usize, 60] {
+        let n = 2 * n_spine;
+        for &ff in &[8usize, 24, 48] {
+            for &b in &[42u64, 126, 378] {
+                let mut ccs = Vec::new();
+                let mut pairs_max = 0usize;
+                let mut tc_max = 0u64;
+                let mut all_correct = true;
+                let mut pair_cap = 0u64;
+                for trial in 0..trials {
+                    let env = Env::caterpillar(
+                        9_000_000 + 31 * (n as u64) + 7 * (ff as u64) + b + trial,
+                        n_spine,
+                        ff,
+                        b,
+                        c,
+                    );
+                    let inst = env.instance();
+                    let cfg = TradeoffConfig { b, c, f: ff, seed: trial };
+                    let r = run_tradeoff(&Sum, &inst, &cfg);
+                    all_correct &= r.correct;
+                    ccs.push(r.metrics.max_bits() as f64);
+                    pairs_max = pairs_max.max(r.pairs_run);
+                    tc_max = tc_max.max(r.flooding_rounds);
+                    pair_cap = r
+                        .x
+                        .min(ff as u64 + 1)
+                        .min(u64::from(wire::id_bits(n)));
+                    assert!(
+                        r.pairs_run as u64 <= pair_cap,
+                        "pairs {} > min(x, f+1, logN) = {pair_cap}",
+                        r.pairs_run
+                    );
+                    assert!(r.flooding_rounds <= b + 1, "TC {} > b = {b}", r.flooding_rounds);
+                }
+                assert!(all_correct);
+                t.row(vec![
+                    n.to_string(),
+                    ff.to_string(),
+                    b.to_string(),
+                    f(geomean(&ccs), 0),
+                    f(bounds::upper_bound_new(n, ff, b), 0),
+                    f(bounds::upper_bound_simple(n, ff, b), 0),
+                    pairs_max.to_string(),
+                    pair_cap.to_string(),
+                    tc_max.to_string(),
+                    "yes".to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!("\nok — all outputs correct, pair counts within min(x, f+1, logN), TC within b (+1).");
+}

@@ -1,0 +1,143 @@
+//! Terminal bar charts for the experiment harness.
+//!
+//! The figure bins print their series as log-scale horizontal bars next to
+//! the numeric tables, so the *shape* claims of EXPERIMENTS.md (curves
+//! falling like `f/b`, crossovers, floors) are visible at a glance in the
+//! harness output itself.
+
+/// A labeled series rendered as horizontal bars.
+#[derive(Clone, Debug, Default)]
+pub struct BarChart {
+    title: String,
+    rows: Vec<(String, f64)>,
+    log_scale: bool,
+    width: usize,
+}
+
+impl BarChart {
+    /// A chart with a title, linear scale, 48-column bars.
+    pub fn new(title: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            rows: Vec::new(),
+            log_scale: false,
+            width: 48,
+        }
+    }
+
+    /// Switches to log₂ scale (for CC series spanning decades).
+    pub fn log_scale(mut self) -> Self {
+        self.log_scale = true;
+        self
+    }
+
+    /// Sets the maximum bar width in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn width(mut self, width: usize) -> Self {
+        assert!(width > 0, "bar width must be positive");
+        self.width = width;
+        self
+    }
+
+    /// Adds one bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.rows.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "  (no data)");
+            return out;
+        }
+        let scale = |v: f64| -> f64 {
+            if self.log_scale {
+                (v.max(1.0)).log2()
+            } else {
+                v
+            }
+        };
+        let max_scaled = self
+            .rows
+            .iter()
+            .map(|(_, v)| scale(*v))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, v) in &self.rows {
+            let filled = ((scale(*v) / max_scaled) * self.width as f64).round() as usize;
+            let filled = filled.min(self.width);
+            let _ = writeln!(
+                out,
+                "  {label:>label_w$} │{}{} {v:.0}",
+                "█".repeat(filled),
+                " ".repeat(self.width - filled),
+            );
+        }
+        out
+    }
+
+    /// Prints the chart to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_proportional_bars() {
+        let mut c = BarChart::new("test").width(10);
+        c.bar("a", 10.0).bar("b", 5.0).bar("c", 0.0);
+        let out = c.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let bars: Vec<usize> = lines[1..]
+            .iter()
+            .map(|l| l.matches('█').count())
+            .collect();
+        assert_eq!(bars, vec![10, 5, 0]);
+        assert!(lines[1].ends_with("10"));
+    }
+
+    #[test]
+    fn log_scale_compresses() {
+        let mut c = BarChart::new("log").log_scale().width(16);
+        c.bar("big", 1024.0).bar("small", 32.0);
+        let out = c.render();
+        let bars: Vec<usize> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('█').count())
+            .collect();
+        // log2: 10 vs 5 → 16 vs 8 chars.
+        assert_eq!(bars, vec![16, 8]);
+    }
+
+    #[test]
+    fn empty_chart_says_so() {
+        assert!(BarChart::new("x").render().contains("no data"));
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = BarChart::new("t").width(4);
+        c.bar("xx", 1.0).bar("yyyy", 1.0);
+        let out = c.render();
+        let starts: Vec<usize> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.find('│').unwrap())
+            .collect();
+        assert_eq!(starts[0], starts[1]);
+    }
+}

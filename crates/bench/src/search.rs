@@ -1,0 +1,220 @@
+//! Randomized worst-case adversary search.
+//!
+//! The paper's CC is a supremum over *all* oblivious adversaries; a
+//! simulator can only sample them. This module hill-climbs in schedule
+//! space — mutating crash targets and crash rounds under the edge-failure
+//! budget `f` and the `c·d` stretch constraint — to find schedules that
+//! (locally) maximize a protocol's measured bottleneck CC. The harness
+//! uses it to report *adversarial* rather than average-case curves.
+
+use caaf::Caaf;
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::Instance;
+use netsim::{FailureSchedule, Graph, NodeId, Round};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Search configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Hill-climbing iterations.
+    pub iterations: usize,
+    /// Protocol coin seeds averaged per evaluation (the paper's CC is
+    /// average-case over coins).
+    pub coin_seeds: u64,
+    /// RNG seed for the search itself.
+    pub seed: u64,
+    /// Algorithm 1 parameters the objective runs with.
+    pub tradeoff: TradeoffConfig,
+}
+
+/// Search outcome.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The worst schedule found.
+    pub schedule: FailureSchedule,
+    /// Its objective value (mean bottleneck CC over coin seeds).
+    pub cc: f64,
+    /// Objective after each accepted improvement (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+fn evaluate<C: Caaf>(
+    op: &C,
+    graph: &Graph,
+    inputs: &[u64],
+    max_input: u64,
+    schedule: &FailureSchedule,
+    cfg: &SearchConfig,
+) -> f64 {
+    let inst = Instance::new(
+        graph.clone(),
+        NodeId(0),
+        inputs.to_vec(),
+        schedule.clone(),
+        max_input,
+    )
+    .expect("search instances are valid");
+    let mut total = 0u64;
+    for seed in 0..cfg.coin_seeds.max(1) {
+        let tc = TradeoffConfig { seed, ..cfg.tradeoff };
+        let r = run_tradeoff(op, &inst, &tc);
+        assert!(r.correct, "protocol emitted an incorrect result during search");
+        total += r.metrics.max_bits();
+    }
+    total as f64 / cfg.coin_seeds.max(1) as f64
+}
+
+fn random_schedule<R: Rng>(
+    graph: &Graph,
+    f_budget: usize,
+    horizon: Round,
+    c: u32,
+    rng: &mut R,
+) -> FailureSchedule {
+    for _ in 0..50 {
+        let s = netsim::adversary::schedules::random_with_edge_budget(
+            graph,
+            NodeId(0),
+            f_budget,
+            horizon,
+            rng,
+        );
+        if s.stretch_factor(graph, NodeId(0)) <= f64::from(c) {
+            return s;
+        }
+    }
+    FailureSchedule::none()
+}
+
+fn mutate<R: Rng>(
+    base: &FailureSchedule,
+    graph: &Graph,
+    f_budget: usize,
+    horizon: Round,
+    c: u32,
+    rng: &mut R,
+) -> FailureSchedule {
+    for _ in 0..30 {
+        let mut s = FailureSchedule::none();
+        let crashes: Vec<(NodeId, Round)> = base.iter().map(|(n, e)| (n, e.round)).collect();
+        let op = rng.gen_range(0..4);
+        let mut items = crashes.clone();
+        match op {
+            0 if !items.is_empty() => {
+                // Retime one crash.
+                let i = rng.gen_range(0..items.len());
+                let delta = rng.gen_range(1..=horizon / 4 + 1);
+                let (n, r) = items[i];
+                let r = if rng.gen_bool(0.5) {
+                    r.saturating_add(delta).min(horizon)
+                } else {
+                    r.saturating_sub(delta).max(1)
+                };
+                items[i] = (n, r);
+            }
+            1 if !items.is_empty() => {
+                // Retarget one crash to a random other node.
+                let i = rng.gen_range(0..items.len());
+                let v = NodeId(rng.gen_range(1..graph.len() as u32));
+                items[i].0 = v;
+            }
+            2 => {
+                // Add a crash.
+                let v = NodeId(rng.gen_range(1..graph.len() as u32));
+                items.push((v, rng.gen_range(1..=horizon)));
+            }
+            _ if !items.is_empty() => {
+                // Drop a crash.
+                let i = rng.gen_range(0..items.len());
+                items.swap_remove(i);
+            }
+            _ => continue,
+        }
+        items.sort_unstable();
+        items.dedup_by_key(|&mut (n, _)| n);
+        for (n, r) in items {
+            if n != NodeId(0) {
+                s.crash(n, r);
+            }
+        }
+        if s.edge_failures(graph) <= f_budget
+            && s.stretch_factor(graph, NodeId(0)) <= f64::from(c)
+        {
+            return s;
+        }
+    }
+    base.clone()
+}
+
+/// Hill-climbs to a locally-worst oblivious schedule for Algorithm 1 on
+/// the given instance data.
+pub fn worst_case_search<C: Caaf>(
+    op: &C,
+    graph: &Graph,
+    inputs: &[u64],
+    max_input: u64,
+    f_budget: usize,
+    cfg: &SearchConfig,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let horizon = cfg.tradeoff.b * u64::from(graph.diameter().max(1));
+    let mut best = random_schedule(graph, f_budget, horizon, cfg.tradeoff.c, &mut rng);
+    let mut best_cc = evaluate(op, graph, inputs, max_input, &best, cfg);
+    let mut history = vec![best_cc];
+    for _ in 0..cfg.iterations {
+        let cand = mutate(&best, graph, f_budget, horizon, cfg.tradeoff.c, &mut rng);
+        let cc = evaluate(op, graph, inputs, max_input, &cand, cfg);
+        if cc > best_cc {
+            best = cand;
+            best_cc = cc;
+            history.push(cc);
+        }
+    }
+    SearchResult { schedule: best, cc: best_cc, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caaf::Sum;
+    use netsim::topology;
+
+    fn cfg(iters: usize) -> SearchConfig {
+        SearchConfig {
+            iterations: iters,
+            coin_seeds: 2,
+            seed: 5,
+            tradeoff: TradeoffConfig { b: 42, c: 2, f: 6, seed: 0 },
+        }
+    }
+
+    #[test]
+    fn search_never_decreases_and_respects_budget() {
+        let g = topology::caterpillar(8, 1);
+        let n = g.len();
+        let inputs = vec![3u64; n];
+        let r = worst_case_search(&Sum, &g, &inputs, 3, 6, &cfg(10));
+        assert!(r.history.windows(2).all(|w| w[1] >= w[0]));
+        assert!(r.cc >= *r.history.first().unwrap());
+        assert!(r.schedule.edge_failures(&g) <= 6);
+        assert!(r.schedule.stretch_factor(&g, NodeId(0)) <= 2.0);
+    }
+
+    #[test]
+    fn adversarial_beats_or_matches_random() {
+        let g = topology::cycle(12);
+        let inputs = vec![1u64; 12];
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = 42 * u64::from(g.diameter());
+        let random = random_schedule(&g, 4, horizon, 2, &mut rng);
+        let c = cfg(15);
+        let random_cc = evaluate(&Sum, &g, &inputs, 1, &random, &c);
+        let searched = worst_case_search(&Sum, &g, &inputs, 1, 4, &c);
+        assert!(
+            searched.cc >= random_cc,
+            "search {} should not lose to its own starting class {random_cc}",
+            searched.cc
+        );
+    }
+}

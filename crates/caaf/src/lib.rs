@@ -1,0 +1,109 @@
+//! # caaf — commutative and associative aggregate functions
+//!
+//! Section 2 of the paper defines a **CAAF**: a function `F` expressible as
+//! `o_1 ◇ o_2 ◇ … ◇ o_N` for a commutative, associative binary operator `◇`,
+//! whose partial aggregates over any subset stay within a domain of size
+//! polynomial in `N` (so any aggregate fits in `O(log N)` bits).
+//!
+//! The protocols in the `ftagg` crate are generic over the [`Caaf`] trait —
+//! exactly mirroring the paper's claim that the SUM protocol generalizes to
+//! any CAAF by replacing `+` with `◇`. This crate provides:
+//!
+//! - the [`Caaf`] operator trait with its bit-width contract ([`Caaf::value_bits`]);
+//! - the standard instances in [`ops`]: [`Sum`], [`Count`], [`Max`], [`Min`],
+//!   [`BoolOr`], [`BoolAnd`], [`Gcd`], [`ModSum`];
+//! - the paper's correctness oracle in [`oracle`]: a result is *correct* iff
+//!   it lies between the aggregate over surviving inputs (`s1`) and the
+//!   aggregate over all inputs (`s2`);
+//! - [`query`]: MEDIAN / SELECTION reduced to COUNT by binary search over
+//!   the output domain, the classic reduction the paper cites from
+//!   Patt-Shamir \[16\].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod ops;
+pub mod query;
+pub mod stats;
+
+pub use ops::{BoolAnd, BoolOr, Count, Gcd, Max, Min, ModSum, Sum};
+
+use std::fmt;
+
+/// Monotonicity of a CAAF with respect to *adding operands*.
+///
+/// Used by the correctness oracle: for an increasing operator the correct
+/// interval is `[F(s1), F(s2)]`; for a decreasing one it is `[F(s2), F(s1)]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Adding an operand never decreases the aggregate (SUM, COUNT, MAX, OR).
+    Increasing,
+    /// Adding an operand never increases the aggregate (MIN, AND, GCD).
+    Decreasing,
+}
+
+/// A commutative and associative aggregate function over `u64` values.
+///
+/// All instances in this crate use `u64` as the value domain — the paper's
+/// inputs are non-negative integers polynomial in `N`, so a 64-bit carrier
+/// is ample, and [`Caaf::value_bits`] gives the *actual* width charged on
+/// the wire.
+///
+/// # Laws
+///
+/// Implementations must satisfy, for all `a`, `b`, `c` in the declared
+/// domain (checked by property tests in [`ops`]):
+///
+/// - commutativity: `combine(a, b) == combine(b, a)`;
+/// - associativity: `combine(combine(a, b), c) == combine(a, combine(b, c))`;
+/// - identity: `combine(identity(), a) == a`;
+/// - closure: aggregates of up to `n` inputs `≤ max_input` fit in
+///   `value_bits(n, max_input)` bits;
+/// - monotonicity as declared by [`Caaf::direction`].
+pub trait Caaf: Clone + fmt::Debug {
+    /// Short operator name, e.g. `"sum"` (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// The identity element of `◇` (e.g. 0 for SUM, 1 for AND over bits).
+    fn identity(&self) -> u64;
+
+    /// The binary operator `◇`.
+    fn combine(&self, a: u64, b: u64) -> u64;
+
+    /// Monotonicity direction (see [`Direction`]).
+    fn direction(&self) -> Direction;
+
+    /// Exact wire width (bits) sufficient for any aggregate of at most `n`
+    /// inputs each at most `max_input`. This realizes the CAAF domain-size
+    /// requirement: the width must be `O(log n + log max_input)`.
+    fn value_bits(&self, n: usize, max_input: u64) -> u32;
+
+    /// Largest input value this operator accepts (e.g. 1 for boolean
+    /// operators). Protocol configs clamp inputs against this.
+    fn max_allowed_input(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Aggregates an iterator of values, starting from the identity.
+    fn aggregate<I: IntoIterator<Item = u64>>(&self, values: I) -> u64
+    where
+        Self: Sized,
+    {
+        values
+            .into_iter()
+            .fold(self.identity(), |acc, v| self.combine(acc, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_folds_with_identity() {
+        let s = Sum;
+        assert_eq!(s.aggregate([1, 2, 3]), 6);
+        assert_eq!(s.aggregate(std::iter::empty()), 0);
+    }
+}

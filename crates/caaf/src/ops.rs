@@ -1,0 +1,445 @@
+//! The standard CAAF instances.
+//!
+//! Each instance is a zero-sized (or tiny) operator value implementing
+//! [`Caaf`]; the algebra laws required by the trait are checked by the
+//! property tests at the bottom of this module.
+
+use crate::{Caaf, Direction};
+use wire::range_bits;
+
+/// SUM of non-negative integers — the paper's primary function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sum;
+
+impl Caaf for Sum {
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.checked_add(b).expect("sum overflow: inputs exceed domain")
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Increasing
+    }
+
+    fn value_bits(&self, n: usize, max_input: u64) -> u32 {
+        range_bits((n as u64).saturating_mul(max_input))
+    }
+}
+
+/// COUNT of contributing inputs (every node contributes 0 or 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Count;
+
+impl Caaf for Count {
+    fn name(&self) -> &'static str {
+        "count"
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Increasing
+    }
+
+    fn value_bits(&self, n: usize, _max_input: u64) -> u32 {
+        range_bits(n as u64)
+    }
+
+    fn max_allowed_input(&self) -> u64 {
+        1
+    }
+}
+
+/// MAX of the inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl Caaf for Max {
+    fn name(&self) -> &'static str {
+        "max"
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Increasing
+    }
+
+    fn value_bits(&self, _n: usize, max_input: u64) -> u32 {
+        range_bits(max_input)
+    }
+}
+
+/// MIN of the inputs. The identity is [`Min::top`], acting as `+∞` for the
+/// declared input domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Min {
+    top: u64,
+}
+
+impl Min {
+    /// MIN over inputs in `0..=top`.
+    pub fn new(top: u64) -> Self {
+        Min { top }
+    }
+
+    /// The domain ceiling used as the identity element.
+    pub fn top(&self) -> u64 {
+        self.top
+    }
+}
+
+impl Default for Min {
+    fn default() -> Self {
+        Min::new(u64::MAX)
+    }
+}
+
+impl Caaf for Min {
+    fn name(&self) -> &'static str {
+        "min"
+    }
+
+    fn identity(&self) -> u64 {
+        self.top
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Decreasing
+    }
+
+    fn value_bits(&self, _n: usize, max_input: u64) -> u32 {
+        range_bits(max_input.max(self.top))
+    }
+
+    fn max_allowed_input(&self) -> u64 {
+        self.top
+    }
+}
+
+/// Boolean OR (inputs 0/1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolOr;
+
+impl Caaf for BoolOr {
+    fn name(&self) -> &'static str {
+        "or"
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        (a | b) & 1
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Increasing
+    }
+
+    fn value_bits(&self, _n: usize, _max_input: u64) -> u32 {
+        1
+    }
+
+    fn max_allowed_input(&self) -> u64 {
+        1
+    }
+}
+
+/// Boolean AND (inputs 0/1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolAnd;
+
+impl Caaf for BoolAnd {
+    fn name(&self) -> &'static str {
+        "and"
+    }
+
+    fn identity(&self) -> u64 {
+        1
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a & b & 1
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Decreasing
+    }
+
+    fn value_bits(&self, _n: usize, _max_input: u64) -> u32 {
+        1
+    }
+
+    fn max_allowed_input(&self) -> u64 {
+        1
+    }
+}
+
+/// Greatest common divisor, with `gcd(0, x) = x` so 0 is the identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gcd;
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Caaf for Gcd {
+    fn name(&self) -> &'static str {
+        "gcd"
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        gcd(a, b)
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Decreasing
+    }
+
+    fn value_bits(&self, _n: usize, max_input: u64) -> u32 {
+        range_bits(max_input)
+    }
+}
+
+/// Sum modulo `m` — an example of a CAAF whose domain never grows with `n`,
+/// and which is *not* monotone in the usual order. Its [`Caaf::direction`]
+/// is declared `Increasing` but the oracle treats it exactly (see
+/// [`crate::oracle`] — modular sums are checked by subset enumeration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModSum {
+    m: u64,
+}
+
+impl ModSum {
+    /// Sum modulo `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: u64) -> Self {
+        assert!(m > 0, "modulus must be positive");
+        ModSum { m }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u64 {
+        self.m
+    }
+}
+
+impl Caaf for ModSum {
+    fn name(&self) -> &'static str {
+        "modsum"
+    }
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        ((a % self.m) + (b % self.m)) % self.m
+    }
+
+    fn direction(&self) -> Direction {
+        // Not order-monotone; consumers needing exact correctness intervals
+        // for ModSum must enumerate (the oracle module does).
+        Direction::Increasing
+    }
+
+    fn value_bits(&self, _n: usize, _max_input: u64) -> u32 {
+        range_bits(self.m - 1)
+    }
+
+    fn max_allowed_input(&self) -> u64 {
+        self.m - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_basics() {
+        assert_eq!(Sum.combine(3, 4), 7);
+        assert_eq!(Sum.identity(), 0);
+        assert_eq!(Sum.value_bits(8, 100), range_bits(800));
+        assert_eq!(Sum.direction(), Direction::Increasing);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum overflow")]
+    fn sum_overflow_panics() {
+        let _ = Sum.combine(u64::MAX, 1);
+    }
+
+    #[test]
+    fn count_clamps_width_to_n() {
+        assert_eq!(Count.value_bits(1000, 999_999), range_bits(1000));
+        assert_eq!(Count.max_allowed_input(), 1);
+    }
+
+    #[test]
+    fn min_identity_is_top() {
+        let m = Min::new(50);
+        assert_eq!(m.identity(), 50);
+        assert_eq!(m.combine(50, 7), 7);
+        assert_eq!(m.aggregate([9, 3, 12]), 3);
+        assert_eq!(m.top(), 50);
+        assert_eq!(m.direction(), Direction::Decreasing);
+    }
+
+    #[test]
+    fn bool_ops() {
+        assert_eq!(BoolOr.aggregate([0, 0, 1, 0]), 1);
+        assert_eq!(BoolOr.aggregate([0, 0]), 0);
+        assert_eq!(BoolAnd.aggregate([1, 1, 1]), 1);
+        assert_eq!(BoolAnd.aggregate([1, 0, 1]), 0);
+        assert_eq!(BoolOr.value_bits(1_000_000, 1), 1);
+    }
+
+    #[test]
+    fn gcd_aggregates() {
+        assert_eq!(Gcd.aggregate([12, 18, 30]), 6);
+        assert_eq!(Gcd.aggregate([7]), 7);
+        assert_eq!(Gcd.aggregate(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn modsum_wraps() {
+        let m = ModSum::new(10);
+        assert_eq!(m.aggregate([7, 8]), 5);
+        assert_eq!(m.value_bits(1_000_000, 9), range_bits(9));
+        assert_eq!(m.modulus(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn modsum_rejects_zero() {
+        let _ = ModSum::new(0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Sum.name(),
+            Count.name(),
+            Max.name(),
+            Min::default().name(),
+            BoolOr.name(),
+            BoolAnd.name(),
+            Gcd.name(),
+            ModSum::new(5).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Checks the CAAF laws for one operator on a triple of in-domain values.
+    fn check_laws<C: Caaf>(op: &C, a: u64, b: u64, c: u64) {
+        assert_eq!(op.combine(a, b), op.combine(b, a), "{}: commutativity", op.name());
+        assert_eq!(
+            op.combine(op.combine(a, b), c),
+            op.combine(a, op.combine(b, c)),
+            "{}: associativity",
+            op.name()
+        );
+        assert_eq!(op.combine(op.identity(), a), a, "{}: identity", op.name());
+        match op.direction() {
+            Direction::Increasing => {
+                if op.name() != "modsum" {
+                    assert!(op.combine(a, b) >= a.max(b).min(op.combine(a, b)));
+                }
+            }
+            Direction::Decreasing => {
+                assert!(op.combine(a, b) <= a && op.combine(a, b) <= b || a == op.identity() || b == op.identity());
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sum_laws(a in 0u64..1 << 30, b in 0u64..1 << 30, c in 0u64..1 << 30) {
+            check_laws(&Sum, a, b, c);
+        }
+
+        #[test]
+        fn count_laws(a in 0u64..2, b in 0u64..2, c in 0u64..2) {
+            check_laws(&Count, a, b, c);
+        }
+
+        #[test]
+        fn max_laws(a: u64, b: u64, c: u64) {
+            check_laws(&Max, a, b, c);
+        }
+
+        #[test]
+        fn min_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+            check_laws(&Min::new(1000), a, b, c);
+        }
+
+        #[test]
+        fn bool_laws(a in 0u64..2, b in 0u64..2, c in 0u64..2) {
+            check_laws(&BoolOr, a, b, c);
+            check_laws(&BoolAnd, a, b, c);
+        }
+
+        #[test]
+        fn gcd_laws(a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000) {
+            check_laws(&Gcd, a, b, c);
+        }
+
+        #[test]
+        fn modsum_laws(m in 1u64..1_000, a in 0u64..1_000, b in 0u64..1_000, c in 0u64..1_000) {
+            let op = ModSum::new(m);
+            check_laws(&op, a % m, b % m, c % m);
+        }
+
+        #[test]
+        fn value_bits_contract_sum(n in 1usize..10_000, max_input in 0u64..1 << 20, vals in proptest::collection::vec(0u64..1 << 20, 1..50)) {
+            // Any aggregate of ≤ n inputs ≤ max_input fits in the declared width.
+            let vals: Vec<u64> = vals.into_iter().take(n).map(|v| v.min(max_input)).collect();
+            let agg = Sum.aggregate(vals);
+            let w = Sum.value_bits(n, max_input);
+            prop_assert!(w == 64 || agg < (1u64 << w));
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The paper's correctness oracle.
+//!
+//! Section 2: with `s2` the inputs of *all* nodes and `s1` the inputs of
+//! nodes that have not failed by protocol end (nodes partitioned from the
+//! root count as failed), a SUM result is **correct** iff it lies in
+//! `[Σ s1, Σ s2]`; for a general CAAF, iff it lies between
+//! `min_{s1 ⊆ s ⊆ s2} F(s)` and `max_{s1 ⊆ s ⊆ s2} F(s)`.
+//!
+//! [`correct_interval`] computes those exact min/max bounds:
+//! for operators monotone in operand inclusion (everything in [`crate::ops`]
+//! except [`crate::ModSum`]) the extremes are `F(s1)` and `F(s2)`;
+//! otherwise the oracle enumerates subsets exactly (the optional set in our
+//! experiments is small — it is bounded by the number of crashed nodes).
+
+use crate::ops::ModSum;
+use crate::{Caaf, Direction};
+
+/// The inclusive interval of correct results for a protocol execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorrectInterval {
+    /// Minimum correct result.
+    pub lo: u64,
+    /// Maximum correct result.
+    pub hi: u64,
+}
+
+impl CorrectInterval {
+    /// True iff `result` is a correct output per the paper's definition.
+    pub fn contains(&self, result: u64) -> bool {
+        (self.lo..=self.hi).contains(&result)
+    }
+}
+
+/// Largest optional-set size for which the generic oracle will enumerate
+/// subsets exactly instead of using monotonicity.
+const ENUM_LIMIT: usize = 20;
+
+/// Computes the correct-result interval for operator `op`, mandatory inputs
+/// `s1` and optional inputs `s2 \ s1` (inputs of nodes that failed or were
+/// partitioned during the run).
+///
+/// # Panics
+///
+/// Panics if `op` is not order-monotone (per [`Caaf::direction`] semantics)
+/// *and* the optional set exceeds the enumeration limit of 20 — an exact
+/// answer would be exponential. All operators shipped in [`crate::ops`]
+/// except [`ModSum`] are monotone, and `ModSum` is handled by
+/// [`modsum_correct`] below or by keeping the optional set small.
+///
+/// # Examples
+///
+/// ```
+/// use caaf::{oracle::correct_interval, Sum};
+/// // Nodes with inputs 5 and 7 survive; a node with input 3 crashed.
+/// let iv = correct_interval(&Sum, &[5, 7], &[3]);
+/// assert_eq!((iv.lo, iv.hi), (12, 15));
+/// assert!(iv.contains(12));
+/// assert!(iv.contains(15));
+/// assert!(!iv.contains(11));
+/// ```
+pub fn correct_interval<C: Caaf>(op: &C, mandatory: &[u64], optional: &[u64]) -> CorrectInterval {
+    if is_order_monotone(op) {
+        let base = op.aggregate(mandatory.iter().copied());
+        let full = op.aggregate(mandatory.iter().chain(optional).copied());
+        let (lo, hi) = match op.direction() {
+            Direction::Increasing => (base, full),
+            Direction::Decreasing => (full, base),
+        };
+        return CorrectInterval { lo, hi };
+    }
+    assert!(
+        optional.len() <= ENUM_LIMIT,
+        "exact oracle for non-monotone operator {} needs ≤ {ENUM_LIMIT} optional inputs, got {}",
+        op.name(),
+        optional.len()
+    );
+    let base = op.aggregate(mandatory.iter().copied());
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for mask in 0u64..(1u64 << optional.len()) {
+        let mut acc = base;
+        for (i, &v) in optional.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                acc = op.combine(acc, v);
+            }
+        }
+        lo = lo.min(acc);
+        hi = hi.max(acc);
+    }
+    CorrectInterval { lo, hi }
+}
+
+/// Set of exactly achievable results `{F(s) : s1 ⊆ s ⊆ s2}` — the paper's
+/// footnote-6 *alternative* (stricter) correctness definition. Exponential
+/// in `optional.len()`; intended for tests with few failures.
+///
+/// # Panics
+///
+/// Panics if `optional.len() > 20`.
+pub fn achievable_results<C: Caaf>(op: &C, mandatory: &[u64], optional: &[u64]) -> Vec<u64> {
+    assert!(optional.len() <= ENUM_LIMIT, "achievable set too large to enumerate");
+    let base = op.aggregate(mandatory.iter().copied());
+    let mut out = std::collections::BTreeSet::new();
+    for mask in 0u64..(1u64 << optional.len()) {
+        let mut acc = base;
+        for (i, &v) in optional.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                acc = op.combine(acc, v);
+            }
+        }
+        out.insert(acc);
+    }
+    out.into_iter().collect()
+}
+
+/// Exact correctness check for [`ModSum`] with any number of optional
+/// inputs, using subset-sum reachability over residues (O(optional × m)).
+pub fn modsum_correct(op: &ModSum, result: u64, mandatory: &[u64], optional: &[u64]) -> bool {
+    let m = op.modulus() as usize;
+    let base = op.aggregate(mandatory.iter().copied()) as usize;
+    let mut reach = vec![false; m];
+    reach[base] = true;
+    for &v in optional {
+        let v = (v % op.modulus()) as usize;
+        let mut next = reach.clone();
+        for (r, _) in reach.iter().enumerate().filter(|(_, &x)| x) {
+            next[(r + v) % m] = true;
+        }
+        reach = next;
+    }
+    (result as usize) < m && reach[result as usize]
+}
+
+fn is_order_monotone<C: Caaf>(op: &C) -> bool {
+    // ModSum wraps around; Gcd's identity 0 breaks inclusion-monotonicity
+    // (gcd(∅) = 0 but gcd({5}) = 5). Both fall back to exact enumeration.
+    !matches!(op.name(), "modsum" | "gcd")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BoolAnd, BoolOr, Gcd, Max, Min, ModSum, Sum};
+
+    #[test]
+    fn sum_interval_is_paper_definition() {
+        let iv = correct_interval(&Sum, &[1, 2, 3], &[10, 20]);
+        assert_eq!(iv, CorrectInterval { lo: 6, hi: 36 });
+    }
+
+    #[test]
+    fn empty_optional_pins_single_value() {
+        let iv = correct_interval(&Sum, &[4, 4], &[]);
+        assert_eq!(iv.lo, 8);
+        assert_eq!(iv.hi, 8);
+        assert!(iv.contains(8));
+        assert!(!iv.contains(9));
+    }
+
+    #[test]
+    fn min_interval_flips_direction() {
+        let iv = correct_interval(&Min::new(100), &[40, 50], &[10]);
+        // With the crashed 10 included, min is 10; without, 40.
+        assert_eq!(iv, CorrectInterval { lo: 10, hi: 40 });
+    }
+
+    #[test]
+    fn max_and_bools() {
+        assert_eq!(correct_interval(&Max, &[3], &[9]), CorrectInterval { lo: 3, hi: 9 });
+        assert_eq!(correct_interval(&BoolOr, &[0], &[1]), CorrectInterval { lo: 0, hi: 1 });
+        assert_eq!(correct_interval(&BoolAnd, &[1], &[0]), CorrectInterval { lo: 0, hi: 1 });
+    }
+
+    #[test]
+    fn gcd_decreasing() {
+        let iv = correct_interval(&Gcd, &[12], &[18]);
+        assert_eq!(iv, CorrectInterval { lo: 6, hi: 12 });
+    }
+
+    #[test]
+    fn modsum_enumerates_exactly() {
+        let op = ModSum::new(10);
+        // base 7; optional {5}: achievable {7, 2}; interval [2, 7].
+        let iv = correct_interval(&op, &[3, 4], &[5]);
+        assert_eq!(iv, CorrectInterval { lo: 2, hi: 7 });
+        let ach = achievable_results(&op, &[3, 4], &[5]);
+        assert_eq!(ach, vec![2, 7]);
+    }
+
+    #[test]
+    fn modsum_reachability_checker() {
+        let op = ModSum::new(7);
+        // base = 6; optionals 3 and 5 => reachable {6, 2, 4, 0}.
+        assert!(modsum_correct(&op, 6, &[6], &[3, 5]));
+        assert!(modsum_correct(&op, 2, &[6], &[3, 5]));
+        assert!(modsum_correct(&op, 4, &[6], &[3, 5]));
+        assert!(modsum_correct(&op, 0, &[6], &[3, 5]));
+        assert!(!modsum_correct(&op, 1, &[6], &[3, 5]));
+        assert!(!modsum_correct(&op, 9, &[6], &[3, 5]));
+    }
+
+    #[test]
+    fn achievable_subset_of_interval() {
+        let iv = correct_interval(&Sum, &[2], &[1, 4]);
+        for r in achievable_results(&Sum, &[2], &[1, 4]) {
+            assert!(iv.contains(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "achievable set too large")]
+    fn achievable_rejects_huge_optional() {
+        let optional = vec![1u64; 21];
+        let _ = achievable_results(&Sum, &[], &optional);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::ops::{Gcd, Max, Min, Sum};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn monotone_interval_equals_enumeration(
+            mandatory in proptest::collection::vec(0u64..1000, 0..6),
+            optional in proptest::collection::vec(0u64..1000, 0..8),
+        ) {
+            // For monotone operators the fast interval must match brute force.
+            let fast = correct_interval(&Sum, &mandatory, &optional);
+            let all = achievable_results(&Sum, &mandatory, &optional);
+            prop_assert_eq!(fast.lo, *all.first().unwrap());
+            prop_assert_eq!(fast.hi, *all.last().unwrap());
+
+            let fast = correct_interval(&Max, &mandatory, &optional);
+            let all = achievable_results(&Max, &mandatory, &optional);
+            prop_assert_eq!(fast.lo, *all.first().unwrap());
+            prop_assert_eq!(fast.hi, *all.last().unwrap());
+
+            let m = Min::new(1000);
+            let fast = correct_interval(&m, &mandatory, &optional);
+            let all = achievable_results(&m, &mandatory, &optional);
+            prop_assert_eq!(fast.lo, *all.first().unwrap());
+            prop_assert_eq!(fast.hi, *all.last().unwrap());
+
+            let fast = correct_interval(&Gcd, &mandatory, &optional);
+            let all = achievable_results(&Gcd, &mandatory, &optional);
+            prop_assert_eq!(fast.lo, *all.first().unwrap());
+            prop_assert_eq!(fast.hi, *all.last().unwrap());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! MEDIAN and SELECTION reduced to COUNT.
+//!
+//! The paper (Section 2, citing Patt-Shamir \[16\]) notes that MEDIAN and
+//! SELECTION — which are not themselves CAAFs — can be solved with COUNT by
+//! binary search over the output domain: the k-th smallest input is the
+//! smallest `x` such that at least `k` inputs are `≤ x`. Each probe of the
+//! search is one COUNT aggregation (each node contributes 1 iff its input is
+//! `≤ x`), so a fault-tolerant COUNT protocol yields fault-tolerant
+//! selection at a `log(domain)` multiplicative cost.
+//!
+//! [`kth_smallest_by_counts`] is the pure search driver; the `ftagg` crate
+//! wires it to the distributed COUNT protocol, and this module's
+//! [`CountingOracle`] helper adapts a local slice for tests and examples.
+
+/// Smallest `x ∈ 0..=domain_max` with `count_le(x) >= k`, i.e. the k-th
+/// smallest value (1-based) as seen through a counting oracle, or `None` if
+/// even `count_le(domain_max) < k`.
+///
+/// `count_le` must be monotone non-decreasing in `x`; the search probes it
+/// `O(log domain_max)` times.
+///
+/// # Examples
+///
+/// ```
+/// use caaf::query::kth_smallest_by_counts;
+/// let data = [9u64, 3, 7, 3, 1];
+/// let count_le = |x: u64| data.iter().filter(|&&v| v <= x).count() as u64;
+/// assert_eq!(kth_smallest_by_counts(count_le, 10, 1), Some(1));
+/// assert_eq!(kth_smallest_by_counts(count_le, 10, 3), Some(3));
+/// assert_eq!(kth_smallest_by_counts(count_le, 10, 5), Some(9));
+/// assert_eq!(kth_smallest_by_counts(count_le, 10, 6), None);
+/// ```
+pub fn kth_smallest_by_counts(
+    mut count_le: impl FnMut(u64) -> u64,
+    domain_max: u64,
+    k: u64,
+) -> Option<u64> {
+    if k == 0 || count_le(domain_max) < k {
+        return None;
+    }
+    let (mut lo, mut hi) = (0u64, domain_max);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if count_le(mid) >= k {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// The k-th **largest** value (1-based) through the same `count_le`
+/// oracle: the k-th largest of `m` values is the `(m − k + 1)`-th
+/// smallest.
+///
+/// Returns `None` when `k == 0`, `k > m`, or the oracle cannot account
+/// for enough inputs.
+///
+/// # Examples
+///
+/// ```
+/// use caaf::query::kth_largest_by_counts;
+/// let data = [9u64, 3, 7];
+/// let f = |x: u64| data.iter().filter(|&&v| v <= x).count() as u64;
+/// assert_eq!(kth_largest_by_counts(f, 10, 1, 3), Some(9));
+/// assert_eq!(kth_largest_by_counts(f, 10, 3, 3), Some(3));
+/// assert_eq!(kth_largest_by_counts(f, 10, 4, 3), None);
+/// ```
+pub fn kth_largest_by_counts(
+    count_le: impl FnMut(u64) -> u64,
+    domain_max: u64,
+    k: u64,
+    m: u64,
+) -> Option<u64> {
+    if k == 0 || k > m {
+        return None;
+    }
+    kth_smallest_by_counts(count_le, domain_max, m - k + 1)
+}
+
+/// Lower median (k = ⌈m/2⌉ over `m` inputs) through a counting oracle.
+///
+/// Returns `None` when `m == 0` or the oracle cannot account for `⌈m/2⌉`
+/// inputs within the domain.
+pub fn median_by_counts(
+    count_le: impl FnMut(u64) -> u64,
+    domain_max: u64,
+    m: u64,
+) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    kth_smallest_by_counts(count_le, domain_max, m.div_ceil(2))
+}
+
+/// Number of counting probes the binary search makes for a given domain —
+/// used by experiments to predict the CC multiplier of selection queries.
+pub fn probe_budget(domain_max: u64) -> u32 {
+    // One initial feasibility probe plus the bisection.
+    1 + wire::range_bits(domain_max)
+}
+
+/// Adapts a local value slice into the counting oracle used by the search —
+/// the single-machine reference against which the distributed version is
+/// tested.
+#[derive(Clone, Debug)]
+pub struct CountingOracle<'a> {
+    values: &'a [u64],
+    probes: u64,
+}
+
+impl<'a> CountingOracle<'a> {
+    /// Oracle over `values`.
+    pub fn new(values: &'a [u64]) -> Self {
+        CountingOracle { values, probes: 0 }
+    }
+
+    /// Count of values `≤ x`, recording the probe.
+    pub fn count_le(&mut self, x: u64) -> u64 {
+        self.probes += 1;
+        self.values.iter().filter(|&&v| v <= x).count() as u64
+    }
+
+    /// Probes made so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kth_matches_sorting() {
+        let data = [5u64, 1, 4, 1, 3, 9, 0];
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        for k in 1..=data.len() as u64 {
+            let got = kth_smallest_by_counts(
+                |x| data.iter().filter(|&&v| v <= x).count() as u64,
+                10,
+                k,
+            );
+            assert_eq!(got, Some(sorted[(k - 1) as usize]), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_overflow_are_none() {
+        let data = [2u64, 2];
+        let f = |x: u64| data.iter().filter(|&&v| v <= x).count() as u64;
+        assert_eq!(kth_smallest_by_counts(f, 5, 0), None);
+        assert_eq!(kth_smallest_by_counts(f, 5, 3), None);
+    }
+
+    #[test]
+    fn kth_largest_mirrors_smallest() {
+        let data = [5u64, 1, 4, 1, 3, 9, 0];
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        let m = data.len() as u64;
+        for k in 1..=m {
+            let got = kth_largest_by_counts(
+                |x| data.iter().filter(|&&v| v <= x).count() as u64,
+                10,
+                k,
+                m,
+            );
+            assert_eq!(got, Some(sorted[(m - k) as usize]), "k = {k}");
+        }
+        let f = |x: u64| data.iter().filter(|&&v| v <= x).count() as u64;
+        assert_eq!(kth_largest_by_counts(f, 10, 0, m), None);
+        assert_eq!(kth_largest_by_counts(f, 10, m + 1, m), None);
+    }
+
+    #[test]
+    fn median_lower_convention() {
+        let data = [1u64, 2, 3, 4];
+        let f = |x: u64| data.iter().filter(|&&v| v <= x).count() as u64;
+        assert_eq!(median_by_counts(f, 10, 4), Some(2)); // lower median
+        assert_eq!(median_by_counts(f, 10, 0), None);
+    }
+
+    #[test]
+    fn oracle_counts_probes_within_budget() {
+        let data: Vec<u64> = (0..100).collect();
+        let mut oracle = CountingOracle::new(&data);
+        let got = kth_smallest_by_counts(|x| oracle.count_le(x), 1023, 50);
+        assert_eq!(got, Some(49));
+        assert!(oracle.probes() <= u64::from(probe_budget(1023)), "probes = {}", oracle.probes());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn search_equals_sort(data in proptest::collection::vec(0u64..1 << 16, 1..60), kk in 0usize..60) {
+            let k = (kk % data.len()) as u64 + 1;
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let got = kth_smallest_by_counts(
+                |x| data.iter().filter(|&&v| v <= x).count() as u64,
+                (1 << 16) - 1,
+                k,
+            );
+            prop_assert_eq!(got, Some(sorted[(k - 1) as usize]));
+        }
+
+        #[test]
+        fn probe_count_is_logarithmic(data in proptest::collection::vec(0u64..1 << 12, 1..40)) {
+            let mut oracle = CountingOracle::new(&data);
+            let _ = median_by_counts(|x| oracle.count_le(x), (1 << 12) - 1, data.len() as u64);
+            prop_assert!(oracle.probes() <= u64::from(probe_budget((1 << 12) - 1)));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Composite statistics from CAAF primitives.
+//!
+//! AVERAGE and VARIANCE are not themselves CAAFs, but — as the paper notes
+//! for AVERAGE in §2 — they decompose into CAAF components aggregated
+//! independently: AVERAGE = SUM / COUNT, VARIANCE = E\[X²\] − E\[X\]² from
+//! (Σx², Σx, count). Each component is fault-tolerant aggregation of a
+//! derived per-node input, so running the paper's protocol per component
+//! yields fault-tolerant statistics at a small multiplicative cost.
+//!
+//! [`StatsSpec`] describes the derived inputs; [`combine_stats`] assembles
+//! the final answer from the component aggregates. The error semantics
+//! follow the paper's correctness notion component-wise: each aggregate
+//! lands between its surviving-set and full-set values. For consistency,
+//! all components should be computed over the *same* execution window
+//! (e.g. consecutive intervals of Algorithm 1), so the surviving sets are
+//! comparable; [`combine_stats`] documents the residual skew.
+
+use crate::{Caaf, Count, Sum};
+
+/// Which statistic to assemble.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Statistic {
+    /// Arithmetic mean = SUM / COUNT.
+    Mean,
+    /// Population variance = Σx²/n − (Σx/n)².
+    Variance,
+}
+
+/// The CAAF components a statistic needs, with the per-node derived input
+/// for each (given the node's raw input `x`).
+#[derive(Clone, Copy, Debug)]
+pub struct StatsSpec {
+    stat: Statistic,
+}
+
+/// One component aggregation: the operator plus the derived input map.
+pub struct Component {
+    /// Human-readable name (`"sum"`, `"count"`, `"sum_sq"`).
+    pub name: &'static str,
+    /// Derives the per-node protocol input from the raw reading.
+    pub derive: fn(u64) -> u64,
+    /// Upper bound of the derived domain given the raw bound.
+    pub derived_max: fn(u64) -> u64,
+}
+
+impl StatsSpec {
+    /// Spec for `stat`.
+    pub fn new(stat: Statistic) -> Self {
+        StatsSpec { stat }
+    }
+
+    /// The components to aggregate (each is a SUM- or COUNT-shaped CAAF
+    /// run over derived inputs).
+    pub fn components(&self) -> Vec<Component> {
+        let sum = Component {
+            name: "sum",
+            derive: |x| x,
+            derived_max: |m| m,
+        };
+        let count = Component {
+            name: "count",
+            derive: |_| 1,
+            derived_max: |_| 1,
+        };
+        let sum_sq = Component {
+            name: "sum_sq",
+            derive: |x| x * x,
+            derived_max: |m| m * m,
+        };
+        match self.stat {
+            Statistic::Mean => vec![sum, count],
+            Statistic::Variance => vec![sum, count, sum_sq],
+        }
+    }
+
+    /// The operator each component uses (COUNT for `"count"`, SUM else).
+    pub fn operator_for(component: &Component) -> StatsOp {
+        if component.name == "count" {
+            StatsOp::Count(Count)
+        } else {
+            StatsOp::Sum(Sum)
+        }
+    }
+}
+
+/// The two operators composite statistics use (a tiny closed enum instead
+/// of trait objects, so protocol drivers stay monomorphic).
+#[derive(Clone, Copy, Debug)]
+pub enum StatsOp {
+    /// Plain SUM.
+    Sum(Sum),
+    /// COUNT (0/1 inputs).
+    Count(Count),
+}
+
+impl StatsOp {
+    /// Aggregates locally (reference semantics for tests).
+    pub fn aggregate<I: IntoIterator<Item = u64>>(&self, values: I) -> u64 {
+        match self {
+            StatsOp::Sum(op) => op.aggregate(values),
+            StatsOp::Count(op) => op.aggregate(values),
+        }
+    }
+}
+
+/// Assembles the final statistic from component aggregates, in component
+/// order as produced by [`StatsSpec::components`].
+///
+/// Returns `None` if the count component is zero (empty network).
+///
+/// Because each component's aggregate may individually include or exclude
+/// a failing node's contribution, the assembled value can deviate from any
+/// single consistent snapshot by at most the failing nodes' contributions
+/// — the same interval semantics the paper's SUM correctness gives,
+/// propagated through the arithmetic.
+pub fn combine_stats(stat: Statistic, aggregates: &[u64]) -> Option<f64> {
+    match stat {
+        Statistic::Mean => {
+            let [sum, count] = aggregates else {
+                panic!("mean needs [sum, count], got {} components", aggregates.len())
+            };
+            if *count == 0 {
+                return None;
+            }
+            Some(*sum as f64 / *count as f64)
+        }
+        Statistic::Variance => {
+            let [sum, count, sum_sq] = aggregates else {
+                panic!(
+                    "variance needs [sum, count, sum_sq], got {} components",
+                    aggregates.len()
+                )
+            };
+            if *count == 0 {
+                return None;
+            }
+            let n = *count as f64;
+            let mean = *sum as f64 / n;
+            Some((*sum_sq as f64 / n - mean * mean).max(0.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_mean(xs: &[u64]) -> f64 {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+
+    fn reference_var(xs: &[u64]) -> f64 {
+        let m = reference_mean(xs);
+        xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64
+    }
+
+    fn assemble(stat: Statistic, xs: &[u64]) -> Option<f64> {
+        let spec = StatsSpec::new(stat);
+        let aggs: Vec<u64> = spec
+            .components()
+            .iter()
+            .map(|c| {
+                let op = StatsSpec::operator_for(c);
+                op.aggregate(xs.iter().map(|&x| (c.derive)(x)))
+            })
+            .collect();
+        combine_stats(stat, &aggs)
+    }
+
+    #[test]
+    fn mean_matches_reference() {
+        let xs = [3u64, 5, 7, 9];
+        assert_eq!(assemble(Statistic::Mean, &xs), Some(reference_mean(&xs)));
+    }
+
+    #[test]
+    fn variance_matches_reference() {
+        let xs = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let got = assemble(Statistic::Variance, &xs).unwrap();
+        assert!((got - reference_var(&xs)).abs() < 1e-9);
+        assert!((got - 4.0).abs() < 1e-9); // the classic example
+    }
+
+    #[test]
+    fn empty_network_is_none() {
+        assert_eq!(combine_stats(Statistic::Mean, &[0, 0]), None);
+        assert_eq!(combine_stats(Statistic::Variance, &[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn component_shapes() {
+        assert_eq!(StatsSpec::new(Statistic::Mean).components().len(), 2);
+        let comps = StatsSpec::new(Statistic::Variance).components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!((comps[2].derive)(9), 81);
+        assert_eq!((comps[2].derived_max)(10), 100);
+        assert_eq!((comps[1].derive)(1234), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean needs")]
+    fn combine_rejects_wrong_arity() {
+        let _ = combine_stats(Statistic::Mean, &[1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn variance_nonnegative_and_mean_in_range(xs in proptest::collection::vec(0u64..1000, 1..40)) {
+            let spec = StatsSpec::new(Statistic::Variance);
+            let aggs: Vec<u64> = spec.components().iter().map(|c| {
+                StatsSpec::operator_for(c).aggregate(xs.iter().map(|&x| (c.derive)(x)))
+            }).collect();
+            let var = combine_stats(Statistic::Variance, &aggs).unwrap();
+            prop_assert!(var >= 0.0);
+
+            let spec = StatsSpec::new(Statistic::Mean);
+            let aggs: Vec<u64> = spec.components().iter().map(|c| {
+                StatsSpec::operator_for(c).aggregate(xs.iter().map(|&x| (c.derive)(x)))
+            }).collect();
+            let mean = combine_stats(Statistic::Mean, &aggs).unwrap();
+            let lo = *xs.iter().min().unwrap() as f64;
+            let hi = *xs.iter().max().unwrap() as f64;
+            prop_assert!(mean >= lo && mean <= hi);
+        }
+    }
+}

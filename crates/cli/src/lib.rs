@@ -1,0 +1,504 @@
+//! # ftagg-cli — command-line driver for the fault-tolerant aggregation
+//! protocols
+//!
+//! A thin, dependency-free (beyond the workspace) CLI over the `ftagg`
+//! library: build a topology from a textual spec, schedule crashes, pick
+//! an operator and a protocol, run, and print the report. The argument
+//! parsing and command logic live in this library crate so they are unit
+//! tested; `src/main.rs` is a two-line shim.
+//!
+//! ```text
+//! ftagg-cli run --topology grid:6x6 --protocol tradeoff --b 63 --c 2 \
+//!     --f 8 --inputs random:100 --crash 5@40 --crash 9@60 --op sum
+//! ftagg-cli topo --topology caterpillar:10x2
+//! ftagg-cli trace --topology cycle:8 --crash 2@20 --t 1 --dot yes
+//! ftagg-cli sweep --topology caterpillar:20x1 --f 10 --from 42 --to 336
+//! ftagg-cli bounds --n 1024 --f 128 --b 42
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spec;
+
+use caaf::Caaf;
+use ftagg::baselines::{run_brute, run_folklore, run_tag_once};
+use ftagg::doubling::{run_doubling, DoublingConfig};
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::{bounds, Instance};
+use netsim::NodeId;
+use spec::OpSpec;
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options
+/// (repeatable keys accumulate).
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (`run`, `topo`, `trace`, `sweep`, `bounds`).
+    pub command: String,
+    opts: BTreeMap<String, Vec<String>>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a missing subcommand, an option without a
+    /// value, or a stray positional argument.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut it = raw.into_iter();
+        let command = it
+            .next()
+            .ok_or("missing subcommand (run | topo | trace | sweep | bounds)")?;
+        let mut opts: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{key}'"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{name} needs a value"))?;
+            opts.entry(name.to_string()).or_default().push(value);
+        }
+        Ok(Args { command, opts })
+    }
+
+    /// Last value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values of a repeatable `--key`.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.opts.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parses `--key` as a number with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+        }
+    }
+}
+
+/// Runs a subcommand, returning the report text (printed by `main`).
+///
+/// # Errors
+///
+/// Returns a usage/validation message for the user.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "run" => cmd_run(args),
+        "topo" => cmd_topo(args),
+        "trace" => cmd_trace(args),
+        "sweep" => cmd_sweep(args),
+        "bounds" => cmd_bounds(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: ftagg-cli <command> [options]
+
+commands:
+  run     execute a protocol on a topology
+          --topology SPEC (default grid:5x5)   --protocol tradeoff|brute|folklore|tag|doubling
+          --op sum|count|max|min:T|or|and|gcd|modsum:M
+          --inputs const:V|random:MAX|ramp     --crash NODE@ROUND (repeatable)
+          --b B --c C --f F --seed S --root R
+  topo    print topology statistics            --topology SPEC
+  trace   run one AGG+VERI pair with a per-round event log
+          --topology SPEC --t T --c C --crash NODE@ROUND --dot (print DOT)
+  sweep   sweep the TC budget b and print the measured tradeoff curve
+          --topology SPEC --f F --c C --from B0 --to B1 --points K --seed S
+  bounds  print the paper's bound curves       --n N --f F --b B
+";
+
+fn cmd_run(args: &Args) -> Result<String, String> {
+    let seed: u64 = args.num("seed", 0)?;
+    let graph = spec::parse_topology(args.get("topology").unwrap_or("grid:5x5"), seed)?;
+    let n = graph.len();
+    let root = NodeId(args.num("root", 0u32)?);
+    let (inputs, gen_max) = spec::parse_inputs(args.get("inputs").unwrap_or("ramp"), n, seed)?;
+    let schedule = spec::parse_crashes(args.get_all("crash"))?;
+    let op = spec::parse_op(args.get("op").unwrap_or("sum"))?;
+    let max_input = match op {
+        OpSpec::Count(_) | OpSpec::Or(_) | OpSpec::And(_) => 1,
+        OpSpec::Min(m) => gen_max.min(m.top()),
+        OpSpec::ModSum(m) => gen_max.min(m.modulus() - 1),
+        _ => gen_max,
+    };
+    let inputs: Vec<u64> = inputs.into_iter().map(|v| v.min(max_input)).collect();
+    let inst = Instance::new(graph, root, inputs, schedule, max_input)?;
+
+    let c: u32 = args.num("c", 2)?;
+    let b: u64 = args.num("b", 21 * u64::from(c))?;
+    let f: usize = args.num("f", inst.edge_failures().max(1))?;
+    let protocol = args.get("protocol").unwrap_or("tradeoff").to_string();
+
+    macro_rules! with_op {
+        ($op:expr) => {
+            run_protocol(&protocol, $op, &inst, b, c, f, seed)
+        };
+    }
+    match op {
+        OpSpec::Sum(o) => with_op!(&o),
+        OpSpec::Count(o) => with_op!(&o),
+        OpSpec::Max(o) => with_op!(&o),
+        OpSpec::Min(o) => with_op!(&o),
+        OpSpec::Or(o) => with_op!(&o),
+        OpSpec::And(o) => with_op!(&o),
+        OpSpec::Gcd(o) => with_op!(&o),
+        OpSpec::ModSum(o) => with_op!(&o),
+    }
+}
+
+fn run_protocol<C: Caaf>(
+    protocol: &str,
+    op: &C,
+    inst: &Instance,
+    b: u64,
+    c: u32,
+    f: usize,
+    seed: u64,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {} nodes (d = {}, f_sched = {}), operator {}",
+        protocol,
+        inst.n(),
+        inst.graph.diameter(),
+        inst.edge_failures(),
+        op.name()
+    );
+    let (result, correct, cc, rounds): (u64, bool, u64, u64) = match protocol {
+        "tradeoff" => {
+            let r = run_tradeoff(op, inst, &TradeoffConfig { b, c, f, seed });
+            let _ = writeln!(
+                out,
+                "pairs run = {}, fallback = {}, x = {}, t = {}",
+                r.pairs_run, r.used_fallback, r.x, r.t
+            );
+            (r.result, r.correct, r.metrics.max_bits(), r.rounds)
+        }
+        "brute" => {
+            let r = run_brute(op, inst, inst.schedule.clone(), c, 0);
+            (r.result, r.correct, r.metrics.max_bits(), r.rounds)
+        }
+        "folklore" => {
+            let r = run_folklore(op, inst, c, 2 * f + 2);
+            let _ = writeln!(out, "attempts = {}, exhausted = {}", r.attempts, r.exhausted);
+            (r.result, r.correct, r.metrics.max_bits(), r.rounds)
+        }
+        "tag" => {
+            let r = run_tag_once(op, inst, inst.schedule.clone(), c, 0);
+            let _ = writeln!(out, "clean = {}", r.clean);
+            (r.result, r.correct, r.metrics.max_bits(), r.rounds)
+        }
+        "doubling" => {
+            let r = run_doubling(op, inst, &DoublingConfig { c, max_stages: 8 });
+            let _ = writeln!(out, "stages = {}, final guess = {}", r.stages, r.final_guess);
+            (r.result, r.correct, r.metrics.max_bits(), r.rounds)
+        }
+        other => return Err(format!("unknown protocol '{other}'")),
+    };
+    let _ = writeln!(out, "result  = {result} (correct: {correct})");
+    let _ = writeln!(out, "CC      = {cc} bits at the bottleneck node");
+    let _ = writeln!(out, "rounds  = {rounds}");
+    Ok(out)
+}
+
+fn cmd_trace(args: &Args) -> Result<String, String> {
+    use caaf::Sum;
+    use ftagg::msg::Envelope;
+    use ftagg::pair::{PairNode, PairParams, Tweaks};
+    use netsim::Engine;
+
+    let seed: u64 = args.num("seed", 0)?;
+    let graph = spec::parse_topology(args.get("topology").unwrap_or("cycle:8"), seed)?;
+    let n = graph.len();
+    let schedule = spec::parse_crashes(args.get_all("crash"))?;
+    schedule.validate(&graph, NodeId(0))?;
+    let c: u32 = args.num("c", 2)?;
+    let t: u32 = args.num("t", 1)?;
+    let params = PairParams {
+        model: ftagg::Model {
+            n,
+            root: NodeId(0),
+            d: graph.diameter().max(1),
+            c,
+            max_input: n as u64,
+        },
+        t,
+        run_veri: true,
+        tweaks: Tweaks::default(),
+    };
+    let dot = args.get("dot").is_some();
+    let mut eng: Engine<Envelope, PairNode<Sum>> =
+        Engine::new(graph.clone(), schedule.clone(), |v| {
+            PairNode::new(params, Sum, v, u64::from(v.0))
+        });
+    eng.enable_trace();
+    eng.run(params.total_rounds());
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let root = eng.node(NodeId(0));
+    let _ = writeln!(out, "AGG outcome: {:?}", root.agg_outcome());
+    let _ = writeln!(out, "VERI verdict: {}", root.veri_verdict());
+    let _ = writeln!(out, "visible critical failures: {:?}", root.critical_failures_seen());
+    let _ = writeln!(out, "flooded psums at root: {:?}\n", root.flooded_psums_seen());
+    let tree = ftagg::analysis::TreeView::from_engine(&eng, NodeId(0));
+    let crashed: std::collections::BTreeSet<NodeId> =
+        schedule.all_crashed().into_iter().collect();
+    out.push_str("aggregation tree:\n");
+    out.push_str(&tree.render_ascii(&crashed));
+    out.push('\n');
+    let trace = eng.trace().expect("tracing enabled");
+    out.push_str(&trace.render());
+    if dot {
+        let _ = writeln!(out, "\n{}", graph.to_dot("execution", &schedule.all_crashed()));
+    }
+    Ok(out)
+}
+
+fn cmd_topo(args: &Args) -> Result<String, String> {
+    let seed: u64 = args.num("seed", 0)?;
+    let g = spec::parse_topology(args.get("topology").ok_or("--topology required")?, seed)?;
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    Ok(format!(
+        "nodes      = {}\nedges      = {}\ndiameter   = {}\nmin degree = {}\nmax degree = {}\nid bits    = {}\n",
+        g.len(),
+        g.edge_count(),
+        g.diameter(),
+        degrees.iter().min().unwrap(),
+        degrees.iter().max().unwrap(),
+        wire_id_bits(g.len()),
+    ))
+}
+
+fn wire_id_bits(n: usize) -> u32 {
+    wire::id_bits(n)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, String> {
+    use caaf::Sum;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt::Write as _;
+
+    let seed: u64 = args.num("seed", 0)?;
+    let graph = spec::parse_topology(args.get("topology").unwrap_or("caterpillar:20x1"), seed)?;
+    let n = graph.len();
+    let c: u32 = args.num("c", 2)?;
+    let f: usize = args.num("f", n / 8)?;
+    let from: u64 = args.num("from", 21 * u64::from(c))?;
+    let to: u64 = args.num("to", from * 8)?;
+    let points: u32 = args.num("points", 5)?;
+    if from < 21 * u64::from(c) || to < from || points == 0 {
+        return Err("need 21c <= from <= to and points >= 1".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = to * u64::from(graph.diameter().max(1));
+    let schedule = {
+        let mut best = netsim::FailureSchedule::none();
+        for _ in 0..50 {
+            let s = netsim::adversary::schedules::random_with_edge_budget(
+                &graph, NodeId(0), f, horizon, &mut rng,
+            );
+            if s.stretch_factor(&graph, NodeId(0)) <= f64::from(c) {
+                best = s;
+                break;
+            }
+        }
+        best
+    };
+    let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+    let inst = Instance::new(graph, NodeId(0), inputs, schedule, 100)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "N = {n}, f = {} scheduled, c = {c}", inst.edge_failures());
+    let _ = writeln!(out, "{:>7} {:>12} {:>14} {:>8} {:>9}", "b", "measured CC", "upper bound", "pairs", "correct");
+    for i in 0..points {
+        let b = if points == 1 {
+            from
+        } else {
+            from + (to - from) * u64::from(i) / u64::from(points - 1)
+        };
+        let cfg = TradeoffConfig { b, c, f, seed };
+        let r = run_tradeoff(&Sum, &inst, &cfg);
+        let _ = writeln!(
+            out,
+            "{b:>7} {:>12} {:>14.0} {:>8} {:>9}",
+            r.metrics.max_bits(),
+            bounds::upper_bound_simple(n, f, b),
+            r.pairs_run,
+            r.correct
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_bounds(args: &Args) -> Result<String, String> {
+    let n: usize = args.num("n", 1024)?;
+    let f: usize = args.num("f", 64)?;
+    let b: u64 = args.num("b", 42)?;
+    Ok(format!(
+        "N = {n}, f = {f}, b = {b}\n\
+         upper (precise)  = {:.1}\n\
+         upper (simple)   = {:.1}\n\
+         lower (new)      = {:.2}\n\
+         lower (old)      = {:.3}\n\
+         brute-force CC   = {:.0}\n\
+         folklore CC      = {:.0}\n\
+         upper/lower gap  = {:.1} (polylog budget {:.1})\n",
+        bounds::upper_bound_new(n, f, b),
+        bounds::upper_bound_simple(n, f, b),
+        bounds::lower_bound_new(n, f, b),
+        bounds::lower_bound_old(f, b),
+        bounds::brute_cc(n),
+        bounds::folklore_cc(n, f),
+        bounds::gap(n, f, b),
+        bounds::log2c(n as f64).powi(2) * bounds::log2c(b as f64),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parse_options_and_repeats() {
+        let a = args(&["run", "--b", "63", "--crash", "1@5", "--crash", "2@9"]);
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("b"), Some("63"));
+        assert_eq!(a.get_all("crash"), &["1@5".to_string(), "2@9".to_string()]);
+        assert_eq!(a.num("b", 0u64).unwrap(), 63);
+        assert_eq!(a.num("c", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Args::parse(Vec::<String>::new().into_iter()).is_err());
+        assert!(Args::parse(["run".into(), "stray".into()].into_iter()).is_err());
+        assert!(Args::parse(["run".into(), "--b".into()].into_iter()).is_err());
+        let a = args(&["run", "--b", "xyz"]);
+        assert!(a.num("b", 0u64).is_err());
+    }
+
+    #[test]
+    fn topo_command() {
+        let out = dispatch(&args(&["topo", "--topology", "grid:4x4"])).unwrap();
+        assert!(out.contains("nodes      = 16"));
+        assert!(out.contains("diameter   = 6"));
+    }
+
+    #[test]
+    fn bounds_command() {
+        let out = dispatch(&args(&["bounds", "--n", "256", "--f", "32", "--b", "42"])).unwrap();
+        assert!(out.contains("N = 256"));
+        assert!(out.contains("upper (simple)"));
+    }
+
+    #[test]
+    fn run_command_all_protocols() {
+        for proto in ["tradeoff", "brute", "folklore", "tag", "doubling"] {
+            let out = dispatch(&args(&[
+                "run",
+                "--topology",
+                "grid:4x4",
+                "--protocol",
+                proto,
+                "--inputs",
+                "const:2",
+                "--crash",
+                "5@40",
+                "--b",
+                "63",
+            ]))
+            .unwrap();
+            assert!(out.contains("result  = "), "{proto}: {out}");
+            assert!(out.contains("correct: true"), "{proto} must be correct here: {out}");
+        }
+    }
+
+    #[test]
+    fn run_command_operators() {
+        for op in ["sum", "count", "max", "min:100", "or", "and", "gcd", "modsum:13"] {
+            let out = dispatch(&args(&[
+                "run",
+                "--topology",
+                "cycle:8",
+                "--op",
+                op,
+                "--inputs",
+                "random:50",
+            ]))
+            .unwrap();
+            assert!(out.contains("result  = "), "{op}: {out}");
+        }
+    }
+
+    #[test]
+    fn sweep_command() {
+        let out = dispatch(&args(&[
+            "sweep",
+            "--topology",
+            "grid:4x4",
+            "--f",
+            "3",
+            "--from",
+            "42",
+            "--to",
+            "84",
+            "--points",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("measured CC"), "{out}");
+        assert_eq!(out.matches("true").count(), 2, "{out}");
+        assert!(dispatch(&args(&["sweep", "--from", "5"])).is_err());
+    }
+
+    #[test]
+    fn trace_command() {
+        let out = dispatch(&args(&[
+            "trace",
+            "--topology",
+            "cycle:6",
+            "--crash",
+            "2@20",
+            "--t",
+            "1",
+            "--dot",
+            "yes",
+        ]))
+        .unwrap();
+        assert!(out.contains("AGG outcome"));
+        assert!(out.contains("-- round 1 --"));
+        assert!(out.contains("graph execution {"));
+        assert!(out.contains("fillcolor=red"));
+    }
+
+    #[test]
+    fn unknown_bits_error_cleanly() {
+        assert!(dispatch(&args(&["fly"])).is_err());
+        assert!(dispatch(&args(&["run", "--protocol", "magic"])).is_err());
+        assert!(dispatch(&args(&["run", "--topology", "blob:3"])).is_err());
+        let help = dispatch(&args(&["help"])).unwrap();
+        assert!(help.contains("usage"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Binary shim: parse argv, dispatch, print (logic lives in the library).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ftagg_cli::Args::parse(args).and_then(|a| ftagg_cli::dispatch(&a)) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

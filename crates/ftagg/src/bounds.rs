@@ -1,0 +1,121 @@
+//! Closed forms of every bound in Figure 1, for plotting measured CC
+//! against theory.
+//!
+//! All formulas return "bit-shaped" quantities without hidden constants —
+//! they are the asymptotic expressions with constant 1, which is what the
+//! paper's Figure 1 sketches. `log` is base 2, clamped below at 1 so the
+//! curves stay finite at `b = 1` and `N = 2`.
+
+/// `log2(x)` clamped to at least 1 (the paper's `log` on small arguments).
+pub fn log2c(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// The paper's new upper bound (Theorem 1, precise form):
+/// `(f/b · logN + logN) · min(b, f, logN)`.
+pub fn upper_bound_new(n: usize, f: usize, b: u64) -> f64 {
+    let ln = log2c(n as f64);
+    let fb = f as f64 / b as f64;
+    (fb * ln + ln) * (b as f64).min(f as f64).min(ln)
+}
+
+/// The paper's new upper bound, simplified form:
+/// `f/b · log²N + log²N`.
+pub fn upper_bound_simple(n: usize, f: usize, b: u64) -> f64 {
+    let ln = log2c(n as f64);
+    (f as f64 / b as f64) * ln * ln + ln * ln
+}
+
+/// The paper's new lower bound (Theorem 2):
+/// `f/(b · log b) + logN / log b`.
+pub fn lower_bound_new(n: usize, f: usize, b: u64) -> f64 {
+    let lb = log2c(b as f64);
+    f as f64 / (b as f64 * lb) + log2c(n as f64) / lb
+}
+
+/// The previous lower bound from \[4\]: `f / (b² · log b)`.
+pub fn lower_bound_old(f: usize, b: u64) -> f64 {
+    let lb = log2c(b as f64);
+    f as f64 / ((b as f64) * (b as f64) * lb)
+}
+
+/// CC of the brute-force protocol: `N · logN` (at TC = O(1)).
+pub fn brute_cc(n: usize) -> f64 {
+    n as f64 * log2c(n as f64)
+}
+
+/// CC of the folklore retry protocol: `f · logN` (at TC = O(f)).
+pub fn folklore_cc(n: usize, f: usize) -> f64 {
+    f as f64 * log2c(n as f64)
+}
+
+/// The multiplicative gap between the new upper and lower bounds at a
+/// point — Theorem 1 vs Theorem 2 promises this is `O(log²N · log b)`.
+pub fn gap(n: usize, f: usize, b: u64) -> f64 {
+    upper_bound_simple(n, f, b) / lower_bound_new(n, f, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2c_clamps() {
+        assert_eq!(log2c(1.0), 1.0);
+        assert_eq!(log2c(2.0), 1.0);
+        assert_eq!(log2c(8.0), 3.0);
+    }
+
+    #[test]
+    fn upper_bound_decreases_with_b() {
+        let n = 1024;
+        let f = 512;
+        let mut prev = f64::INFINITY;
+        for b in [21u64, 42, 84, 168, 336] {
+            let ub = upper_bound_simple(n, f, b);
+            assert!(ub < prev, "upper bound must fall as b grows");
+            prev = ub;
+        }
+        // ...but never below the log²N floor.
+        assert!(upper_bound_simple(n, f, 1 << 40) >= log2c(n as f64).powi(2));
+    }
+
+    #[test]
+    fn precise_form_at_most_simple_form_shape() {
+        for &(n, f, b) in &[(256usize, 64usize, 21u64), (1024, 512, 100), (4096, 100, 40)] {
+            assert!(upper_bound_new(n, f, b) <= upper_bound_simple(n, f, b) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn new_lower_bound_dominates_old() {
+        for &(n, f, b) in &[(1024usize, 512usize, 4u64), (1024, 512, 64), (65536, 1000, 16)] {
+            assert!(
+                lower_bound_new(n, f, b) >= lower_bound_old(f, b),
+                "factor-b improvement must dominate at n={n} f={f} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_is_polylog() {
+        // Gap ≤ log²N · log b (up to the clamped-log conventions).
+        for &(n, f, b) in &[(1024usize, 512usize, 32u64), (4096, 2048, 128), (1 << 16, 1 << 14, 64)] {
+            let g = gap(n, f, b);
+            let polylog = log2c(n as f64).powi(2) * log2c(b as f64);
+            assert!(g <= polylog * 2.0, "gap {g} vs polylog {polylog} at n={n} f={f} b={b}");
+        }
+    }
+
+    #[test]
+    fn figure1_ordering_at_endpoints() {
+        // At b = O(1): brute force is the old upper bound; the new bound
+        // beats it for f ≪ N·b/logN.
+        let n = 1024;
+        let f = 64;
+        assert!(upper_bound_simple(n, f, 21) < brute_cc(n));
+        // At b = Θ(f): folklore costs f·logN; the new bound is ~log²N.
+        let b = f as u64;
+        assert!(upper_bound_simple(n, f, b) < folklore_cc(n, f));
+    }
+}

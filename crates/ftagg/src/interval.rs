@@ -1,0 +1,169 @@
+//! Algorithm 1's interval arithmetic, factored out and unit-tested.
+//!
+//! Given the TC budget `b` (flooding rounds), the stretch constant `c`,
+//! and the diameter `d`, the first `b − 2c` flooding rounds split into
+//! `x = ⌊(b − 2c)/19c⌋` intervals of `19c` flooding rounds; the final
+//! `2c` flooding rounds host the brute-force fallback. [`IntervalLayout`]
+//! is the single source of truth for these boundaries — used by the
+//! tradeoff driver and the attribution experiments, and checked against
+//! the paper's constraints (`b ≥ 21c`, a pair fits inside an interval).
+
+use netsim::Round;
+
+/// The round geometry of one Algorithm 1 execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalLayout {
+    /// TC budget in flooding rounds.
+    pub b: u64,
+    /// Stretch constant.
+    pub c: u32,
+    /// Topology diameter.
+    pub d: u32,
+}
+
+impl IntervalLayout {
+    /// Creates a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `b < 21c` (Theorem 1's precondition) or a
+    /// parameter is zero.
+    pub fn new(b: u64, c: u32, d: u32) -> Result<Self, String> {
+        if c == 0 || d == 0 {
+            return Err("c and d must be positive".into());
+        }
+        if b < 21 * u64::from(c) {
+            return Err(format!("Theorem 1 requires b >= 21c (b = {b}, c = {c})"));
+        }
+        Ok(IntervalLayout { b, c, d })
+    }
+
+    /// The number of intervals `x = ⌊(b − 2c)/19c⌋ ≥ 1`.
+    pub fn x(&self) -> u64 {
+        (self.b - 2 * u64::from(self.c)) / (19 * u64::from(self.c))
+    }
+
+    /// The pair tolerance `t = ⌊2f/x⌋` for a failure budget `f`.
+    pub fn t(&self, f: usize) -> u32 {
+        (2 * f as u64 / self.x()) as u32
+    }
+
+    /// Plain rounds per interval: `19c · d`.
+    pub fn interval_rounds(&self) -> u64 {
+        19 * u64::from(self.c) * u64::from(self.d)
+    }
+
+    /// Global-round window `[start, end]` of interval `y ∈ [1, x]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range.
+    pub fn interval_window(&self, y: u64) -> (Round, Round) {
+        assert!((1..=self.x()).contains(&y), "interval {y} outside 1..={}", self.x());
+        let start = (y - 1) * self.interval_rounds() + 1;
+        (start, y * self.interval_rounds())
+    }
+
+    /// Global round offset at which interval `y`'s pair starts (the round
+    /// before its local round 1).
+    pub fn pair_offset(&self, y: u64) -> Round {
+        self.interval_window(y).0 - 1
+    }
+
+    /// First global round of the brute-force fallback window.
+    pub fn fallback_start(&self) -> Round {
+        (self.b - 2 * u64::from(self.c)) * u64::from(self.d) + 1
+    }
+
+    /// Rounds one AGG + VERI pair needs: `12cd + 7`.
+    pub fn pair_rounds(&self) -> u64 {
+        12 * u64::from(self.c) * u64::from(self.d) + 7
+    }
+
+    /// True iff a pair fits inside one interval — the slack Theorem 1's
+    /// `19c` interval length provides (holds whenever `cd ≥ 1`... more
+    /// precisely whenever `7cd ≥ 7`, i.e. always).
+    pub fn pair_fits(&self) -> bool {
+        self.pair_rounds() <= self.interval_rounds()
+    }
+
+    /// Total plain rounds of the whole execution budget: `b · d`.
+    pub fn total_rounds(&self) -> u64 {
+        self.b * u64::from(self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(IntervalLayout::new(20, 1, 3).is_err());
+        assert!(IntervalLayout::new(42, 0, 3).is_err());
+        assert!(IntervalLayout::new(42, 2, 0).is_err());
+        assert!(IntervalLayout::new(42, 2, 3).is_ok());
+    }
+
+    #[test]
+    fn x_matches_the_paper_formula() {
+        let l = IntervalLayout::new(21, 1, 4).unwrap();
+        assert_eq!(l.x(), 1);
+        let l = IntervalLayout::new(210, 1, 4).unwrap();
+        assert_eq!(l.x(), (210 - 2) / 19);
+        let l = IntervalLayout::new(210, 2, 4).unwrap();
+        assert_eq!(l.x(), (210 - 4) / 38);
+    }
+
+    #[test]
+    fn t_scales_inversely_with_x() {
+        let small = IntervalLayout::new(21, 1, 3).unwrap();
+        let large = IntervalLayout::new(210, 1, 3).unwrap();
+        assert!(small.t(40) > large.t(40));
+        assert_eq!(small.t(40), 80); // x = 1 → t = 2f
+    }
+
+    #[test]
+    fn windows_tile_without_overlap() {
+        let l = IntervalLayout::new(100, 2, 5).unwrap();
+        let mut expected_start = 1;
+        for y in 1..=l.x() {
+            let (lo, hi) = l.interval_window(y);
+            assert_eq!(lo, expected_start);
+            assert_eq!(hi - lo + 1, l.interval_rounds());
+            expected_start = hi + 1;
+        }
+        // All intervals end at or before the fallback start.
+        let (_, last_hi) = l.interval_window(l.x());
+        assert!(last_hi < l.fallback_start());
+        assert!(l.fallback_start() <= l.total_rounds());
+    }
+
+    #[test]
+    fn pair_always_fits() {
+        for b in [21u64, 42, 100, 1000] {
+            for c in [1u32, 2, 3] {
+                for d in [1u32, 5, 50] {
+                    if b >= 21 * u64::from(c) {
+                        let l = IntervalLayout::new(b, c, d).unwrap();
+                        assert!(l.pair_fits(), "pair must fit at b={b} c={c} d={d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn window_bounds_checked() {
+        let l = IntervalLayout::new(21, 1, 3).unwrap();
+        let _ = l.interval_window(2); // x = 1
+    }
+
+    #[test]
+    fn pair_offset_is_window_start_minus_one() {
+        let l = IntervalLayout::new(100, 1, 7).unwrap();
+        assert_eq!(l.pair_offset(1), 0);
+        assert_eq!(l.pair_offset(2), l.interval_rounds());
+    }
+}

@@ -1,0 +1,410 @@
+//! Wire messages of AGG (Algorithm 2) and VERI (Algorithm 3), with
+//! bit-exact canonical encodings.
+//!
+//! Every variant corresponds to a message named in the paper's pseudocode.
+//! The immediate-sender id is provided by the local-broadcast channel
+//! ([`netsim::Received::from`]) and is not re-encoded; ids *inside* messages
+//! (sources, accused nodes, ancestor lists) cost the paper's `log N` bits
+//! each. Flood deduplication keys on the message value itself, so two
+//! witnesses flooding the same determination collapse into one flood.
+
+use netsim::NodeId;
+use wire::{range_bits, BitReader, BitWriter, WireError};
+
+/// Field-width context for encoding: system size and the aggregate-value
+/// width (from the CAAF's [`caaf::Caaf::value_bits`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireCtx {
+    /// System size `N` (ids cost `log N` bits).
+    pub n: usize,
+    /// Bits per aggregate value on the wire.
+    pub value_bits: u32,
+}
+
+impl WireCtx {
+    /// Bits per node id (`log N`).
+    pub fn id_bits(&self) -> u32 {
+        wire::id_bits(self.n)
+    }
+
+    /// Bits per level / depth counter (levels are `< N`).
+    pub fn level_bits(&self) -> u32 {
+        range_bits(self.n as u64)
+    }
+}
+
+/// Width of the message-type tag.
+const TAG_BITS: u32 = 4;
+
+/// Protocol messages of an AGG + VERI pair execution.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AggMsg {
+    /// `⟨tree_construct, level, ancestor⟩` — tree construction wave. The
+    /// ancestor list holds the sender's nearest ancestors, nearest first
+    /// (at most `2t` entries; only `min(level, 2t)` are meaningful).
+    TreeConstruct {
+        /// Sender's level in the tree under construction.
+        level: u32,
+        /// Sender's nearest-ancestor ids, nearest first.
+        ancestors: Vec<NodeId>,
+    },
+    /// `⟨ack, parent⟩` — tells `parent` the sender is its child.
+    Ack {
+        /// The addressed parent.
+        parent: NodeId,
+    },
+    /// `⟨aggregation, psum, max_level⟩` — partial sum moving upstream.
+    Aggregation {
+        /// Partial sum of the sender's subtree (per the CAAF operator).
+        psum: u64,
+        /// Maximum level seen among the sender's local descendants.
+        max_level: u32,
+    },
+    /// `⟨critical_failure, v⟩` — flooded by `v`'s parent on detecting that
+    /// `v` failed between `ack` and its aggregation action.
+    CriticalFailure {
+        /// The critically failed node.
+        node: NodeId,
+    },
+    /// `⟨flooded_psum, source, psum⟩` — a speculatively flooded partial sum.
+    FloodedPsum {
+        /// The node whose partial sum this is.
+        source: NodeId,
+        /// That node's partial sum.
+        psum: u64,
+    },
+    /// `⟨dominated/compulsory‖optional, node⟩` — a witness's label for
+    /// `node`'s flooded partial sum.
+    Determination {
+        /// True = dominated; false = compulsory-or-optional.
+        dominated: bool,
+        /// The labeled source node.
+        node: NodeId,
+    },
+    /// The AGG abort symbol, flooded when a node exhausts its AGG bit
+    /// budget `(11t + 14)(log N + 5)`.
+    AggAbort,
+    /// VERI: the root's `⟨detect_failed_parent⟩` bit.
+    DetectFailedParent,
+    /// VERI: `⟨failed_parent, v, x⟩` — the sender's parent `v` is silent;
+    /// `x = max_level − level + 1` bounds the subtree depth below `v`.
+    FailedParent {
+        /// The accused (failed) parent.
+        parent: NodeId,
+        /// Depth witness used by the root's one-sided rule.
+        x: u32,
+    },
+    /// VERI: the per-node upstream liveness beacon of the failed-child
+    /// detection phase (the paper's "single bit propagating upstream").
+    DetectFailedChild,
+    /// VERI: `⟨failed_child, v⟩` — the sender's registered child `v` was
+    /// silent in its scheduled beacon round.
+    FailedChild {
+        /// The accused (failed) child.
+        child: NodeId,
+    },
+    /// VERI: a witness's determination that `node` is the tail of a long
+    /// failure chain (`tail = true`) or not.
+    LfcVerdict {
+        /// True = `⟨LFC_tail⟩`, false = `⟨not_LFC_tail⟩`.
+        tail: bool,
+        /// The failed parent the verdict is about.
+        node: NodeId,
+    },
+    /// VERI's overflow symbol, flooded when a node exhausts its VERI bit
+    /// budget `(5t + 7)(3·log N + 10)`; forces the root to output `false`.
+    VeriOverflow,
+}
+
+impl AggMsg {
+    fn tag(&self) -> u64 {
+        match self {
+            AggMsg::TreeConstruct { .. } => 0,
+            AggMsg::Ack { .. } => 1,
+            AggMsg::Aggregation { .. } => 2,
+            AggMsg::CriticalFailure { .. } => 3,
+            AggMsg::FloodedPsum { .. } => 4,
+            AggMsg::Determination { .. } => 5,
+            AggMsg::AggAbort => 6,
+            AggMsg::DetectFailedParent => 7,
+            AggMsg::FailedParent { .. } => 8,
+            AggMsg::DetectFailedChild => 9,
+            AggMsg::FailedChild { .. } => 10,
+            AggMsg::LfcVerdict { .. } => 11,
+            AggMsg::VeriOverflow => 12,
+        }
+    }
+
+    /// Exact encoded size in bits under `ctx`.
+    pub fn bit_len(&self, ctx: &WireCtx) -> u64 {
+        let id = u64::from(ctx.id_bits());
+        let lvl = u64::from(ctx.level_bits());
+        let val = u64::from(ctx.value_bits);
+        let tag = u64::from(TAG_BITS);
+        tag + match self {
+            AggMsg::TreeConstruct { ancestors, .. } => lvl + ancestors.len() as u64 * id,
+            AggMsg::Ack { .. } => id,
+            AggMsg::Aggregation { .. } => val + lvl,
+            AggMsg::CriticalFailure { .. } => id,
+            AggMsg::FloodedPsum { .. } => id + val,
+            AggMsg::Determination { .. } => 1 + id,
+            AggMsg::AggAbort => 0,
+            AggMsg::DetectFailedParent => 0,
+            AggMsg::FailedParent { .. } => id + lvl,
+            AggMsg::DetectFailedChild => 0,
+            AggMsg::FailedChild { .. } => id,
+            AggMsg::LfcVerdict { .. } => 1 + id,
+            AggMsg::VeriOverflow => 0,
+        }
+    }
+
+    /// Writes the canonical encoding (exactly [`AggMsg::bit_len`] bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its width under `ctx` (an internal error).
+    pub fn encode(&self, ctx: &WireCtx, w: &mut BitWriter) {
+        let id = ctx.id_bits();
+        let lvl = ctx.level_bits();
+        let val = ctx.value_bits;
+        w.put(self.tag(), TAG_BITS);
+        match self {
+            AggMsg::TreeConstruct { level, ancestors } => {
+                w.put(u64::from(*level), lvl);
+                for a in ancestors {
+                    w.put(u64::from(a.0), id);
+                }
+            }
+            AggMsg::Ack { parent } => {
+                w.put(u64::from(parent.0), id);
+            }
+            AggMsg::Aggregation { psum, max_level } => {
+                w.put(*psum, val);
+                w.put(u64::from(*max_level), lvl);
+            }
+            AggMsg::CriticalFailure { node } => {
+                w.put(u64::from(node.0), id);
+            }
+            AggMsg::FloodedPsum { source, psum } => {
+                w.put(u64::from(source.0), id);
+                w.put(*psum, val);
+            }
+            AggMsg::Determination { dominated, node } => {
+                w.put_bit(*dominated);
+                w.put(u64::from(node.0), id);
+            }
+            AggMsg::FailedParent { parent, x } => {
+                w.put(u64::from(parent.0), id);
+                w.put(u64::from(*x), lvl);
+            }
+            AggMsg::FailedChild { child } => {
+                w.put(u64::from(child.0), id);
+            }
+            AggMsg::LfcVerdict { tail, node } => {
+                w.put_bit(*tail);
+                w.put(u64::from(node.0), id);
+            }
+            AggMsg::AggAbort
+            | AggMsg::DetectFailedParent
+            | AggMsg::DetectFailedChild
+            | AggMsg::VeriOverflow => {}
+        }
+    }
+
+    /// Decodes a message. `tc_ancestors` tells the decoder how many
+    /// ancestor entries a `TreeConstruct` carries (derivable by receivers
+    /// as `min(level, 2t)`; the codec takes it explicitly to stay
+    /// deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input or an unknown tag.
+    pub fn decode(
+        ctx: &WireCtx,
+        r: &mut BitReader<'_>,
+        tc_ancestors: impl Fn(u32) -> usize,
+    ) -> Result<Self, WireError> {
+        let id = ctx.id_bits();
+        let lvl = ctx.level_bits();
+        let val = ctx.value_bits;
+        let tag = r.take(TAG_BITS)?;
+        Ok(match tag {
+            0 => {
+                let level = r.take(lvl)? as u32;
+                let count = tc_ancestors(level);
+                let mut ancestors = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ancestors.push(NodeId(r.take(id)? as u32));
+                }
+                AggMsg::TreeConstruct { level, ancestors }
+            }
+            1 => AggMsg::Ack {
+                parent: NodeId(r.take(id)? as u32),
+            },
+            2 => AggMsg::Aggregation {
+                psum: r.take(val)?,
+                max_level: r.take(lvl)? as u32,
+            },
+            3 => AggMsg::CriticalFailure {
+                node: NodeId(r.take(id)? as u32),
+            },
+            4 => AggMsg::FloodedPsum {
+                source: NodeId(r.take(id)? as u32),
+                psum: r.take(val)?,
+            },
+            5 => AggMsg::Determination {
+                dominated: r.take_bit()?,
+                node: NodeId(r.take(id)? as u32),
+            },
+            6 => AggMsg::AggAbort,
+            7 => AggMsg::DetectFailedParent,
+            8 => AggMsg::FailedParent {
+                parent: NodeId(r.take(id)? as u32),
+                x: r.take(lvl)? as u32,
+            },
+            9 => AggMsg::DetectFailedChild,
+            10 => AggMsg::FailedChild {
+                child: NodeId(r.take(id)? as u32),
+            },
+            11 => AggMsg::LfcVerdict {
+                tail: r.take_bit()?,
+                node: NodeId(r.take(id)? as u32),
+            },
+            12 => AggMsg::VeriOverflow,
+            bad => return Err(WireError::BadWidth(bad as u32 + 100)),
+        })
+    }
+}
+
+/// An [`AggMsg`] paired with its precomputed encoded size, so the engine can
+/// meter bits without threading the width context through
+/// [`netsim::Message`].
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The payload.
+    pub msg: AggMsg,
+    bits: u64,
+}
+
+impl Envelope {
+    /// Seals `msg` under `ctx`, caching its exact encoded size.
+    pub fn new(msg: AggMsg, ctx: &WireCtx) -> Self {
+        let bits = msg.bit_len(ctx);
+        Envelope { msg, bits }
+    }
+}
+
+impl netsim::Message for Envelope {
+    fn bit_len(&self) -> u64 {
+        self.bits
+    }
+}
+
+/// AGG's per-node bit budget: `(11t + 14)(log N + 5)` (Theorem 3).
+pub fn agg_bit_budget(n: usize, t: u32) -> u64 {
+    (11 * u64::from(t) + 14) * (u64::from(wire::id_bits(n)) + 5)
+}
+
+/// VERI's per-node bit budget: `(5t + 7)(3·log N + 10)` (Theorem 6).
+pub fn veri_bit_budget(n: usize, t: u32) -> u64 {
+    (5 * u64::from(t) + 7) * (3 * u64::from(wire::id_bits(n)) + 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> WireCtx {
+        WireCtx { n: 100, value_bits: 12 }
+    }
+
+    fn roundtrip(msg: &AggMsg, anc_count: usize) {
+        let c = ctx();
+        let mut w = BitWriter::new();
+        msg.encode(&c, &mut w);
+        assert_eq!(w.bit_len(), msg.bit_len(&c), "declared vs actual size for {msg:?}");
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        let back = AggMsg::decode(&c, &mut r, |_| anc_count).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(
+            &AggMsg::TreeConstruct {
+                level: 3,
+                ancestors: vec![NodeId(9), NodeId(4), NodeId(0)],
+            },
+            3,
+        );
+        roundtrip(&AggMsg::TreeConstruct { level: 0, ancestors: vec![] }, 0);
+        roundtrip(&AggMsg::Ack { parent: NodeId(7) }, 0);
+        roundtrip(&AggMsg::Aggregation { psum: 4000, max_level: 17 }, 0);
+        roundtrip(&AggMsg::CriticalFailure { node: NodeId(55) }, 0);
+        roundtrip(&AggMsg::FloodedPsum { source: NodeId(99), psum: 1 }, 0);
+        roundtrip(&AggMsg::Determination { dominated: true, node: NodeId(1) }, 0);
+        roundtrip(&AggMsg::Determination { dominated: false, node: NodeId(0) }, 0);
+        roundtrip(&AggMsg::AggAbort, 0);
+        roundtrip(&AggMsg::DetectFailedParent, 0);
+        roundtrip(&AggMsg::FailedParent { parent: NodeId(31), x: 100 }, 0);
+        roundtrip(&AggMsg::DetectFailedChild, 0);
+        roundtrip(&AggMsg::FailedChild { child: NodeId(64) }, 0);
+        roundtrip(&AggMsg::LfcVerdict { tail: true, node: NodeId(2) }, 0);
+        roundtrip(&AggMsg::LfcVerdict { tail: false, node: NodeId(2) }, 0);
+        roundtrip(&AggMsg::VeriOverflow, 0);
+    }
+
+    #[test]
+    fn envelope_caches_exact_size() {
+        let c = ctx();
+        let msg = AggMsg::FloodedPsum { source: NodeId(3), psum: 77 };
+        let env = Envelope::new(msg.clone(), &c);
+        assert_eq!(netsim::Message::bit_len(&env), msg.bit_len(&c));
+    }
+
+    #[test]
+    fn tree_construct_size_scales_with_ancestors() {
+        let c = ctx();
+        let small = AggMsg::TreeConstruct { level: 1, ancestors: vec![NodeId(0)] };
+        let big = AggMsg::TreeConstruct {
+            level: 5,
+            ancestors: (0..5).map(NodeId).collect(),
+        };
+        assert_eq!(
+            big.bit_len(&c) - small.bit_len(&c),
+            4 * u64::from(c.id_bits())
+        );
+    }
+
+    #[test]
+    fn budgets_match_paper_formulas() {
+        // N = 100 -> log N = 7.
+        assert_eq!(agg_bit_budget(100, 0), 14 * 12);
+        assert_eq!(agg_bit_budget(100, 3), (33 + 14) * 12);
+        assert_eq!(veri_bit_budget(100, 0), 7 * 31);
+        assert_eq!(veri_bit_budget(100, 2), 17 * 31);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let msgs = [
+            AggMsg::TreeConstruct { level: 0, ancestors: vec![] },
+            AggMsg::Ack { parent: NodeId(0) },
+            AggMsg::Aggregation { psum: 0, max_level: 0 },
+            AggMsg::CriticalFailure { node: NodeId(0) },
+            AggMsg::FloodedPsum { source: NodeId(0), psum: 0 },
+            AggMsg::Determination { dominated: false, node: NodeId(0) },
+            AggMsg::AggAbort,
+            AggMsg::DetectFailedParent,
+            AggMsg::FailedParent { parent: NodeId(0), x: 0 },
+            AggMsg::DetectFailedChild,
+            AggMsg::FailedChild { child: NodeId(0) },
+            AggMsg::LfcVerdict { tail: false, node: NodeId(0) },
+            AggMsg::VeriOverflow,
+        ];
+        let tags: std::collections::HashSet<u64> = msgs.iter().map(AggMsg::tag).collect();
+        assert_eq!(tags.len(), msgs.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Drivers: run a protocol on an [`Instance`] and evaluate the outcome
+//! against the paper's correctness oracle.
+
+use crate::config::Instance;
+use crate::msg::Envelope;
+use crate::pair::{AggOutcome, PairNode, PairParams, Tweaks};
+use caaf::Caaf;
+use netsim::{Engine, FailureSchedule, Metrics, NodeId, Round};
+
+/// Outcome of one AGG (+ optional VERI) pair execution.
+#[derive(Clone, Debug)]
+pub struct PairReport {
+    /// AGG's outcome at the root.
+    pub outcome: AggOutcome,
+    /// VERI's verdict, if VERI was run.
+    pub verdict: Option<bool>,
+    /// Rounds the execution occupied.
+    pub rounds: Round,
+    /// Bit meters for the execution.
+    pub metrics: Metrics,
+    /// Whether the produced result (if any) is correct per the paper's
+    /// interval definition, evaluated at the end of the execution.
+    pub correct: Option<bool>,
+}
+
+impl PairReport {
+    /// True iff AGG produced a result and VERI (if run) said `true` —
+    /// Algorithm 1's acceptance condition (line 4).
+    pub fn accepted(&self) -> bool {
+        matches!(self.outcome, AggOutcome::Result(_)) && self.verdict.unwrap_or(true)
+    }
+
+    /// The numeric result, if AGG did not abort.
+    pub fn result(&self) -> Option<u64> {
+        match self.outcome {
+            AggOutcome::Result(v) => Some(v),
+            AggOutcome::Aborted => None,
+        }
+    }
+}
+
+/// Runs one AGG (+ VERI) pair over `inst` with stretch constant `c` and
+/// tolerance `t`, using the instance's own failure schedule.
+///
+/// # Examples
+///
+/// ```
+/// use caaf::Sum;
+/// use ftagg::{Instance, run_pair};
+/// use netsim::{topology, FailureSchedule, NodeId};
+///
+/// let inst = Instance::new(
+///     topology::grid(3, 3), NodeId(0), vec![2; 9], FailureSchedule::none(), 2,
+/// )?;
+/// let report = run_pair(&Sum, &inst, 1, 1, true);
+/// assert_eq!(report.result(), Some(18));
+/// assert_eq!(report.verdict, Some(true));
+/// assert!(report.accepted());
+/// # Ok::<(), String>(())
+/// ```
+pub fn run_pair<C: Caaf>(op: &C, inst: &Instance, c: u32, t: u32, run_veri: bool) -> PairReport {
+    run_pair_with_schedule(op, inst, inst.schedule.clone(), c, t, run_veri, 0)
+}
+
+/// Like [`run_pair`] but with an explicit (already shifted) schedule and a
+/// global-round offset used only for correctness evaluation — Algorithm 1
+/// runs pairs inside later intervals of a longer execution.
+pub fn run_pair_with_schedule<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+    global_offset: Round,
+) -> PairReport {
+    run_pair_with_tweaks(op, inst, schedule, c, t, run_veri, global_offset, Tweaks::default())
+}
+
+/// [`run_pair_with_schedule`] with explicit ablation [`Tweaks`] — used by
+/// the design-choice experiments (E12). The default tweaks give the
+/// faithful protocol.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_with_tweaks<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+    global_offset: Round,
+    tweaks: Tweaks,
+) -> PairReport {
+    let params = PairParams {
+        model: inst.model(c),
+        t,
+        run_veri,
+        tweaks,
+    };
+    let op2 = op.clone();
+    let inputs = inst.inputs.clone();
+    let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
+        PairNode::new(params, op2.clone(), v, inputs[v.index()])
+    });
+    let report = eng.run(params.total_rounds());
+    let root = eng.node(inst.root);
+    let outcome = root.agg_outcome();
+    let verdict = run_veri.then(|| root.veri_verdict());
+    let correct = match outcome {
+        AggOutcome::Result(v) => Some(
+            inst.correct_interval(op, global_offset + report.rounds)
+                .contains(v),
+        ),
+        AggOutcome::Aborted => None,
+    };
+    PairReport {
+        outcome,
+        verdict,
+        rounds: report.rounds,
+        metrics: eng.metrics().clone(),
+        correct,
+    }
+}
+
+/// Runs the pair and returns the whole engine for white-box inspection
+/// (tree snapshots, per-node flood state). Used by the fragment/LFC
+/// analyses and tests.
+pub fn run_pair_engine<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+) -> (Engine<Envelope, PairNode<C>>, PairParams) {
+    let params = PairParams {
+        model: inst.model(c),
+        t,
+        run_veri,
+        tweaks: Tweaks::default(),
+    };
+    let op2 = op.clone();
+    let inputs = inst.inputs.clone();
+    let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
+        PairNode::new(params, op2.clone(), v, inputs[v.index()])
+    });
+    eng.run(params.total_rounds());
+    (eng, params)
+}
+
+/// Convenience: the id of every node, used by harness sweeps.
+pub fn all_nodes(inst: &Instance) -> Vec<NodeId> {
+    inst.graph.nodes().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caaf::Sum;
+    use netsim::{topology, FailureSchedule};
+
+    fn inst(n: usize) -> Instance {
+        Instance::new(
+            topology::path(n),
+            NodeId(0),
+            (1..=n as u64).collect(),
+            FailureSchedule::none(),
+            n as u64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_pair_failure_free() {
+        let i = inst(5);
+        let r = run_pair(&Sum, &i, 1, 1, true);
+        assert_eq!(r.result(), Some(15));
+        assert_eq!(r.verdict, Some(true));
+        assert!(r.accepted());
+        assert_eq!(r.correct, Some(true));
+        assert!(r.metrics.max_bits() > 0);
+    }
+
+    #[test]
+    fn run_pair_without_veri() {
+        let i = inst(4);
+        let r = run_pair(&Sum, &i, 1, 0, false);
+        assert_eq!(r.result(), Some(10));
+        assert_eq!(r.verdict, None);
+        assert!(r.accepted());
+    }
+
+    #[test]
+    fn engine_access_exposes_snapshots() {
+        let i = inst(4);
+        let (eng, params) = run_pair_engine(&Sum, &i, i.schedule.clone(), 1, 1, true);
+        assert_eq!(eng.round(), params.total_rounds());
+        let snap = eng.node(NodeId(3)).snapshot();
+        assert_eq!(snap.level, Some(3));
+        assert_eq!(snap.parent, Some(NodeId(2)));
+    }
+}

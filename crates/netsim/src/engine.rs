@@ -1,0 +1,590 @@
+//! The synchronous round engine.
+//!
+//! Executes the paper's timing model exactly: protocols proceed in rounds; in
+//! each round a node first receives every message its neighbors sent in the
+//! previous round, performs local computation, and may locally broadcast.
+//! Crashes follow the schedule in [`crate::adversary`].
+//!
+//! A protocol is a per-node state machine implementing [`NodeLogic`]. The
+//! model says a node sends *a single message* per round; the pseudocode in
+//! the paper sends several logical messages and notes they "should be
+//! combined into one". The engine mirrors that: [`RoundCtx::send`] may be
+//! called several times per round, all payloads travel together, and the
+//! communication-complexity meter charges the sum of their encoded bit
+//! lengths to the sender.
+
+use crate::adversary::{FailureSchedule, Round};
+use crate::graph::{Graph, NodeId};
+use crate::metrics::Metrics;
+use crate::trace::{Event, Trace};
+use std::fmt;
+
+/// A protocol message that knows its encoded size in bits.
+///
+/// The paper's communication complexity counts bits, so the engine meters
+/// `bit_len` rather than message counts. Implementations should return the
+/// size of the canonical wire encoding (see the `wire` crate).
+pub trait Message: Clone + fmt::Debug {
+    /// Encoded size of this message in bits.
+    fn bit_len(&self) -> u64;
+}
+
+/// A message delivered to a node, tagged with its immediate sender.
+///
+/// Matching the paper: "the sender of a message always attaches its id",
+/// which is how a node distinguishes a message *from its parent* from other
+/// traffic.
+#[derive(Clone, Debug)]
+pub struct Received<M> {
+    /// The neighbor that broadcast the message in the previous round.
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Per-round execution context handed to [`NodeLogic::on_round`].
+pub struct RoundCtx<'a, M> {
+    me: NodeId,
+    n: usize,
+    round: Round,
+    inbox: &'a [Received<M>],
+    outbox: &'a mut Vec<M>,
+    stop: &'a mut bool,
+}
+
+impl<'a, M> RoundCtx<'a, M> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes `N` in the system (known to the protocol per the
+    /// model).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current (1-based) global round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Messages delivered this round (sent by live neighbors last round).
+    pub fn inbox(&self) -> &[Received<M>] {
+        self.inbox
+    }
+
+    /// Queues `msg` for local broadcast at the end of this round; neighbors
+    /// receive it next round. Multiple sends in one round are combined into
+    /// the round's single physical broadcast; each payload's `bit_len` is
+    /// charged to this node.
+    pub fn send(&mut self, msg: M) {
+        self.outbox.push(msg);
+    }
+
+    /// Requests that the whole execution stop after this round. Used by the
+    /// root when the protocol has produced its output (the paper's
+    /// "terminates").
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A per-node protocol state machine.
+pub trait NodeLogic<M: Message> {
+    /// Called once per round while the node is alive, in node-id order.
+    ///
+    /// The paper's activation rule — a non-root node joins upon its first
+    /// received message — is implemented by the logic itself: simply do
+    /// nothing while the inbox is empty and the node is not yet activated.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, M>);
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// A node called [`RoundCtx::stop`] (normally the root upon output).
+    Requested,
+    /// The round limit passed to [`Engine::run`] was reached.
+    RoundLimit,
+}
+
+/// Summary of a finished execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Rounds actually executed.
+    pub rounds: Round,
+    /// Why the run ended.
+    pub cause: StopCause,
+}
+
+/// The synchronous network simulator.
+///
+/// # Examples
+///
+/// A one-shot "root broadcasts, everyone re-floods once" protocol:
+///
+/// ```
+/// use netsim::{Engine, Message, NodeLogic, RoundCtx, FailureSchedule, NodeId, topology};
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping;
+/// impl Message for Ping {
+///     fn bit_len(&self) -> u64 { 1 }
+/// }
+///
+/// struct Logic { root: bool, forwarded: bool }
+/// impl NodeLogic<Ping> for Logic {
+///     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Ping>) {
+///         if self.root && ctx.round() == 1 {
+///             ctx.send(Ping);
+///         } else if !self.forwarded && !ctx.inbox().is_empty() {
+///             self.forwarded = true;
+///             ctx.send(Ping);
+///         }
+///     }
+/// }
+///
+/// let g = topology::path(4);
+/// let mut eng = Engine::new(g, FailureSchedule::none(), |v| Logic {
+///     root: v == NodeId(0),
+///     forwarded: v == NodeId(0), // the source never re-forwards its own flood
+/// });
+/// let report = eng.run(10);
+/// assert_eq!(report.rounds, 10);
+/// // Every node broadcast exactly one 1-bit message.
+/// assert_eq!(eng.metrics().total_bits(), 4);
+/// assert_eq!(eng.metrics().max_bits(), 1);
+/// ```
+pub struct Engine<M: Message, L: NodeLogic<M>> {
+    graph: Graph,
+    schedule: FailureSchedule,
+    nodes: Vec<L>,
+    /// Inbox for the *next* round to execute, indexed by node.
+    inboxes: Vec<Vec<Received<M>>>,
+    round: Round,
+    metrics: Metrics,
+    stop_requested: bool,
+    trace: Option<Trace>,
+    crash_logged: Vec<bool>,
+}
+
+impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
+    /// Creates an engine over `graph` with the given oblivious `schedule`,
+    /// instantiating each node's logic with `factory`.
+    pub fn new(
+        graph: Graph,
+        schedule: FailureSchedule,
+        mut factory: impl FnMut(NodeId) -> L,
+    ) -> Self {
+        let n = graph.len();
+        let nodes = (0..n as u32).map(|i| factory(NodeId(i))).collect();
+        Engine {
+            metrics: Metrics::new(n),
+            inboxes: vec![Vec::new(); n],
+            graph,
+            schedule,
+            nodes,
+            round: 0,
+            stop_requested: false,
+            trace: None,
+            crash_logged: vec![false; n],
+        }
+    }
+
+    /// Turns on event tracing (see [`Trace`]); call before the first step.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// The trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The failure schedule.
+    pub fn schedule(&self) -> &FailureSchedule {
+        &self.schedule
+    }
+
+    /// Communication metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The last executed round (0 before the first step).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Immutable access to a node's logic (e.g. to read the root's output
+    /// after the run).
+    pub fn node(&self, v: NodeId) -> &L {
+        &self.nodes[v.index()]
+    }
+
+    /// Mutable access to a node's logic (e.g. for the harness to inject the
+    /// next sub-protocol configuration between intervals).
+    pub fn node_mut(&mut self, v: NodeId) -> &mut L {
+        &mut self.nodes[v.index()]
+    }
+
+    /// Executes one round. Returns `false` once a stop has been requested
+    /// (further calls do nothing).
+    pub fn step(&mut self) -> bool {
+        if self.stop_requested {
+            return false;
+        }
+        let r = self.round + 1;
+        let n = self.graph.len();
+        // Take this round's inboxes, leaving empty ones to refill.
+        let inboxes = std::mem::take(&mut self.inboxes);
+        self.inboxes = vec![Vec::new(); n];
+        let mut stop = false;
+        #[allow(clippy::needless_range_loop)] // inboxes is re-borrowed per index
+        for i in 0..n {
+            let me = NodeId(i as u32);
+            if self.schedule.is_dead(me, r) {
+                if !self.crash_logged[i] {
+                    self.crash_logged[i] = true;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(Event::Crash { round: r, node: me });
+                    }
+                }
+                continue;
+            }
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = RoundCtx {
+                    me,
+                    n,
+                    round: r,
+                    inbox: &inboxes[i],
+                    outbox: &mut outbox,
+                    stop: &mut stop,
+                };
+                self.nodes[i].on_round(&mut ctx);
+            }
+            if outbox.is_empty() {
+                continue;
+            }
+            let bits: u64 = outbox.iter().map(Message::bit_len).sum();
+            self.metrics.record_send(me, r, bits, outbox.len() as u64);
+            if let Some(t) = self.trace.as_mut() {
+                t.push(Event::Send { round: r, node: me, bits, logical: outbox.len() as u64 });
+            }
+            // Deliveries for round r + 1. A sender crashing exactly at
+            // r + 1 may have its final broadcast restricted to a subset.
+            let restriction: Option<&Vec<NodeId>> = self
+                .schedule
+                .event(me)
+                .filter(|e| e.round == r + 1)
+                .and_then(|e| e.partial.as_ref());
+            for &w in self.graph.neighbors(me) {
+                if self.schedule.is_dead(w, r + 1) {
+                    continue;
+                }
+                if let Some(rx) = restriction {
+                    if !rx.contains(&w) {
+                        continue;
+                    }
+                }
+                for msg in &outbox {
+                    self.inboxes[w.index()].push(Received {
+                        from: me,
+                        msg: msg.clone(),
+                    });
+                }
+            }
+        }
+        self.round = r;
+        if stop {
+            self.stop_requested = true;
+        }
+        true
+    }
+
+    /// Runs until a stop is requested or `max_rounds` rounds have executed.
+    pub fn run(&mut self, max_rounds: Round) -> RunReport {
+        while self.round < max_rounds {
+            self.step();
+            if self.stop_requested {
+                return RunReport {
+                    rounds: self.round,
+                    cause: StopCause::Requested,
+                };
+            }
+        }
+        RunReport {
+            rounds: self.round,
+            cause: StopCause::RoundLimit,
+        }
+    }
+
+    /// Nodes that are alive at round `round` *and* connected to `root` in
+    /// the residual graph — the support of the paper's surviving input set
+    /// `s1` (nodes partitioned from the root count as failed).
+    pub fn alive_connected(&self, root: NodeId, round: Round) -> Vec<NodeId> {
+        let dead = self.schedule.dead_by(round);
+        self.graph.reachable_from(root, &dead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[derive(Clone, Debug)]
+    struct Blob(u64);
+    impl Message for Blob {
+        fn bit_len(&self) -> u64 {
+            self.0
+        }
+    }
+
+    /// Broadcasts `sizes[r-1]` bits in round r until exhausted; remembers
+    /// everything received.
+    struct Chatter {
+        sizes: Vec<u64>,
+        heard: Vec<(Round, NodeId, u64)>,
+        stop_at: Option<Round>,
+    }
+
+    impl NodeLogic<Blob> for Chatter {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Blob>) {
+            for r in ctx.inbox() {
+                self.heard.push((ctx.round(), r.from, r.msg.0));
+            }
+            let idx = (ctx.round() - 1) as usize;
+            if let Some(&s) = self.sizes.get(idx) {
+                if s > 0 {
+                    ctx.send(Blob(s));
+                }
+            }
+            if self.stop_at == Some(ctx.round()) {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn quiet() -> Chatter {
+        Chatter { sizes: vec![], heard: vec![], stop_at: None }
+    }
+
+    #[test]
+    fn delivery_is_next_round_neighbors_only() {
+        let g = topology::path(3);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |v| {
+            if v == NodeId(0) {
+                Chatter { sizes: vec![7], heard: vec![], stop_at: None }
+            } else {
+                quiet()
+            }
+        });
+        eng.run(3);
+        // Node 1 (neighbor) hears it in round 2; node 2 never does.
+        assert_eq!(eng.node(NodeId(1)).heard, vec![(2, NodeId(0), 7)]);
+        assert!(eng.node(NodeId(2)).heard.is_empty());
+    }
+
+    #[test]
+    fn bits_metered_per_logical_message() {
+        let g = topology::path(2);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |v| {
+            if v == NodeId(0) {
+                Chatter { sizes: vec![3, 5], heard: vec![], stop_at: None }
+            } else {
+                quiet()
+            }
+        });
+        eng.run(4);
+        assert_eq!(eng.metrics().bits_of(NodeId(0)), 8);
+        assert_eq!(eng.metrics().bits_of(NodeId(1)), 0);
+        assert_eq!(eng.metrics().max_bits(), 8);
+    }
+
+    #[test]
+    fn dead_nodes_do_not_execute_or_receive() {
+        let g = topology::path(3);
+        let mut schedule = FailureSchedule::none();
+        schedule.crash(NodeId(1), 2); // alive only in round 1
+        let mut eng = Engine::new(g, schedule, |_v| Chatter {
+            sizes: vec![1, 1, 1],
+            heard: vec![],
+            stop_at: None,
+        });
+        let _ = v_run(&mut eng, 4);
+        // Node 1 sent only in round 1.
+        assert_eq!(eng.metrics().bits_of(NodeId(1)), 1);
+        // Node 0 heard node 1's round-1 send in round 2 and nothing after.
+        assert_eq!(eng.node(NodeId(0)).heard, vec![(2, NodeId(1), 1)]);
+        // Node 1 heard nothing: it died before any delivery (round 2).
+        assert!(eng.node(NodeId(1)).heard.is_empty());
+    }
+
+    fn v_run(eng: &mut Engine<Blob, Chatter>, r: Round) -> RunReport {
+        eng.run(r)
+    }
+
+    #[test]
+    fn final_broadcast_delivered_on_clean_crash() {
+        // Node 1 crashes at round 2: its round-1 broadcast still arrives.
+        let g = topology::path(3);
+        let mut schedule = FailureSchedule::none();
+        schedule.crash(NodeId(1), 2);
+        let mut eng = Engine::new(g, schedule, |_| Chatter {
+            sizes: vec![9],
+            heard: vec![],
+            stop_at: None,
+        });
+        eng.run(3);
+        assert_eq!(eng.node(NodeId(0)).heard, vec![(2, NodeId(1), 9)]);
+        assert_eq!(eng.node(NodeId(2)).heard, vec![(2, NodeId(1), 9)]);
+    }
+
+    #[test]
+    fn partial_crash_restricts_final_broadcast() {
+        let g = topology::path(3);
+        let mut schedule = FailureSchedule::none();
+        schedule.crash_partial(NodeId(1), 2, vec![NodeId(2)]);
+        let mut eng = Engine::new(g, schedule, |_| Chatter {
+            sizes: vec![9],
+            heard: vec![],
+            stop_at: None,
+        });
+        eng.run(3);
+        // Node 0 misses the final broadcast; node 2 gets it.
+        assert!(eng.node(NodeId(0)).heard.is_empty());
+        assert_eq!(eng.node(NodeId(2)).heard, vec![(2, NodeId(1), 9)]);
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let g = topology::path(2);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |v| Chatter {
+            sizes: vec![1; 100],
+            heard: vec![],
+            stop_at: if v == NodeId(0) { Some(5) } else { None },
+        });
+        let report = eng.run(100);
+        assert_eq!(report.rounds, 5);
+        assert_eq!(report.cause, StopCause::Requested);
+        // Subsequent steps are no-ops.
+        assert!(!eng.step());
+        assert_eq!(eng.round(), 5);
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        let g = topology::path(2);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |_| quiet());
+        let report = eng.run(7);
+        assert_eq!(report.rounds, 7);
+        assert_eq!(report.cause, StopCause::RoundLimit);
+    }
+
+    #[test]
+    fn alive_connected_accounts_for_partition() {
+        let g = topology::path(4);
+        let mut schedule = FailureSchedule::none();
+        schedule.crash(NodeId(1), 3);
+        let eng = Engine::new(g, schedule, |_| quiet());
+        assert_eq!(
+            eng.alive_connected(NodeId(0), 2),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        // After the crash, 2 and 3 are partitioned from the root.
+        assert_eq!(eng.alive_connected(NodeId(0), 3), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn multiple_sends_combined_one_round() {
+        #[derive(Clone, Debug)]
+        struct Two;
+        impl Message for Two {
+            fn bit_len(&self) -> u64 {
+                2
+            }
+        }
+        struct Multi;
+        impl NodeLogic<Two> for Multi {
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Two>) {
+                if ctx.round() == 1 && ctx.me() == NodeId(0) {
+                    ctx.send(Two);
+                    ctx.send(Two);
+                    ctx.send(Two);
+                }
+            }
+        }
+        let g = topology::path(2);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |_| Multi);
+        eng.run(2);
+        assert_eq!(eng.metrics().bits_of(NodeId(0)), 6);
+        assert_eq!(eng.metrics().sends_of(NodeId(0)), 3);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::topology;
+    use crate::trace::Event;
+
+    #[derive(Clone, Debug)]
+    struct One;
+    impl Message for One {
+        fn bit_len(&self) -> u64 {
+            1
+        }
+    }
+    struct Talk;
+    impl NodeLogic<One> for Talk {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, One>) {
+            if ctx.round() <= 2 {
+                ctx.send(One);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_sends_and_crashes() {
+        let g = topology::path(3);
+        let mut s = FailureSchedule::none();
+        s.crash(NodeId(2), 2);
+        let mut eng = Engine::new(g, s, |_| Talk);
+        eng.enable_trace();
+        eng.run(4);
+        let t = eng.trace().expect("tracing enabled");
+        // Node 2 sent once (round 1), then crashed at round 2.
+        assert_eq!(t.send_rounds(NodeId(2)), vec![1]);
+        assert!(t
+            .events()
+            .contains(&Event::Crash { round: 2, node: NodeId(2) }));
+        // Crash logged exactly once.
+        assert_eq!(
+            t.events()
+                .iter()
+                .filter(|e| matches!(e, Event::Crash { .. }))
+                .count(),
+            1
+        );
+        // Nodes 0 and 1 sent in rounds 1 and 2.
+        assert_eq!(t.send_rounds(NodeId(0)), vec![1, 2]);
+        assert_eq!(t.last_round(), Some(2));
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let g = topology::path(2);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |_| Talk);
+        eng.run(3);
+        assert!(eng.trace().is_none());
+    }
+}

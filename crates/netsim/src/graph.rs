@@ -1,0 +1,496 @@
+//! Undirected graph topology: the static communication structure `G`.
+//!
+//! The paper models the system as a connected undirected graph over `N`
+//! nodes where every send is a local broadcast to all graph neighbors.
+//! [`Graph`] is an immutable adjacency-list representation with the analysis
+//! helpers the protocols and experiments need: BFS levels, diameter,
+//! connectivity under node removal, and edge enumeration.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`], a dense index in `0..n`.
+///
+/// The paper gives every node a unique `log N`-bit id; we use the dense index
+/// itself as that id (the root is conventionally node 0 but any index works).
+///
+/// # Examples
+///
+/// ```
+/// use netsim::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the dense index of this node as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An undirected edge, stored with endpoints in ascending order.
+///
+/// The paper's failure metric `f` counts *edges incident to failed nodes*;
+/// [`Edge`] is the unit of that accounting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge between `a` and `b`, normalizing endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops are not part of the model).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loop edges are not allowed");
+        if a <= b {
+            Edge { a, b }
+        } else {
+            Edge { a: b, b: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> NodeId {
+        self.a
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> NodeId {
+        self.b
+    }
+
+    /// Returns true iff `v` is one of the endpoints.
+    pub fn touches(self, v: NodeId) -> bool {
+        self.a == v || self.b == v
+    }
+}
+
+/// Error returned by [`Graph::new`] when the edge list is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node index `>= n`.
+    EdgeOutOfRange {
+        /// The offending edge endpoints.
+        edge: (u32, u32),
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// The same edge appeared twice in the input.
+    DuplicateEdge {
+        /// The duplicated edge endpoints (normalized).
+        edge: (u32, u32),
+    },
+    /// A self-loop `(v, v)` appeared in the input.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u32,
+    },
+    /// The graph must have at least one node.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EdgeOutOfRange { edge, n } => {
+                write!(f, "edge ({}, {}) out of range for {} nodes", edge.0, edge.1, n)
+            }
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge ({}, {})", edge.0, edge.1)
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Immutable undirected graph with adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{Graph, NodeId};
+/// // A path 0 - 1 - 2.
+/// let g = Graph::new(3, &[(0, 1), (1, 2)])?;
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.diameter(), 2);
+/// assert!(g.is_connected());
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// # Ok::<(), netsim::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Builds a graph over `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `n == 0`, any endpoint is out of range, an
+    /// edge is duplicated, or a self-loop is present.
+    pub fn new(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut adj = vec![Vec::new(); n];
+        let mut list = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            if a as usize >= n || b as usize >= n {
+                return Err(GraphError::EdgeOutOfRange { edge: (a, b), n });
+            }
+            let e = Edge::new(NodeId(a), NodeId(b));
+            list.push(e);
+        }
+        list.sort_unstable();
+        for w in list.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge {
+                    edge: (w[0].lo().0, w[0].hi().0),
+                });
+            }
+        }
+        for &e in &list {
+            adj[e.lo().index()].push(e.hi());
+            adj[e.hi().index()].push(e.lo());
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        Ok(Graph { adj, edges: list })
+    }
+
+    /// Number of nodes `N`.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns true iff the graph has no nodes (never true for a constructed
+    /// graph; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges in normalized ascending order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbors of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Returns true iff `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// BFS distances from `src`; `None` for unreachable nodes.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<Option<u32>> {
+        self.bfs_distances_avoiding(src, &[])
+    }
+
+    /// BFS distances from `src` in the graph with `removed` nodes deleted.
+    ///
+    /// Used to analyze `H` — the live residual graph after failures — whose
+    /// diameter the model assumes stays within `c * d`.
+    pub fn bfs_distances_avoiding(&self, src: NodeId, removed: &[NodeId]) -> Vec<Option<u32>> {
+        let n = self.len();
+        let mut dead = vec![false; n];
+        for &r in removed {
+            dead[r.index()] = true;
+        }
+        let mut dist = vec![None; n];
+        if dead[src.index()] {
+            return dist;
+        }
+        let mut q = VecDeque::new();
+        dist[src.index()] = Some(0);
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for &w in self.neighbors(u) {
+                if !dead[w.index()] && dist[w.index()].is_none() {
+                    dist[w.index()] = Some(du + 1);
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Eccentricity of `src` (max BFS distance to any reachable node).
+    pub fn eccentricity(&self, src: NodeId) -> u32 {
+        self.bfs_distances(src)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Diameter `d` of the graph: the maximum eccentricity over all nodes.
+    ///
+    /// The protocols take `d` as a known model parameter; the experiment
+    /// harness computes it from the topology with this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (diameter is undefined there).
+    pub fn diameter(&self) -> u32 {
+        assert!(self.is_connected(), "diameter undefined on disconnected graph");
+        self.nodes().map(|v| self.eccentricity(v)).max().unwrap_or(0)
+    }
+
+    /// Diameter of the residual graph with `removed` nodes deleted,
+    /// restricted to the component containing `root`.
+    ///
+    /// Returns `None` if `root` itself was removed. This is the quantity the
+    /// model bounds by `c * d`.
+    pub fn residual_diameter(&self, root: NodeId, removed: &[NodeId]) -> Option<u32> {
+        let from_root = self.bfs_distances_avoiding(root, removed);
+        from_root[root.index()]?;
+        let component: Vec<NodeId> = self
+            .nodes()
+            .filter(|v| from_root[v.index()].is_some())
+            .collect();
+        let mut diam = 0;
+        for &v in &component {
+            let dv = self.bfs_distances_avoiding(v, removed);
+            for &w in &component {
+                if let Some(x) = dv[w.index()] {
+                    diam = diam.max(x);
+                }
+            }
+        }
+        Some(diam)
+    }
+
+    /// Returns true iff the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.bfs_distances(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    /// Nodes reachable from `root` after deleting `removed` nodes, in
+    /// ascending order. The paper treats nodes disconnected from the root as
+    /// failed; this computes the surviving set `s1`'s node support.
+    pub fn reachable_from(&self, root: NodeId, removed: &[NodeId]) -> Vec<NodeId> {
+        self.bfs_distances_avoiding(root, removed)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|_| NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Renders the graph in Graphviz DOT format, optionally highlighting
+    /// a set of nodes (e.g. crashed ones are drawn filled red).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netsim::{topology, NodeId};
+    /// let g = topology::path(3);
+    /// let dot = g.to_dot("p3", &[NodeId(1)]);
+    /// assert!(dot.contains("graph p3 {"));
+    /// assert!(dot.contains("1 [style=filled, fillcolor=red]"));
+    /// assert!(dot.contains("0 -- 1;"));
+    /// ```
+    pub fn to_dot(&self, name: &str, highlight: &[NodeId]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {name} {{");
+        for &h in highlight {
+            let _ = writeln!(out, "  {} [style=filled, fillcolor=red];", h.0);
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  {} -- {};", e.lo().0, e.hi().0);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Edges incident to any node in `nodes` (the paper's failed-edge count
+    /// for a given failed-node set).
+    pub fn incident_edge_count(&self, nodes: &[NodeId]) -> usize {
+        let mut dead = vec![false; self.len()];
+        for &v in nodes {
+            dead[v.index()] = true;
+        }
+        self.edges
+            .iter()
+            .filter(|e| dead[e.lo().index()] || dead[e.hi().index()])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::new(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn edge_normalizes_order() {
+        let e = Edge::new(NodeId(5), NodeId(2));
+        assert_eq!(e.lo(), NodeId(2));
+        assert_eq!(e.hi(), NodeId(5));
+        assert!(e.touches(NodeId(5)));
+        assert!(!e.touches(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn new_rejects_bad_inputs() {
+        assert_eq!(Graph::new(0, &[]), Err(GraphError::Empty));
+        assert!(matches!(
+            Graph::new(2, &[(0, 2)]),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Graph::new(2, &[(0, 0)]),
+            Err(GraphError::SelfLoop { node: 0 })
+        ));
+        assert!(matches!(
+            Graph::new(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = Graph::new(4, &[(2, 0), (3, 0), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn path_diameter_and_connectivity() {
+        let g = path(5);
+        assert_eq!(g.diameter(), 4);
+        assert!(g.is_connected());
+        assert_eq!(g.eccentricity(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        let g = Graph::new(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        let d = g.bfs_distances(NodeId(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn bfs_avoiding_cuts_paths() {
+        let g = path(5);
+        let d = g.bfs_distances_avoiding(NodeId(0), &[NodeId(2)]);
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], None);
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn reachable_from_excludes_cut_side() {
+        let g = path(5);
+        let r = g.reachable_from(NodeId(0), &[NodeId(2)]);
+        assert_eq!(r, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn residual_diameter_on_cycle() {
+        // 6-cycle: removing one node turns it into a 5-path seen from root.
+        let g = Graph::new(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(g.diameter(), 3);
+        assert_eq!(g.residual_diameter(NodeId(0), &[NodeId(3)]), Some(4));
+        assert_eq!(g.residual_diameter(NodeId(0), &[NodeId(0)]), None);
+    }
+
+    #[test]
+    fn incident_edge_count_matches_definition() {
+        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.incident_edge_count(&[]), 0);
+        assert_eq!(g.incident_edge_count(&[NodeId(1)]), 2);
+        assert_eq!(g.incident_edge_count(&[NodeId(1), NodeId(2)]), 3);
+        assert_eq!(g.incident_edge_count(&[NodeId(0), NodeId(2)]), 4);
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let g = Graph::new(3, &[(0, 1), (1, 2)]).unwrap();
+        let dot = g.to_dot("t", &[NodeId(2)]);
+        assert!(dot.starts_with("graph t {"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches(" -- ").count(), 2);
+        assert_eq!(dot.matches("fillcolor=red").count(), 1);
+    }
+
+    #[test]
+    fn nodes_iterates_all() {
+        let g = path(3);
+        let v: Vec<_> = g.nodes().collect();
+        assert_eq!(v, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Communication metering.
+//!
+//! The paper defines a node's communication complexity as the total number
+//! of bits it locally broadcasts over the execution, and a protocol's CC as
+//! the maximum over nodes (the bottleneck node). [`Metrics`] records exactly
+//! that, plus per-round totals so experiments can attribute cost to
+//! Algorithm 1's intervals.
+
+use crate::adversary::Round;
+use crate::graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Per-node and per-round communication counters for one execution.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    bits: Vec<u64>,
+    sends: Vec<u64>,
+    per_round_bits: BTreeMap<Round, u64>,
+    last_send_round: Option<Round>,
+}
+
+impl Metrics {
+    /// Fresh counters for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            bits: vec![0; n],
+            sends: vec![0; n],
+            per_round_bits: BTreeMap::new(),
+            last_send_round: None,
+        }
+    }
+
+    /// Records a broadcast by `node` in `round` of `bits` total bits across
+    /// `logical` combined messages.
+    pub fn record_send(&mut self, node: NodeId, round: Round, bits: u64, logical: u64) {
+        self.bits[node.index()] += bits;
+        self.sends[node.index()] += logical;
+        *self.per_round_bits.entry(round).or_insert(0) += bits;
+        self.last_send_round = Some(self.last_send_round.map_or(round, |r| r.max(round)));
+    }
+
+    /// Total bits broadcast by `node`.
+    pub fn bits_of(&self, node: NodeId) -> u64 {
+        self.bits[node.index()]
+    }
+
+    /// Number of logical messages broadcast by `node`.
+    pub fn sends_of(&self, node: NodeId) -> u64 {
+        self.sends[node.index()]
+    }
+
+    /// The paper's CC for this execution: maximum bits over all nodes.
+    pub fn max_bits(&self) -> u64 {
+        self.bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The node achieving [`Metrics::max_bits`] (lowest id on ties).
+    pub fn bottleneck(&self) -> Option<NodeId> {
+        let max = self.max_bits();
+        self.bits
+            .iter()
+            .position(|&b| b == max)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Sum of bits over all nodes (useful for average-node comparisons).
+    pub fn total_bits(&self) -> u64 {
+        self.bits.iter().sum()
+    }
+
+    /// Mean bits per node.
+    pub fn mean_bits(&self) -> f64 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            self.total_bits() as f64 / self.bits.len() as f64
+        }
+    }
+
+    /// Bits broadcast system-wide during the inclusive round window.
+    pub fn bits_in_rounds(&self, window: std::ops::RangeInclusive<Round>) -> u64 {
+        self.per_round_bits.range(window).map(|(_, b)| b).sum()
+    }
+
+    /// Last round in which any node broadcast, if any traffic occurred.
+    pub fn last_send_round(&self) -> Option<Round> {
+        self.last_send_round
+    }
+
+    /// Per-node bit totals, indexed by node id.
+    pub fn bits_per_node(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Merges another execution's counters into this one, shifting the
+    /// other execution's (1-based) round numbers by `offset` global rounds
+    /// — so a sub-protocol that ran in its own engine starting at global
+    /// round `offset + 1` lands in the right window of the merged
+    /// per-round ledger. Algorithm 1 uses this to attribute bits to its
+    /// intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn absorb_shifted(&mut self, other: &Metrics, offset: Round) {
+        assert_eq!(self.bits.len(), other.bits.len(), "node count mismatch");
+        for i in 0..self.bits.len() {
+            self.bits[i] += other.bits[i];
+            self.sends[i] += other.sends[i];
+        }
+        for (&r, &b) in &other.per_round_bits {
+            *self.per_round_bits.entry(r + offset).or_insert(0) += b;
+        }
+        let shifted_last = other.last_send_round.map(|r| r + offset);
+        self.last_send_round = match (self.last_send_round, shifted_last) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Merges another execution's counters into this one (used by the
+    /// repetition-based protocols to account several runs as one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn absorb(&mut self, other: &Metrics) {
+        assert_eq!(self.bits.len(), other.bits.len(), "node count mismatch");
+        for i in 0..self.bits.len() {
+            self.bits[i] += other.bits[i];
+            self.sends[i] += other.sends[i];
+        }
+        for (&r, &b) in &other.per_round_bits {
+            *self.per_round_bits.entry(r).or_insert(0) += b;
+        }
+        self.last_send_round = match (self.last_send_round, other.last_send_round) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut m = Metrics::new(3);
+        m.record_send(NodeId(0), 1, 10, 2);
+        m.record_send(NodeId(1), 1, 4, 1);
+        m.record_send(NodeId(0), 3, 6, 1);
+        assert_eq!(m.bits_of(NodeId(0)), 16);
+        assert_eq!(m.sends_of(NodeId(0)), 3);
+        assert_eq!(m.max_bits(), 16);
+        assert_eq!(m.bottleneck(), Some(NodeId(0)));
+        assert_eq!(m.total_bits(), 20);
+        assert!((m.mean_bits() - 20.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.bits_in_rounds(1..=1), 14);
+        assert_eq!(m.bits_in_rounds(2..=3), 6);
+        assert_eq!(m.last_send_round(), Some(3));
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(2);
+        assert_eq!(m.max_bits(), 0);
+        assert_eq!(m.total_bits(), 0);
+        assert_eq!(m.last_send_round(), None);
+        assert_eq!(m.bottleneck(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = Metrics::new(2);
+        a.record_send(NodeId(0), 1, 5, 1);
+        let mut b = Metrics::new(2);
+        b.record_send(NodeId(1), 4, 7, 2);
+        a.absorb(&b);
+        assert_eq!(a.bits_of(NodeId(0)), 5);
+        assert_eq!(a.bits_of(NodeId(1)), 7);
+        assert_eq!(a.sends_of(NodeId(1)), 2);
+        assert_eq!(a.last_send_round(), Some(4));
+        assert_eq!(a.bits_in_rounds(1..=4), 12);
+    }
+
+    #[test]
+    fn absorb_shifted_moves_rounds() {
+        let mut a = Metrics::new(2);
+        a.record_send(NodeId(0), 1, 5, 1);
+        let mut b = Metrics::new(2);
+        b.record_send(NodeId(1), 3, 7, 1);
+        a.absorb_shifted(&b, 100);
+        assert_eq!(a.bits_in_rounds(1..=10), 5);
+        assert_eq!(a.bits_in_rounds(101..=110), 7);
+        assert_eq!(a.last_send_round(), Some(103));
+        assert_eq!(a.total_bits(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn absorb_rejects_mismatch() {
+        let mut a = Metrics::new(2);
+        let b = Metrics::new(3);
+        a.absorb(&b);
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution tracing: an optional per-round event log.
+//!
+//! Protocol debugging and the experiment harness sometimes need to *see*
+//! an execution — who broadcast in which round, what was delivered where,
+//! when crashes took effect. [`Trace`] is a compact, queryable event log
+//! the engine fills when tracing is enabled (it is off by default; the
+//! hot path pays one branch).
+
+use crate::adversary::Round;
+use crate::graph::NodeId;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A node locally broadcast `logical` combined messages of `bits`
+    /// total bits in `round`.
+    Send {
+        /// The round of the broadcast.
+        round: Round,
+        /// The broadcasting node.
+        node: NodeId,
+        /// Total encoded bits.
+        bits: u64,
+        /// Number of logical messages combined.
+        logical: u64,
+    },
+    /// A node became dead at the start of `round` (first round it did not
+    /// execute).
+    Crash {
+        /// The first dead round.
+        round: Round,
+        /// The crashed node.
+        node: NodeId,
+    },
+}
+
+impl Event {
+    /// The round the event belongs to.
+    pub fn round(&self) -> Round {
+        match self {
+            Event::Send { round, .. } | Event::Crash { round, .. } => *round,
+        }
+    }
+
+    /// The node the event concerns.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Event::Send { node, .. } | Event::Crash { node, .. } => *node,
+        }
+    }
+}
+
+/// An append-only event log ordered by round.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event (engine-internal).
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// All events in append (= round) order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of one round.
+    pub fn in_round(&self, round: Round) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+
+    /// Events concerning one node.
+    pub fn of_node(&self, node: NodeId) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.node() == node)
+    }
+
+    /// Rounds in which `node` broadcast anything, ascending.
+    pub fn send_rounds(&self, node: NodeId) -> Vec<Round> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Send { round, node: n, .. } if *n == node => Some(*round),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last round with any event, if non-empty.
+    pub fn last_round(&self) -> Option<Round> {
+        self.events.iter().map(Event::round).max()
+    }
+
+    /// Renders a human-readable per-round summary (for harness output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut cur = 0;
+        for e in &self.events {
+            if e.round() != cur {
+                cur = e.round();
+                let _ = writeln!(out, "-- round {cur} --");
+            }
+            match e {
+                Event::Send { node, bits, logical, .. } => {
+                    let _ = writeln!(out, "  {node:?} sends {logical} msg(s), {bits} bits");
+                }
+                Event::Crash { node, .. } => {
+                    let _ = writeln!(out, "  {node:?} CRASHED");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(Event::Send { round: 1, node: NodeId(0), bits: 8, logical: 1 });
+        t.push(Event::Crash { round: 2, node: NodeId(3) });
+        t.push(Event::Send { round: 2, node: NodeId(1), bits: 4, logical: 2 });
+        t.push(Event::Send { round: 5, node: NodeId(0), bits: 2, logical: 1 });
+        t
+    }
+
+    #[test]
+    fn query_by_round_and_node() {
+        let t = sample();
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.in_round(2).count(), 2);
+        assert_eq!(t.of_node(NodeId(0)).count(), 2);
+        assert_eq!(t.send_rounds(NodeId(0)), vec![1, 5]);
+        assert_eq!(t.send_rounds(NodeId(3)), Vec::<Round>::new());
+        assert_eq!(t.last_round(), Some(5));
+        assert_eq!(Trace::new().last_round(), None);
+    }
+
+    #[test]
+    fn render_mentions_rounds_and_crashes() {
+        let out = sample().render();
+        assert!(out.contains("-- round 1 --"));
+        assert!(out.contains("n3 CRASHED"));
+        assert!(out.contains("n1 sends 2 msg(s), 4 bits"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Closed-form bounds of Section 7, for the experiment harness.
+
+/// `log2(x)` clamped below at 1.
+fn log2c(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Lemma 11: `R0_priv(EQUALITYCP_{n,q}) ≥ n / (q − 1)`.
+pub fn equality_lb_private(n: usize, q: u32) -> f64 {
+    n as f64 / (q as f64 - 1.0)
+}
+
+/// Theorem 10: `R0(EQUALITYCP_{n,q}) = Ω(n/q − log n − log log q)`, with
+/// unit constants.
+pub fn equality_lb_public(n: usize, q: u32) -> f64 {
+    (n as f64 / q as f64 - log2c(n as f64) - log2c(log2c(q as f64))).max(0.0)
+}
+
+/// Theorem 12: `R0(UNIONSIZECP_{n,q}) = Ω(n/q) − O(log n)`, unit constants.
+pub fn unionsize_lb(n: usize, q: u32) -> f64 {
+    (n as f64 / q as f64 - log2c(n as f64)).max(0.0)
+}
+
+/// The `O((n/q)·log n + log q)` upper bound from \[4\], unit constants.
+pub fn unionsize_ub(n: usize, q: u32) -> f64 {
+    (n as f64 / q as f64) * log2c(n as f64) + log2c(q as f64)
+}
+
+/// The weaker previous lower bound `Ω(n/q²) − O(log n)` from \[4\].
+pub fn unionsize_lb_old(n: usize, q: u32) -> f64 {
+    (n as f64 / (q as f64 * q as f64) - log2c(n as f64)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma11_bound_values() {
+        assert_eq!(equality_lb_private(100, 2), 100.0);
+        assert_eq!(equality_lb_private(100, 11), 10.0);
+    }
+
+    #[test]
+    fn new_lb_dominates_old() {
+        for &(n, q) in &[(1usize << 14, 4u32), (1 << 16, 16), (1 << 20, 64)] {
+            assert!(unionsize_lb(n, q) >= unionsize_lb_old(n, q));
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich() {
+        // Lower ≤ upper, with the gap ~log n.
+        for &(n, q) in &[(1usize << 12, 8u32), (1 << 16, 32)] {
+            let lb = unionsize_lb(n, q);
+            let ub = unionsize_ub(n, q);
+            assert!(lb <= ub);
+            assert!(ub / lb.max(1.0) <= 2.0 * (n as f64).log2());
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp_to_zero() {
+        assert_eq!(unionsize_lb(4, 100), 0.0);
+        assert_eq!(equality_lb_public(4, 100), 0.0);
+    }
+}

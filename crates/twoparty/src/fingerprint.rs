@@ -1,0 +1,175 @@
+//! Monte Carlo fingerprint equality — the foil for the paper's zero-error
+//! setting.
+//!
+//! Classic public-coin equality testing compares `O(log(1/ε))`-bit random
+//! fingerprints: spectacularly cheap, but *one-sided Monte Carlo* — it can
+//! declare unequal strings equal. The paper's `R0` demands **zero error**
+//! (Las Vegas), where plain EQUALITY costs Θ(n) and only the cycle promise
+//! (via the UNIONSIZECP reduction) brings the cost down to `O((n/q)·log n)`.
+//! This module makes that contrast executable: the experiment harness can
+//! show the fingerprint protocol erring on adversarial instance families
+//! while the promise-based reduction never does.
+//!
+//! The fingerprint is a polynomial hash over a random prime evaluation
+//! point (Rabin–Karp style) with public coins.
+
+use crate::problems::CpInstance;
+use crate::protocols::Transcript;
+use rand::Rng;
+
+/// A large prime comfortably above any `q` used in experiments.
+const P: u64 = (1 << 61) - 1; // Mersenne prime 2^61 − 1
+
+fn poly_hash(s: &[u32], x: u64) -> u64 {
+    let mut acc: u128 = 0;
+    for &c in s {
+        acc = (acc * u128::from(x) + u128::from(c) + 1) % u128::from(P);
+    }
+    acc as u64
+}
+
+/// Outcome of a fingerprint comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FingerprintVerdict {
+    /// Fingerprints differed: the strings are certainly unequal.
+    CertainlyUnequal,
+    /// All fingerprints matched: *probably* equal (may be wrong!).
+    ProbablyEqual,
+}
+
+/// Runs `rounds` fingerprint exchanges with public coins from `rng`.
+/// Each round costs one 61-bit value from Bob.
+///
+/// One-sided error: `CertainlyUnequal` is always right;
+/// `ProbablyEqual` errs with probability ≤ `(n/P)^rounds` per instance
+/// (tiny — the harness uses a deliberately truncated hash to make the
+/// error observable; see [`equality_fingerprint_truncated`]).
+pub fn equality_fingerprint<R: Rng>(
+    inst: &CpInstance,
+    rounds: u32,
+    rng: &mut R,
+    t: &mut Transcript,
+) -> FingerprintVerdict {
+    equality_fingerprint_truncated(inst, rounds, 61, rng, t)
+}
+
+/// [`equality_fingerprint`] with fingerprints truncated to `bits` bits —
+/// cheaper and correspondingly more error-prone, which is what lets the
+/// harness *measure* the Monte Carlo error rate instead of asserting it
+/// is negligible.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or exceeds 61.
+pub fn equality_fingerprint_truncated<R: Rng>(
+    inst: &CpInstance,
+    rounds: u32,
+    bits: u32,
+    rng: &mut R,
+    t: &mut Transcript,
+) -> FingerprintVerdict {
+    assert!((1..=61).contains(&bits), "fingerprint width must be 1..=61");
+    let mask = if bits == 61 { u64::MAX } else { (1u64 << bits) - 1 };
+    for _ in 0..rounds.max(1) {
+        // Public coin: the evaluation point is free (both see the coins).
+        let x = rng.gen_range(2..P);
+        let ha = poly_hash(&inst.x, x) & mask;
+        let hb = poly_hash(&inst.y, x) & mask;
+        // Bob ships his fingerprint; Alice compares.
+        t.bob_sends(u64::from(bits));
+        if ha != hb {
+            return FingerprintVerdict::CertainlyUnequal;
+        }
+    }
+    FingerprintVerdict::ProbablyEqual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_strings_always_probably_equal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let inst = CpInstance::random_equal(40, 8, &mut rng);
+            let mut t = Transcript::new();
+            let v = equality_fingerprint(&inst, 3, &mut rng, &mut t);
+            assert_eq!(v, FingerprintVerdict::ProbablyEqual);
+            assert_eq!(t.total(), 3 * 61);
+        }
+    }
+
+    #[test]
+    fn unequal_verdict_is_never_wrong() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let inst = CpInstance::random(30, 6, 0.4, &mut rng);
+            let mut t = Transcript::new();
+            if equality_fingerprint(&inst, 2, &mut rng, &mut t)
+                == FingerprintVerdict::CertainlyUnequal
+            {
+                assert!(!inst.equal(), "CertainlyUnequal must be certain");
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_catches_random_unequal_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut caught = 0;
+        let mut total = 0;
+        for _ in 0..100 {
+            let inst = CpInstance::random(30, 6, 0.5, &mut rng);
+            if inst.equal() {
+                continue;
+            }
+            total += 1;
+            let mut t = Transcript::new();
+            if equality_fingerprint(&inst, 1, &mut rng, &mut t)
+                == FingerprintVerdict::CertainlyUnequal
+            {
+                caught += 1;
+            }
+        }
+        assert_eq!(caught, total, "61-bit fingerprints should not collide here");
+    }
+
+    #[test]
+    fn truncated_fingerprints_do_err() {
+        // 1-bit fingerprints collide half the time: the Monte Carlo error
+        // becomes visible, unlike the zero-error protocols in this crate.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut errors = 0;
+        let mut unequal = 0;
+        for _ in 0..300 {
+            let inst = CpInstance::random(20, 5, 0.5, &mut rng);
+            if inst.equal() {
+                continue;
+            }
+            unequal += 1;
+            let mut t = Transcript::new();
+            if equality_fingerprint_truncated(&inst, 1, 1, &mut rng, &mut t)
+                == FingerprintVerdict::ProbablyEqual
+            {
+                errors += 1;
+            }
+        }
+        assert!(unequal > 100);
+        assert!(
+            errors > unequal / 8,
+            "1-bit fingerprints should visibly err: {errors}/{unequal}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint width")]
+    fn rejects_zero_width() {
+        let inst = CpInstance::new(3, vec![0], vec![0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Transcript::new();
+        let _ = equality_fingerprint_truncated(&inst, 1, 0, &mut rng, &mut t);
+    }
+}

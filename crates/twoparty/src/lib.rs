@@ -1,0 +1,63 @@
+//! # twoparty — the lower-bound machinery of Section 7
+//!
+//! The paper's new `Ω(f/(b·log b) + logN/log b)` lower bound on
+//! fault-tolerant SUM (Theorem 2) rests on two-party communication
+//! complexity under the **cycle promise**. This crate makes that machinery
+//! executable:
+//!
+//! - [`problems`] — UNIONSIZECP and EQUALITYCP instances with promise
+//!   validation and generators;
+//! - [`protocols`] — zero-error protocols with bit-exact transcripts: two
+//!   baselines plus a cycle-cut protocol achieving the
+//!   `O((n/q)·log n + log q)` bound the paper quotes from \[4\], and the
+//!   executable Theorem 8 reduction EQUALITYCP → UNIONSIZECP;
+//! - [`sperner`] — Theorem 9's matrix, Lemma 11's exact rank claim
+//!   `rank(M) = q − 1`, and exhaustive Sperner-family search on tiny
+//!   instances;
+//! - [`linalg`] — the exact rational / GF(p) rank computations behind it;
+//! - [`bounds`] — the closed forms of Theorems 10 and 12;
+//! - [`bridge`] — the parameter correspondence assembling Theorem 2 from
+//!   Theorem 12 and the output-domain information bound;
+//! - [`fingerprint`] — the Monte Carlo foil: cheap randomized equality
+//!   with visible error, contrasting the zero-error regime the paper
+//!   works in.
+//!
+//! ## Example: checking Lemma 11
+//!
+//! ```
+//! use twoparty::sperner::{lemma11_matrix, verify_lemma11};
+//! use twoparty::linalg::rank_rational;
+//!
+//! assert!(verify_lemma11(7));
+//! assert_eq!(rank_rational(&lemma11_matrix(7)), 6); // q - 1
+//! ```
+//!
+//! ## Example: the Theorem 8 reduction
+//!
+//! ```
+//! use twoparty::problems::CpInstance;
+//! use twoparty::protocols::{equality_via_unionsize, CutProtocol, Transcript};
+//!
+//! let inst = CpInstance::new(5, vec![1, 4, 0], vec![1, 0, 0])?;
+//! let mut t = Transcript::new();
+//! let equal = equality_via_unionsize(&CutProtocol, &inst, &mut t);
+//! assert!(!equal); // position 1 wrapped 4 -> 0
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod bridge;
+pub mod fingerprint;
+pub mod linalg;
+pub mod problems;
+pub mod protocols;
+pub mod sperner;
+
+pub use problems::CpInstance;
+pub use protocols::{
+    equality_via_unionsize, BestOf, CutProtocol, Transcript, TrivialBitmask, UnionSizeProtocol,
+    ZeroList,
+};

@@ -1,0 +1,279 @@
+//! Exact linear algebra for the Sperner-capacity argument (Lemma 11).
+//!
+//! Two independent rank computations over an integer matrix:
+//!
+//! - [`rank_rational`] — exact Gaussian elimination over ℚ with `i128`
+//!   fractions (overflow-checked; ample for the small structured matrices
+//!   of Theorem 9);
+//! - [`rank_mod_p`] — rank over GF(p).
+//!
+//! For an integer matrix, `rank_GF(p) ≤ rank_ℚ` for every prime `p` (any
+//! minor vanishing over ℤ vanishes mod p), so exhibiting a prime with
+//! GF(p)-rank `r` *certifies* `rank_ℚ ≥ r` without any big-number
+//! arithmetic — the trick the Lemma 11 checker uses for large `q`.
+
+use std::fmt;
+
+/// An exact `i128` fraction, always reduced with positive denominator.
+///
+/// The arithmetic methods are deliberately named `add`/`sub`/`mul`/`div`
+/// (not operator overloads): every call site is explicit about exactness.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Frac {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Frac {
+    /// The fraction `num / den`, reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Frac { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// The integer `n` as a fraction.
+    pub fn int(n: i128) -> Self {
+        Frac { num: n, den: 1 }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Frac::int(0)
+    }
+
+    /// True iff the fraction is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Exact sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow (never for the matrices used here).
+    pub fn add(self, o: Frac) -> Frac {
+        let num = self
+            .num
+            .checked_mul(o.den)
+            .and_then(|a| o.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .expect("fraction overflow in add");
+        let den = self.den.checked_mul(o.den).expect("fraction overflow in add");
+        Frac::new(num, den)
+    }
+
+    /// Exact product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow.
+    pub fn mul(self, o: Frac) -> Frac {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, o.den).max(1);
+        let g2 = gcd(o.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(o.num / g2)
+            .expect("fraction overflow in mul");
+        let den = (self.den / g2)
+            .checked_mul(o.den / g1)
+            .expect("fraction overflow in mul");
+        Frac::new(num, den)
+    }
+
+    /// Exact difference.
+    pub fn sub(self, o: Frac) -> Frac {
+        self.add(Frac { num: -o.num, den: o.den })
+    }
+
+    /// Exact quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is zero or on overflow.
+    pub fn div(self, o: Frac) -> Frac {
+        assert!(!o.is_zero(), "division by zero fraction");
+        self.mul(Frac::new(o.den, o.num))
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Rank of an integer matrix over ℚ, by exact fraction Gaussian
+/// elimination.
+///
+/// # Panics
+///
+/// Panics if rows are ragged or intermediate fractions overflow `i128`.
+pub fn rank_rational(m: &[Vec<i64>]) -> usize {
+    let rows = m.len();
+    if rows == 0 {
+        return 0;
+    }
+    let cols = m[0].len();
+    assert!(m.iter().all(|r| r.len() == cols), "ragged matrix");
+    let mut a: Vec<Vec<Frac>> = m
+        .iter()
+        .map(|r| r.iter().map(|&x| Frac::int(i128::from(x))).collect())
+        .collect();
+    let mut rank = 0;
+    for col in 0..cols {
+        let Some(pivot) = (rank..rows).find(|&r| !a[r][col].is_zero()) else {
+            continue;
+        };
+        a.swap(rank, pivot);
+        let pv = a[rank][col];
+        for r in rank + 1..rows {
+            if a[r][col].is_zero() {
+                continue;
+            }
+            let factor = a[r][col].div(pv);
+            #[allow(clippy::needless_range_loop)] // parallel row access
+            for c in col..cols {
+                let sub = factor.mul(a[rank][c]);
+                a[r][c] = a[r][c].sub(sub);
+            }
+        }
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    rank
+}
+
+/// Rank of an integer matrix over GF(`p`).
+///
+/// # Panics
+///
+/// Panics if `p < 2` or rows are ragged.
+pub fn rank_mod_p(m: &[Vec<i64>], p: u64) -> usize {
+    assert!(p >= 2, "modulus must be at least 2");
+    let rows = m.len();
+    if rows == 0 {
+        return 0;
+    }
+    let cols = m[0].len();
+    assert!(m.iter().all(|r| r.len() == cols), "ragged matrix");
+    let p_i = p as i128;
+    let norm = |x: i64| -> u64 { (i128::from(x).rem_euclid(p_i)) as u64 };
+    let mut a: Vec<Vec<u64>> = m.iter().map(|r| r.iter().map(|&x| norm(x)).collect()).collect();
+    let inv = |x: u64| -> u64 { pow_mod(x, p - 2, p) };
+    let mut rank = 0;
+    for col in 0..cols {
+        let Some(pivot) = (rank..rows).find(|&r| !a[r][col].is_multiple_of(p)) else {
+            continue;
+        };
+        a.swap(rank, pivot);
+        let pv_inv = inv(a[rank][col]);
+        for r in rank + 1..rows {
+            if a[r][col] == 0 {
+                continue;
+            }
+            let factor = a[r][col] * pv_inv % p;
+            #[allow(clippy::needless_range_loop)] // parallel row access
+            for c in col..cols {
+                let sub = factor * a[rank][c] % p;
+                a[r][c] = (a[r][c] + p - sub) % p;
+            }
+        }
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    rank
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % p;
+        }
+        base = base * base % p;
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_arithmetic() {
+        let half = Frac::new(1, 2);
+        let third = Frac::new(1, 3);
+        assert_eq!(half.add(third), Frac::new(5, 6));
+        assert_eq!(half.sub(third), Frac::new(1, 6));
+        assert_eq!(half.mul(third), Frac::new(1, 6));
+        assert_eq!(half.div(third), Frac::new(3, 2));
+        assert_eq!(Frac::new(-2, -4), Frac::new(1, 2));
+        assert_eq!(Frac::new(2, -4), Frac::new(-1, 2));
+        assert!(Frac::zero().is_zero());
+        assert_eq!(format!("{:?}", Frac::new(3, 9)), "1/3");
+        assert_eq!(format!("{:?}", Frac::int(7)), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn frac_rejects_zero_den() {
+        let _ = Frac::new(1, 0);
+    }
+
+    #[test]
+    fn rank_simple_cases() {
+        assert_eq!(rank_rational(&[]), 0);
+        assert_eq!(rank_rational(&[vec![0, 0], vec![0, 0]]), 0);
+        assert_eq!(rank_rational(&[vec![1, 0], vec![0, 1]]), 2);
+        assert_eq!(rank_rational(&[vec![1, 2], vec![2, 4]]), 1);
+        assert_eq!(rank_rational(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]), 2);
+    }
+
+    #[test]
+    fn rank_mod_p_matches_rational_generically() {
+        let m = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]];
+        assert_eq!(rank_mod_p(&m, 1_000_000_007), rank_rational(&m));
+        let id = vec![vec![1, 0], vec![0, 1]];
+        assert_eq!(rank_mod_p(&id, 2), 2);
+    }
+
+    #[test]
+    fn rank_mod_p_can_drop() {
+        // [[1,1],[1,1]] + p | entries: over GF(2), [[2]] ~ [[0]].
+        let m = vec![vec![2]];
+        assert_eq!(rank_rational(&m), 1);
+        assert_eq!(rank_mod_p(&m, 2), 0);
+    }
+
+    #[test]
+    fn wide_and_tall_matrices() {
+        let wide = vec![vec![1, 0, 1, 0], vec![0, 1, 0, 1]];
+        assert_eq!(rank_rational(&wide), 2);
+        let tall = vec![vec![1, 1], vec![2, 2], vec![3, 4]];
+        assert_eq!(rank_rational(&tall), 2);
+    }
+}

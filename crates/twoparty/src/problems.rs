@@ -1,0 +1,133 @@
+//! The two-party problems of Section 7: UNIONSIZECP and EQUALITYCP under
+//! the cycle promise.
+//!
+//! Alice holds `X ∈ {0..q-1}^n`, Bob holds `Y`, and the **cycle promise**
+//! holds: for every position, `Y_i = X_i` or `Y_i = (X_i + 1) mod q`.
+//! UNIONSIZECP asks for `|{i : X_i ≠ 0 or Y_i ≠ 0}|`; EQUALITYCP asks
+//! whether `X = Y`.
+
+use rand::Rng;
+
+/// A promise-satisfying instance of the two-party problems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpInstance {
+    /// Alphabet size `q ≥ 2`.
+    pub q: u32,
+    /// Alice's string.
+    pub x: Vec<u32>,
+    /// Bob's string.
+    pub y: Vec<u32>,
+}
+
+impl CpInstance {
+    /// Builds an instance, validating the promise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violation: length mismatch,
+    /// out-of-alphabet character, or broken cycle promise.
+    pub fn new(q: u32, x: Vec<u32>, y: Vec<u32>) -> Result<Self, String> {
+        if q < 2 {
+            return Err("q must be at least 2".into());
+        }
+        if x.len() != y.len() {
+            return Err(format!("length mismatch: {} vs {}", x.len(), y.len()));
+        }
+        for (i, (&a, &b)) in x.iter().zip(&y).enumerate() {
+            if a >= q || b >= q {
+                return Err(format!("character out of range at {i}: ({a}, {b})"));
+            }
+            if b != a && b != (a + 1) % q {
+                return Err(format!("cycle promise violated at {i}: ({a}, {b})"));
+            }
+        }
+        Ok(CpInstance { q, x, y })
+    }
+
+    /// Problem size `n`.
+    pub fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Ground truth for UNIONSIZECP: `|{i : X_i ≠ 0 or Y_i ≠ 0}|`.
+    pub fn union_size(&self) -> u64 {
+        self.x
+            .iter()
+            .zip(&self.y)
+            .filter(|&(&a, &b)| a != 0 || b != 0)
+            .count() as u64
+    }
+
+    /// Ground truth for EQUALITYCP: `X == Y`.
+    pub fn equal(&self) -> bool {
+        self.x == self.y
+    }
+
+    /// Uniformly random promise-satisfying instance: each `X_i` uniform,
+    /// each position independently advanced with probability `p_advance`.
+    pub fn random<R: Rng>(n: usize, q: u32, p_advance: f64, rng: &mut R) -> Self {
+        assert!(q >= 2, "q must be at least 2");
+        let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let y: Vec<u32> = x
+            .iter()
+            .map(|&a| if rng.gen_bool(p_advance) { (a + 1) % q } else { a })
+            .collect();
+        CpInstance { q, x, y }
+    }
+
+    /// A random *equal* instance (`Y = X`), for exercising the equality
+    /// protocol's accepting path.
+    pub fn random_equal<R: Rng>(n: usize, q: u32, rng: &mut R) -> Self {
+        let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        CpInstance { q, y: x.clone(), x }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates_promise() {
+        assert!(CpInstance::new(3, vec![0, 1, 2], vec![1, 1, 0]).is_ok());
+        assert!(CpInstance::new(1, vec![0], vec![0]).is_err());
+        assert!(CpInstance::new(3, vec![0, 1], vec![0]).is_err());
+        assert!(CpInstance::new(3, vec![3], vec![0]).is_err());
+        assert!(CpInstance::new(3, vec![0], vec![2]).is_err());
+    }
+
+    #[test]
+    fn wraparound_is_allowed() {
+        let i = CpInstance::new(4, vec![3], vec![0]).unwrap();
+        assert_eq!(i.union_size(), 1);
+        assert!(!i.equal());
+    }
+
+    #[test]
+    fn union_size_ground_truth() {
+        let i = CpInstance::new(3, vec![0, 0, 1, 2], vec![0, 1, 1, 0]).unwrap();
+        // Position 0: (0,0) → no. 1: (0,1) → yes. 2: (1,1) → yes. 3: (2,0) → yes.
+        assert_eq!(i.union_size(), 3);
+    }
+
+    #[test]
+    fn random_instances_satisfy_promise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let q = rng.gen_range(2..10);
+            let n = rng.gen_range(0..40);
+            let i = CpInstance::random(n, q, 0.3, &mut rng);
+            assert!(CpInstance::new(i.q, i.x.clone(), i.y.clone()).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_equal_is_equal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let i = CpInstance::random_equal(25, 5, &mut rng);
+        assert!(i.equal());
+        assert!(CpInstance::new(i.q, i.x.clone(), i.y.clone()).is_ok());
+    }
+}

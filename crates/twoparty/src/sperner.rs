@@ -1,0 +1,242 @@
+//! The Sperner-capacity machinery of Theorem 9 and Lemma 11.
+//!
+//! Theorem 9 (adapted from Calderbank–Frankl–Graham–Li–Shepp): let `S ⊆
+//! {0..q-1}^n` be such that for all distinct `V, W ∈ S` there is a
+//! coordinate where `V` is neither equal to `W` nor its cyclic successor,
+//! *and* vice versa. Then `|S| ≤ rank(M)^n` for any q×q matrix `M` with
+//! ones on the diagonal, zeros everywhere except the cyclic
+//! super-diagonal entries `M[i][(i+1) mod q]`, which are free.
+//!
+//! Lemma 11 chooses all free entries `= -1` and shows `rank(M) = q - 1`
+//! exactly: the all-rows sum vanishes (rank ≤ q−1) and the first `q−1`
+//! rows are independent (rank ≥ q−1). [`verify_lemma11`] checks both via
+//! two independent rank computations; [`max_sperner_family`] exhaustively
+//! finds the largest valid `S` for tiny `(n, q)` so the bound — and its
+//! slack — can be observed directly.
+
+use crate::linalg::{rank_mod_p, rank_rational};
+
+/// The Lemma 11 matrix for a given `q`: identity plus `-1` on the cyclic
+/// super-diagonal (entries `M[i][(i+1) mod q]`).
+///
+/// # Panics
+///
+/// Panics if `q < 2`.
+pub fn lemma11_matrix(q: usize) -> Vec<Vec<i64>> {
+    assert!(q >= 2, "the cycle needs at least 2 values");
+    let mut m = vec![vec![0i64; q]; q];
+    for i in 0..q {
+        m[i][i] = 1;
+        m[i][(i + 1) % q] = -1;
+    }
+    m
+}
+
+/// A general Theorem 9 matrix with caller-chosen super-diagonal entries.
+///
+/// # Panics
+///
+/// Panics if `q < 2` or `free.len() != q`.
+pub fn theorem9_matrix(q: usize, free: &[i64]) -> Vec<Vec<i64>> {
+    assert!(q >= 2, "the cycle needs at least 2 values");
+    assert_eq!(free.len(), q, "one free entry per row");
+    let mut m = vec![vec![0i64; q]; q];
+    for i in 0..q {
+        m[i][i] = 1;
+        m[i][(i + 1) % q] = free[i];
+    }
+    m
+}
+
+/// Verifies Lemma 11's claim `rank(M) = q − 1` exactly:
+/// the all-ones left-null vector gives `rank ≤ q − 1`, and a GF(p) rank of
+/// `q − 1` certifies `rank_ℚ ≥ q − 1`. For small `q` the exact rational
+/// rank is cross-checked too.
+pub fn verify_lemma11(q: usize) -> bool {
+    let m = lemma11_matrix(q);
+    // Row sum must vanish: Σ_i M[i][j] = 1 + (-1) = 0 for every column.
+    let rows_sum_to_zero = (0..q).all(|j| (0..q).map(|i| m[i][j]).sum::<i64>() == 0);
+    if !rows_sum_to_zero {
+        return false;
+    }
+    let gf = rank_mod_p(&m, 1_000_000_007);
+    if gf != q - 1 {
+        return false;
+    }
+    if q <= 24 {
+        // Exact cross-check where i128 fractions are comfortably safe.
+        if rank_rational(&m) != q - 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// True iff coordinate-wise the pair `(v, w)` violates the Sperner
+/// condition in the `v → w` direction: `w` "covers" `v` everywhere, i.e.
+/// for every coordinate `v_i == w_i` or `v_i == (w_i + 1) mod q`.
+fn covered(v: &[u8], w: &[u8], q: u8) -> bool {
+    v.iter()
+        .zip(w)
+        .all(|(&a, &b)| a == b || a == (b + 1) % q)
+}
+
+/// True iff `v` and `w` may coexist in a Sperner family `S` of Theorem 9:
+/// each must have a coordinate where it is neither equal to nor the
+/// cyclic successor of the other.
+pub fn sperner_compatible(v: &[u8], w: &[u8], q: u8) -> bool {
+    !covered(v, w, q) && !covered(w, v, q)
+}
+
+/// Exhaustively computes the size of the largest valid Sperner family in
+/// `{0..q-1}^n` by branch-and-bound max-clique on the compatibility graph.
+///
+/// Only for tiny instances: the graph has `q^n` vertices.
+///
+/// # Panics
+///
+/// Panics if `q^n > 4096` (keeps the search tractable) or `q < 2`.
+pub fn max_sperner_family(n: usize, q: u8) -> usize {
+    assert!(q >= 2, "q must be at least 2");
+    let total = (q as usize).checked_pow(n as u32).expect("q^n overflow");
+    assert!(total <= 4096, "instance too large for exhaustive search");
+    // Enumerate all strings.
+    let mut strings = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut s = vec![0u8; n];
+        for c in s.iter_mut() {
+            *c = (idx % q as usize) as u8;
+            idx /= q as usize;
+        }
+        strings.push(s);
+    }
+    // Adjacency bitsets.
+    let words = total.div_ceil(64);
+    let mut adj = vec![vec![0u64; words]; total];
+    for i in 0..total {
+        for j in i + 1..total {
+            if sperner_compatible(&strings[i], &strings[j], q) {
+                adj[i][j / 64] |= 1 << (j % 64);
+                adj[j][i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+    // Greedy-ordered branch and bound.
+    let mut best = 0usize;
+    let mut cand: Vec<u64> = vec![!0u64; words];
+    // Mask off the tail bits.
+    if !total.is_multiple_of(64) {
+        cand[words - 1] = (1u64 << (total % 64)) - 1;
+    }
+    fn popcount(bits: &[u64]) -> usize {
+        bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+    fn expand(adj: &[Vec<u64>], cand: &mut Vec<u64>, size: usize, best: &mut usize) {
+        let cnt = popcount(cand);
+        if size + cnt <= *best {
+            return;
+        }
+        if cnt == 0 {
+            *best = (*best).max(size);
+            return;
+        }
+        // Pick the lowest set bit as the branching vertex.
+        let mut v = None;
+        for (w, &bits) in cand.iter().enumerate() {
+            if bits != 0 {
+                v = Some(w * 64 + bits.trailing_zeros() as usize);
+                break;
+            }
+        }
+        let v = v.expect("cnt > 0");
+        // Branch 1: include v.
+        let mut with_v: Vec<u64> = cand.iter().zip(&adj[v]).map(|(&c, &a)| c & a).collect();
+        expand(adj, &mut with_v, size + 1, best);
+        // Branch 2: exclude v.
+        cand[v / 64] &= !(1 << (v % 64));
+        expand(adj, cand, size, best);
+    }
+    expand(&adj, &mut cand, 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma11_matrix_shape() {
+        let m = lemma11_matrix(4);
+        assert_eq!(m[0], vec![1, -1, 0, 0]);
+        assert_eq!(m[3], vec![-1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn theorem9_matrix_free_entries() {
+        let m = theorem9_matrix(3, &[5, -2, 7]);
+        assert_eq!(m[0], vec![1, 5, 0]);
+        assert_eq!(m[1], vec![0, 1, -2]);
+        assert_eq!(m[2], vec![7, 0, 1]);
+    }
+
+    #[test]
+    fn lemma11_rank_q_minus_1_small() {
+        for q in 2..=24 {
+            assert!(verify_lemma11(q), "rank(M) != q-1 at q = {q}");
+        }
+    }
+
+    #[test]
+    fn lemma11_rank_q_minus_1_large() {
+        for q in [32usize, 40, 64, 100, 128] {
+            assert!(verify_lemma11(q), "rank(M) != q-1 at q = {q}");
+        }
+    }
+
+    #[test]
+    fn identity_choice_has_full_rank() {
+        // Choosing the free entries as 0 gives the identity: rank q — the
+        // -1 choice is what achieves q-1 (the better constant).
+        let m = theorem9_matrix(5, &[0; 5]);
+        assert_eq!(rank_rational(&m), 5);
+    }
+
+    #[test]
+    fn compatibility_examples() {
+        // q = 3, n = 1: w covers v iff v ∈ {w, w+1}. 0 and 1: 1 covers 0?
+        // v=0,w=1: 0 == (1+1)%3 = 2? no; 0 == 1? no → not covered. v=1,w=0:
+        // 1 == 0+1 → covered → incompatible.
+        assert!(!sperner_compatible(&[0], &[1], 3));
+        // With q = 3 any two distinct single chars are cyclically adjacent.
+        assert!(!sperner_compatible(&[0], &[2], 3));
+        assert!(!sperner_compatible(&[1], &[2], 3));
+        // q = 4: 0 and 2 are opposite on the cycle — compatible.
+        assert!(sperner_compatible(&[0], &[2], 4));
+    }
+
+    #[test]
+    fn max_family_respects_rank_bound() {
+        // |S| ≤ (q-1)^n by Lemma 11.
+        for (n, q) in [(1usize, 3u8), (2, 3), (3, 3), (1, 4), (2, 4), (1, 5), (2, 5)] {
+            let bound = (q as usize - 1).pow(n as u32);
+            let max = max_sperner_family(n, q);
+            assert!(
+                max <= bound,
+                "n={n} q={q}: found {max} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_family_exact_small_values() {
+        // n = 1: the cyclic q-gon's Sperner-independent sets are the sets
+        // with no two cyclically adjacent values at distance 1 in either
+        // direction... For q = 4: {0, 2} works, size 2 = (q-1)^1 - 1.
+        assert_eq!(max_sperner_family(1, 3), 1);
+        assert_eq!(max_sperner_family(1, 4), 2);
+        assert_eq!(max_sperner_family(1, 5), 2);
+        // The cyclic triangle's famous Sperner capacity: for n = 2, q = 3
+        // the maximum is 3 ≤ (3-1)^2 = 4 (Blokhuis / CFGLS).
+        assert_eq!(max_sperner_family(2, 3), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Exhaustive validation: every promise-satisfying instance for small
+//! `(n, q)` is run through every UNIONSIZECP protocol and the Theorem 8
+//! reduction. No sampling — total coverage of the small domain.
+
+use twoparty::problems::CpInstance;
+use twoparty::protocols::{
+    cut_protocol_bit_bound, equality_via_unionsize, CutProtocol, Transcript, TrivialBitmask,
+    UnionSizeProtocol, ZeroList,
+};
+
+/// Enumerates all promise instances of size `n` over alphabet `q`: each
+/// position picks `X_i ∈ [0, q)` and an advance bit.
+fn all_instances(n: usize, q: u32) -> Vec<CpInstance> {
+    let per_pos = (q as usize) * 2;
+    let total = per_pos.pow(n as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut code in 0..total {
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pick = code % per_pos;
+            code /= per_pos;
+            let xi = (pick / 2) as u32;
+            let adv = pick % 2 == 1;
+            x.push(xi);
+            y.push(if adv { (xi + 1) % q } else { xi });
+        }
+        out.push(CpInstance::new(q, x, y).expect("constructed under the promise"));
+    }
+    out
+}
+
+#[test]
+fn every_instance_every_protocol() {
+    for q in 2..=4u32 {
+        for n in 0..=3usize {
+            for inst in all_instances(n, q) {
+                let truth = inst.union_size();
+                for (name, got) in [
+                    ("bitmask", TrivialBitmask.run(&inst, &mut Transcript::new())),
+                    ("zero-list", ZeroList.run(&inst, &mut Transcript::new())),
+                    ("cycle-cut", CutProtocol.run(&inst, &mut Transcript::new())),
+                ] {
+                    assert_eq!(
+                        got, truth,
+                        "{name} wrong on q={q} x={:?} y={:?}",
+                        inst.x, inst.y
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_instance_reduction_verdict() {
+    for q in 2..=4u32 {
+        for n in 0..=3usize {
+            for inst in all_instances(n, q) {
+                let mut t = Transcript::new();
+                let got = equality_via_unionsize(&CutProtocol, &inst, &mut t);
+                assert_eq!(
+                    got,
+                    inst.equal(),
+                    "reduction wrong on q={q} x={:?} y={:?}",
+                    inst.x,
+                    inst.y
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cut_bits_within_bound_exhaustively() {
+    for q in 2..=4u32 {
+        for n in 1..=3usize {
+            let bound = cut_protocol_bit_bound(n, q);
+            for inst in all_instances(n, q) {
+                let mut t = Transcript::new();
+                let _ = CutProtocol.run(&inst, &mut t);
+                assert!(
+                    t.total() <= bound,
+                    "q={q} n={n}: {} > {bound} on x={:?} y={:?}",
+                    t.total(),
+                    inst.x,
+                    inst.y
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn instance_count_sanity() {
+    // (2q)^n instances per (n, q).
+    assert_eq!(all_instances(2, 3).len(), 36);
+    assert_eq!(all_instances(3, 2).len(), 64);
+    assert_eq!(all_instances(0, 4).len(), 1);
+}

@@ -1,0 +1,473 @@
+//! # wire — bit-exact message encoding for communication-complexity metering
+//!
+//! The paper's communication complexity counts the number of **bits** a node
+//! locally broadcasts, with node ids costing `log N` bits and inputs drawn
+//! from a domain polynomial in `N` (hence `O(log N)` bits). To make the
+//! simulator's CC measurements meaningful, every protocol message in this
+//! repository has a canonical bit-level encoding built from this crate:
+//!
+//! - [`BitWriter`] / [`BitReader`] — an MSB-first bit stream;
+//! - [`BitBuf`] — an owned, length-exact bit string;
+//! - [`id_bits`] — the paper's `log N` (`ceil(log2 N)`, min 1);
+//! - [`range_bits`] — width needed for values in `0..=max`.
+//!
+//! Encoders assert that the number of bits written equals the size the
+//! message reports to the engine, so the metered CC is the encoded CC.
+//!
+//! ## Example
+//!
+//! ```
+//! use wire::{BitWriter, BitReader, id_bits};
+//!
+//! let n = 1000;                      // system size
+//! let w_id = id_bits(n);             // 10 bits per node id
+//! let mut w = BitWriter::new();
+//! w.put(42, w_id);                   // a node id
+//! w.put(1, 1);                       // a flag
+//! let buf = w.finish();
+//! assert_eq!(buf.bit_len(), u64::from(w_id) + 1);
+//!
+//! let mut r = BitReader::new(&buf);
+//! assert_eq!(r.take(w_id)?, 42);
+//! assert_eq!(r.take(1)?, 1);
+//! assert!(r.is_exhausted());
+//! # Ok::<(), wire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Number of bits in a node id for a system of `n` nodes: the paper's
+/// `log N`, computed as `ceil(log2 n)` and at least 1.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wire::id_bits(1), 1);
+/// assert_eq!(wire::id_bits(2), 1);
+/// assert_eq!(wire::id_bits(3), 2);
+/// assert_eq!(wire::id_bits(1024), 10);
+/// assert_eq!(wire::id_bits(1025), 11);
+/// ```
+pub fn id_bits(n: usize) -> u32 {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()).max(1)
+    }
+}
+
+/// Width in bits needed to represent every value in `0..=max`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wire::range_bits(0), 1);
+/// assert_eq!(wire::range_bits(1), 1);
+/// assert_eq!(wire::range_bits(2), 2);
+/// assert_eq!(wire::range_bits(255), 8);
+/// assert_eq!(wire::range_bits(256), 9);
+/// ```
+pub fn range_bits(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+/// Errors returned by [`BitReader`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A read ran past the end of the buffer.
+    OutOfBits {
+        /// Bits requested by the read.
+        wanted: u32,
+        /// Bits remaining in the buffer.
+        left: u64,
+    },
+    /// A field width outside `1..=64` was requested.
+    BadWidth(u32),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::OutOfBits { wanted, left } => {
+                write!(f, "read of {wanted} bits with only {left} left")
+            }
+            WireError::BadWidth(w) => write!(f, "field width {w} outside 1..=64"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An owned bit string with exact length.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitBuf {
+    bytes: Vec<u8>,
+    bits: u64,
+}
+
+impl BitBuf {
+    /// Length in bits.
+    pub fn bit_len(&self) -> u64 {
+        self.bits
+    }
+
+    /// True iff the buffer holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Underlying bytes (the final byte is zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bit at position `i` (MSB-first within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bit_len()`.
+    pub fn bit(&self, i: u64) -> bool {
+        assert!(i < self.bits, "bit index {i} out of range {}", self.bits);
+        let byte = self.bytes[(i / 8) as usize];
+        (byte >> (7 - (i % 8))) & 1 == 1
+    }
+}
+
+impl fmt::Debug for BitBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitBuf[{} bits: ", self.bits)?;
+        for i in 0..self.bits.min(64) {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        if self.bits > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// MSB-first bit stream writer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    buf: BitBuf,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64` or `value` does not fit in
+    /// `width` bits (catching encoder bugs at the source).
+    pub fn put(&mut self, value: u64, width: u32) -> &mut Self {
+        assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1 == 1;
+            self.push_bit(bit);
+        }
+        self
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) -> &mut Self {
+        self.push_bit(bit);
+        self
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        let pos = self.buf.bits;
+        if pos.is_multiple_of(8) {
+            self.buf.bytes.push(0);
+        }
+        if bit {
+            let idx = (pos / 8) as usize;
+            self.buf.bytes[idx] |= 1 << (7 - (pos % 8));
+        }
+        self.buf.bits += 1;
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.buf.bits
+    }
+
+    /// Finishes and returns the bit string.
+    pub fn finish(self) -> BitBuf {
+        self.buf
+    }
+}
+
+/// MSB-first bit stream reader over a [`BitBuf`].
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    buf: &'a BitBuf,
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a BitBuf) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads a `width`-bit unsigned value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadWidth`] for widths outside `1..=64` and
+    /// [`WireError::OutOfBits`] if the buffer is exhausted.
+    pub fn take(&mut self, width: u32) -> Result<u64, WireError> {
+        if !(1..=64).contains(&width) {
+            return Err(WireError::BadWidth(width));
+        }
+        if self.remaining() < u64::from(width) {
+            return Err(WireError::OutOfBits {
+                wanted: width,
+                left: self.remaining(),
+            });
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.buf.bit(self.pos));
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::OutOfBits`] if the buffer is exhausted.
+    pub fn take_bit(&mut self) -> Result<bool, WireError> {
+        Ok(self.take(1)? == 1)
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.buf.bit_len() - self.pos
+    }
+
+    /// True iff every bit has been consumed — decoders assert this to prove
+    /// the declared message size matches the encoding exactly.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// A type with a canonical bit encoding of a statically known, exact size.
+///
+/// The contract — enforced by [`assert_roundtrip`] in tests — is that
+/// `encode` writes exactly `encoded_bits` bits and `decode` reads them back
+/// to an equal value.
+pub trait BitCodec: Sized + PartialEq + fmt::Debug {
+    /// Context needed to size fields (typically the system size `N`).
+    type Ctx: ?Sized;
+
+    /// Exact encoded size in bits under `ctx`.
+    fn encoded_bits(ctx: &Self::Ctx) -> u64;
+
+    /// Writes the canonical encoding.
+    fn encode(&self, ctx: &Self::Ctx, w: &mut BitWriter);
+
+    /// Reads the canonical encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input.
+    fn decode(ctx: &Self::Ctx, r: &mut BitReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Asserts the [`BitCodec`] contract for a value: encoding takes exactly
+/// `encoded_bits` bits and round-trips.
+///
+/// # Panics
+///
+/// Panics if the size or value round-trip is violated.
+pub fn assert_roundtrip<T: BitCodec>(ctx: &T::Ctx, value: &T) {
+    let mut w = BitWriter::new();
+    value.encode(ctx, &mut w);
+    assert_eq!(
+        w.bit_len(),
+        T::encoded_bits(ctx),
+        "encoded size differs from declared size"
+    );
+    let buf = w.finish();
+    let mut r = BitReader::new(&buf);
+    let back = T::decode(ctx, &mut r).expect("decode succeeds");
+    assert!(r.is_exhausted(), "decoder left {} bits", r.remaining());
+    assert_eq!(&back, value, "round-trip changed the value");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_matches_paper_logn() {
+        // log N with N = 8 is 3; ids 0..7 all fit.
+        assert_eq!(id_bits(8), 3);
+        assert_eq!(id_bits(9), 4);
+        for n in 1..200usize {
+            let w = id_bits(n);
+            assert!((n as u64 - 1) < (1u64 << w), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn range_bits_covers_max() {
+        for max in [0u64, 1, 2, 3, 7, 8, 100, u64::MAX / 2] {
+            let w = range_bits(max);
+            assert!(w == 64 || max < (1u64 << w));
+        }
+        assert_eq!(range_bits(u64::MAX), 64);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_mixed_fields() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3).put_bit(true).put(12345, 17).put(0, 1);
+        assert_eq!(w.bit_len(), 22);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.take(3).unwrap(), 0b101);
+        assert!(r.take_bit().unwrap());
+        assert_eq!(r.take(17).unwrap(), 12345);
+        assert_eq!(r.take(1).unwrap(), 0);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn full_width_64() {
+        let mut w = BitWriter::new();
+        w.put(u64::MAX, 64);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.take(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn put_rejects_oversized_value() {
+        BitWriter::new().put(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=64")]
+    fn put_rejects_zero_width() {
+        BitWriter::new().put(0, 0);
+    }
+
+    #[test]
+    fn reader_errors() {
+        let mut w = BitWriter::new();
+        w.put(5, 3);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.take(0), Err(WireError::BadWidth(0)));
+        assert_eq!(r.take(65), Err(WireError::BadWidth(65)));
+        assert_eq!(r.take(3).unwrap(), 5);
+        assert_eq!(r.take(1), Err(WireError::OutOfBits { wanted: 1, left: 0 }));
+    }
+
+    #[test]
+    fn bitbuf_bit_access_and_debug() {
+        let mut w = BitWriter::new();
+        w.put(0b10, 2);
+        let buf = w.finish();
+        assert!(buf.bit(0));
+        assert!(!buf.bit(1));
+        assert_eq!(buf.bit_len(), 2);
+        assert!(!buf.is_empty());
+        assert_eq!(format!("{buf:?}"), "BitBuf[2 bits: 10]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitbuf_bit_out_of_range() {
+        let buf = BitBuf::default();
+        let _ = buf.bit(0);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Pair {
+        id: u64,
+        flag: bool,
+    }
+
+    impl BitCodec for Pair {
+        type Ctx = usize; // system size
+
+        fn encoded_bits(ctx: &usize) -> u64 {
+            u64::from(id_bits(*ctx)) + 1
+        }
+
+        fn encode(&self, ctx: &usize, w: &mut BitWriter) {
+            w.put(self.id, id_bits(*ctx));
+            w.put_bit(self.flag);
+        }
+
+        fn decode(ctx: &usize, r: &mut BitReader<'_>) -> Result<Self, WireError> {
+            Ok(Pair {
+                id: r.take(id_bits(*ctx))?,
+                flag: r.take_bit()?,
+            })
+        }
+    }
+
+    #[test]
+    fn codec_contract_holds() {
+        assert_roundtrip(&100usize, &Pair { id: 99, flag: true });
+        assert_roundtrip(&2usize, &Pair { id: 1, flag: false });
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_field_sequence_roundtrips(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..40)) {
+            let mut w = BitWriter::new();
+            let mut expected = Vec::new();
+            for &(v, width) in &fields {
+                let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                w.put(masked, width);
+                expected.push((masked, width));
+            }
+            let total: u64 = fields.iter().map(|&(_, w)| u64::from(w)).sum();
+            prop_assert_eq!(w.bit_len(), total);
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for (v, width) in expected {
+                prop_assert_eq!(r.take(width).unwrap(), v);
+            }
+            prop_assert!(r.is_exhausted());
+        }
+
+        #[test]
+        fn id_bits_is_tight(n in 2usize..1_000_000) {
+            let w = id_bits(n);
+            // Enough for all ids...
+            prop_assert!(((n - 1) as u64) < (1u64 << w));
+            // ...and tight: one fewer bit cannot address all ids.
+            if w > 1 {
+                prop_assert!(((n - 1) as u64) >= (1u64 << (w - 1)));
+            }
+        }
+    }
+}

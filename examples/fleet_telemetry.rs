@@ -1,0 +1,73 @@
+//! Fleet telemetry: fault-tolerant MEAN and VARIANCE.
+//!
+//! Neither statistic is a CAAF, but both decompose into CAAF components
+//! (`caaf::stats`): MEAN = SUM/COUNT, VARIANCE from (Σx, n, Σx²). Each
+//! component is one fault-tolerant aggregation over derived inputs —
+//! three Algorithm 1 runs give crash-tolerant fleet statistics.
+//!
+//! Run with: `cargo run --release --example fleet_telemetry`
+
+use caaf::stats::{combine_stats, Statistic, StatsOp, StatsSpec};
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::Instance;
+use netsim::{topology, FailureSchedule, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 36;
+    let graph = topology::torus(6, 6); // a mesh fleet
+    let root = NodeId(0);
+    // Battery levels 0..=100 per vehicle.
+    let readings: Vec<u64> = (0..n).map(|_| rng.gen_range(20..=100)).collect();
+    // Two vehicles drop out mid-query.
+    let mut schedule = FailureSchedule::none();
+    schedule.crash(NodeId(14), 35);
+    schedule.crash(NodeId(23), 60);
+
+    println!("36-vehicle mesh fleet, gateway at node 0; 2 vehicles drop out\n");
+
+    let spec = StatsSpec::new(Statistic::Variance);
+    let mut aggregates = Vec::new();
+    let mut total_cc = 0u64;
+    for (i, comp) in spec.components().iter().enumerate() {
+        let derived: Vec<u64> = readings.iter().map(|&x| (comp.derive)(x)).collect();
+        let max = (comp.derived_max)(100);
+        let inst = Instance::new(graph.clone(), root, derived, schedule.clone(), max)?;
+        let cfg = TradeoffConfig { b: 63, c: 2, f: 8, seed: i as u64 };
+        let op = StatsSpec::operator_for(comp);
+        let rep = match op {
+            StatsOp::Sum(o) => run_tradeoff(&o, &inst, &cfg),
+            StatsOp::Count(o) => run_tradeoff(&o, &inst, &cfg),
+        };
+        assert!(rep.correct, "{} component incorrect", comp.name);
+        println!(
+            "  component {:<7} = {:>8}   [CC {} bits, TC {} flooding rounds]",
+            comp.name,
+            rep.result,
+            rep.metrics.max_bits(),
+            rep.flooding_rounds
+        );
+        total_cc += rep.metrics.max_bits();
+        aggregates.push(rep.result);
+    }
+
+    let mean = combine_stats(Statistic::Mean, &aggregates[..2]).expect("fleet non-empty");
+    let var = combine_stats(Statistic::Variance, &aggregates).expect("fleet non-empty");
+    // Centralized reference over *all* readings (the failed vehicles'
+    // inputs may legitimately be included or excluded — interval
+    // semantics, so expect a small drift, not equality).
+    let m_ref = readings.iter().sum::<u64>() as f64 / n as f64;
+    let v_ref = readings
+        .iter()
+        .map(|&x| (x as f64 - m_ref).powi(2))
+        .sum::<f64>()
+        / n as f64;
+
+    println!("\nfleet mean battery  = {mean:.2}  (all-inputs reference {m_ref:.2})");
+    println!("fleet variance      = {var:.2}  (all-inputs reference {v_ref:.2})");
+    println!("total bottleneck CC = {total_cc} bits across 3 aggregations");
+    assert!((mean - m_ref).abs() <= 6.0, "mean drifted past the 2-dropout tolerance");
+    Ok(())
+}

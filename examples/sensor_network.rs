@@ -1,0 +1,74 @@
+//! Sensor-network scenario: a base station aggregating over a grid.
+//!
+//! The paper's motivating deployment: the root is the base station of a
+//! wireless sensor network; sensor radios are local broadcasts; node
+//! crashes are battery deaths. This example runs several different CAAFs
+//! (SUM, COUNT, MAX, OR) over one 10×10 grid with mid-run failures — the
+//! same Algorithm 1 machinery handles every operator, which is the point
+//! of the paper's CAAF generalization.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use caaf::{BoolOr, Caaf, Count, Max, Sum};
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::Instance;
+use netsim::{topology, FailureSchedule, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_one<C: Caaf>(op: &C, inst: &Instance, seed: u64) {
+    let cfg = TradeoffConfig { b: 63, c: 2, f: 8, seed };
+    let r = run_tradeoff(op, inst, &cfg);
+    println!(
+        "  {:<6} result = {:>6}  (correct: {})  CC = {:>6} bits  TC = {} flooding rounds",
+        op.name(),
+        r.result,
+        r.correct,
+        r.metrics.max_bits(),
+        r.flooding_rounds
+    );
+    assert!(r.correct, "{} result incorrect", op.name());
+}
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let side = 10;
+    let graph = topology::grid(side, side);
+    let n = graph.len();
+    let root = NodeId(0); // base station at a corner
+    let d = graph.diameter();
+
+    // Six sensors die while the network is aggregating (interior nodes,
+    // which is the hard case: they carry subtree partial sums).
+    let mut schedule = FailureSchedule::none();
+    for (k, &v) in [14u32, 37, 55, 61, 78, 82].iter().enumerate() {
+        schedule.crash(NodeId(v), 30 + 17 * k as u64);
+    }
+
+    // Temperature-style readings in 0..=250.
+    let readings: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=250)).collect();
+
+    println!("10x10 sensor grid, base station at node 0, d = {d}");
+    println!("{} sensors scheduled to die; f = {} edge failures\n", schedule.crash_count(),
+        schedule.edge_failures(&graph));
+
+    // SUM of readings.
+    let inst = Instance::new(graph.clone(), root, readings.clone(), schedule.clone(), 250)?;
+    println!("aggregates over raw readings:");
+    run_one(&Sum, &inst, 1);
+    run_one(&Max, &inst, 2);
+
+    // COUNT of sensors whose reading exceeds a threshold.
+    let over: Vec<u64> = readings.iter().map(|&v| u64::from(v > 200)).collect();
+    let inst = Instance::new(graph.clone(), root, over, schedule.clone(), 1)?;
+    println!("\nsensors with reading > 200:");
+    run_one(&Count, &inst, 3);
+
+    // OR: does any sensor report an alarm condition?
+    let alarm: Vec<u64> = readings.iter().map(|&v| u64::from(v >= 249)).collect();
+    let inst = Instance::new(graph, root, alarm, schedule, 1)?;
+    println!("\nany alarm (reading >= 249)?");
+    run_one(&BoolOr, &inst, 4);
+
+    Ok(())
+}

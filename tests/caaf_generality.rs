@@ -1,0 +1,135 @@
+//! E10 — CAAF generality: the paper's protocols never look inside the
+//! aggregation operator, so swapping `+` for any commutative/associative
+//! `◇` must preserve every guarantee. This runs the *same* Algorithm 1
+//! over SUM, COUNT, MAX, MIN, OR, AND, GCD and a modular sum, plus the
+//! MEDIAN-via-COUNT reduction, under failures.
+
+use caaf::oracle::modsum_correct;
+use caaf::query::kth_smallest_by_counts;
+use caaf::{BoolAnd, BoolOr, Caaf, Count, Gcd, Max, Min, ModSum, Sum};
+use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::Instance;
+use netsim::{adversary::schedules, topology, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const C: u32 = 2;
+
+fn make(seed: u64, max_input: u64) -> Option<(Instance, TradeoffConfig)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = topology::connected_gnp(20, 0.15, &mut rng);
+    let horizon = 100 * u64::from(g.diameter());
+    let s = schedules::random(&g, NodeId(0), 3, horizon, &mut rng);
+    if s.stretch_factor(&g, NodeId(0)) > f64::from(C) {
+        return None;
+    }
+    let inputs: Vec<u64> = (0..20).map(|_| rng.gen_range(0..=max_input)).collect();
+    let inst = Instance::new(g, NodeId(0), inputs, s, max_input).unwrap();
+    let cfg = TradeoffConfig { b: 63, c: C, f: inst.edge_failures().max(1), seed };
+    Some((inst, cfg))
+}
+
+fn check_operator<C2: Caaf>(op: &C2, max_input: u64) {
+    let mut checked = 0;
+    for seed in 0..20u64 {
+        let Some((inst, cfg)) = make(seed, max_input.min(op.max_allowed_input())) else {
+            continue;
+        };
+        let r = run_tradeoff(op, &inst, &cfg);
+        assert!(
+            r.correct,
+            "{} seed {seed}: result {} outside correct interval",
+            op.name(),
+            r.result
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "{}: too few valid instances", op.name());
+}
+
+#[test]
+fn sum_count_max_or() {
+    check_operator(&Sum, 50);
+    check_operator(&Count, 1);
+    check_operator(&Max, 1000);
+    check_operator(&BoolOr, 1);
+}
+
+#[test]
+fn min_and_gcd() {
+    check_operator(&Min::new(1000), 1000);
+    check_operator(&BoolAnd, 1);
+    check_operator(&Gcd, 240);
+}
+
+#[test]
+fn modular_sum_with_exact_oracle() {
+    // ModSum is not order-monotone, so check against the exact
+    // reachability oracle rather than the interval.
+    let op = ModSum::new(97);
+    let mut checked = 0;
+    for seed in 100..130u64 {
+        let Some((inst, cfg)) = make(seed, 96) else { continue };
+        let r = run_tradeoff(&op, &inst, &cfg);
+        // Mandatory inputs: alive & root-connected at the end.
+        let dead = inst.schedule.dead_by(r.rounds);
+        let alive: std::collections::HashSet<_> = inst
+            .graph
+            .reachable_from(inst.root, &dead)
+            .into_iter()
+            .collect();
+        let mut mandatory = Vec::new();
+        let mut optional = Vec::new();
+        for v in inst.graph.nodes() {
+            if alive.contains(&v) {
+                mandatory.push(inst.inputs[v.index()]);
+            } else {
+                optional.push(inst.inputs[v.index()]);
+            }
+        }
+        assert!(
+            modsum_correct(&op, r.result, &mandatory, &optional),
+            "seed {seed}: modsum result {} not reachable",
+            r.result
+        );
+        checked += 1;
+    }
+    assert!(checked >= 15);
+}
+
+#[test]
+fn median_via_count_under_failures() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let g = topology::grid(5, 5);
+    let n = g.len();
+    let domain = 255u64;
+    let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=domain)).collect();
+    let mut s = netsim::FailureSchedule::none();
+    s.crash(NodeId(7), 40);
+    let k = (n as u64).div_ceil(2);
+
+    let got = kth_smallest_by_counts(
+        |x| {
+            let ind: Vec<u64> = values.iter().map(|&v| u64::from(v <= x)).collect();
+            let inst = Instance::new(g.clone(), NodeId(0), ind, s.clone(), 1).unwrap();
+            let cfg = TradeoffConfig { b: 63, c: C, f: 4, seed: x };
+            let r = run_tradeoff(&Count, &inst, &cfg);
+            assert!(r.correct);
+            r.result
+        },
+        domain,
+        k,
+    )
+    .expect("median exists");
+
+    // The distributed median may differ from the centralized one only by
+    // the failed node's contribution: rank shifts by at most 1.
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let lo = sorted[(k as usize - 1).saturating_sub(1)];
+    let hi = sorted[(k as usize).min(n - 1)];
+    assert!(
+        (lo..=hi).contains(&got),
+        "median {got} outside tolerance [{lo}, {hi}]"
+    );
+}

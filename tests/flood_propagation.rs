@@ -1,0 +1,94 @@
+//! The flooding primitive's timing contract, which every phase budget in
+//! the paper leans on: a message flooded by a live source reaches every
+//! node that stays connected to it within (residual-diameter) rounds —
+//! i.e. within `c·d` under the model's stretch assumption.
+
+use netsim::{topology, Engine, FailureSchedule, FloodState, Message, NodeId, NodeLogic, RoundCtx};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Mark;
+
+impl Message for Mark {
+    fn bit_len(&self) -> u64 {
+        1
+    }
+}
+
+/// Node 0 floods one message in round 1; everyone forwards on first
+/// receipt and records when they got it.
+struct FloodLogic {
+    me: NodeId,
+    seen: FloodState<Mark>,
+    received_at: Option<u64>,
+}
+
+impl NodeLogic<Mark> for FloodLogic {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Mark>) {
+        if ctx.round() == 1 && self.me == NodeId(0) {
+            self.seen.mark_seen(Mark);
+            self.received_at = Some(0);
+            ctx.send(Mark);
+        }
+        if !ctx.inbox().is_empty() && self.seen.first_sighting(Mark) {
+            self.received_at = Some(ctx.round());
+            ctx.send(Mark);
+        }
+    }
+}
+
+fn check_flood(g: netsim::Graph, schedule: FailureSchedule) {
+    let n = g.len();
+    let horizon = 4 * n as u64;
+    let mut eng = Engine::new(g, schedule, |v| FloodLogic {
+        me: v,
+        seen: FloodState::new(),
+        received_at: None,
+    });
+    eng.run(horizon);
+    // Every node alive & root-connected at the end must have received the
+    // flood, no later than the worst residual diameter allows.
+    let alive = eng.alive_connected(NodeId(0), horizon);
+    let worst_stretch = eng.schedule().stretch_factor(eng.graph(), NodeId(0));
+    let bound = (worst_stretch * f64::from(eng.graph().diameter())).ceil() as u64 + 1;
+    for v in alive {
+        let at = eng
+            .node(v)
+            .received_at
+            .unwrap_or_else(|| panic!("live node {v} never received the flood"));
+        assert!(
+            at <= bound,
+            "node {v} received at round {at} > bound {bound} (stretch {worst_stretch:.2})"
+        );
+    }
+}
+
+#[test]
+fn flood_reaches_all_live_nodes_within_stretch_bound() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for fam in topology::Family::ALL {
+        for trial in 0..5 {
+            let g = fam.build(24, &mut rng);
+            let horizon = 4 * g.len() as u64;
+            let k = rng.gen_range(0..4);
+            let s = netsim::adversary::schedules::random(&g, NodeId(0), k, horizon, &mut rng);
+            check_flood(g, s);
+            let _ = trial;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn flood_contract_on_random_graphs(seed in 0u64..100_000, n in 4usize..30, k in 0usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::connected_gnp(n, 0.2, &mut rng);
+        let horizon = 4 * n as u64;
+        let s = netsim::adversary::schedules::random(&g, NodeId(0), k, horizon, &mut rng);
+        check_flood(g, s);
+    }
+}

@@ -1,0 +1,48 @@
+//! The interval machinery Algorithm 1 relies on: shifting a global failure
+//! schedule into a sub-execution's local round frame, and attributing edge
+//! failures to round windows.
+
+use netsim::{CrashEvent, FailureSchedule, NodeId};
+
+#[test]
+fn shifted_moves_rounds_and_clamps() {
+    let mut s = FailureSchedule::none();
+    s.crash(NodeId(1), 5);
+    s.crash(NodeId(2), 100);
+    let sh = s.shifted(10);
+    // Node 1 crashed before the window: dead from local round 1.
+    assert_eq!(sh.event(NodeId(1)), Some(&CrashEvent::clean(1)));
+    // Node 2's crash lands at local round 90.
+    assert_eq!(sh.event(NodeId(2)), Some(&CrashEvent::clean(90)));
+}
+
+#[test]
+fn shifted_zero_is_identity() {
+    let mut s = FailureSchedule::none();
+    s.crash(NodeId(3), 7);
+    s.crash_partial(NodeId(4), 9, vec![NodeId(3)]);
+    assert_eq!(s.shifted(0), s);
+}
+
+#[test]
+fn shifted_drops_stale_partial_restrictions() {
+    let mut s = FailureSchedule::none();
+    s.crash_partial(NodeId(4), 9, vec![NodeId(3)]);
+    // Window starts after the partial broadcast already happened: the node
+    // is simply dead (no restriction left to model).
+    let sh = s.shifted(9);
+    assert_eq!(sh.event(NodeId(4)), Some(&CrashEvent::clean(1)));
+    // Window starts right before: restriction survives, round shifts.
+    let sh = s.shifted(7);
+    assert_eq!(
+        sh.event(NodeId(4)),
+        Some(&CrashEvent::partial(2, vec![NodeId(3)]))
+    );
+}
+
+#[test]
+fn composition_of_shifts() {
+    let mut s = FailureSchedule::none();
+    s.crash(NodeId(5), 50);
+    assert_eq!(s.shifted(20).shifted(10), s.shifted(30));
+}

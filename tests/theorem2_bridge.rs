@@ -1,0 +1,34 @@
+//! Cross-crate check of Theorem 2's assembly: the bridge built from the
+//! twoparty crate's Theorem 12 must reproduce (up to constants and the
+//! low-order log slack) the closed form in `ftagg::bounds`.
+
+use ftagg::bounds::lower_bound_new;
+use twoparty::bridge::theorem2_lower_bound;
+
+#[test]
+fn bridge_and_closed_form_agree_asymptotically() {
+    // In the regime where f/(b·log b) dominates the log-slacks, the two
+    // computations must agree within a factor of 2.
+    for &(n, f, b) in &[
+        (1usize << 16, 1usize << 20, 32u64),
+        (1 << 18, 1 << 22, 64),
+        (1 << 14, 1 << 19, 128),
+    ] {
+        let closed = lower_bound_new(n, f, b);
+        let bridged = theorem2_lower_bound(n, f, b);
+        let ratio = bridged / closed;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "n={n} f={f} b={b}: bridged {bridged:.1} vs closed {closed:.1} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn both_forms_dominate_the_old_bound() {
+    for &(n, f, b) in &[(1usize << 16, 1usize << 20, 32u64), (1 << 12, 1 << 18, 256)] {
+        let old = ftagg::bounds::lower_bound_old(f, b);
+        assert!(lower_bound_new(n, f, b) >= old);
+        assert!(theorem2_lower_bound(n, f, b) >= old);
+    }
+}
