@@ -24,9 +24,7 @@ fn bench_baselines(crit: &mut Criterion) {
     group.bench_function("tag_once", |b| {
         b.iter(|| black_box(run_tag_once(&Sum, &inst, inst.schedule.clone(), 1, 0)))
     });
-    group.bench_function("folklore", |b| {
-        b.iter(|| black_box(run_folklore(&Sum, &inst, 1, 8)))
-    });
+    group.bench_function("folklore", |b| b.iter(|| black_box(run_folklore(&Sum, &inst, 1, 8))));
     group.bench_function("agg_veri_pair", |b| {
         b.iter(|| black_box(run_pair(&Sum, &inst, 1, 2, true)))
     });

@@ -28,7 +28,7 @@ impl NodeLogic<Token> for Flooder {
             self.flood.mark_seen(t.clone());
             ctx.send(t);
         }
-        let inbox: Vec<Token> = ctx.inbox().iter().map(|m| m.msg.clone()).collect();
+        let inbox: Vec<Token> = ctx.inbox().iter().map(|m| (*m.msg).clone()).collect();
         for t in inbox {
             if self.flood.first_sighting(t.clone()) {
                 ctx.send(t);

@@ -1,0 +1,89 @@
+//! Criterion bench: serial vs parallel trial execution through
+//! [`netsim::Runner`] on a multi-trial sweep over a 1000-node G(n, p)
+//! graph — the outer loop every experiment binary shares.
+//!
+//! On a multi-core host the parallel group should approach `threads`×
+//! the serial throughput; on a single-core container (CI) the two are
+//! expected to tie, which doubles as a check that the runner adds no
+//! measurable overhead over the plain loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{
+    adversary::schedules, topology, Engine, FloodState, Message, NodeId, NodeLogic, RoundCtx,
+    Runner, TrialStats, TrialSummary,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Token(u32);
+
+impl Message for Token {
+    fn bit_len(&self) -> u64 {
+        32
+    }
+}
+
+/// Every 32nd node originates one token in round 1; everyone forwards
+/// each token once (classic flood), under a per-seed crash schedule.
+struct Flooder {
+    me: NodeId,
+    flood: FloodState<Token>,
+}
+
+impl NodeLogic<Token> for Flooder {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Token>) {
+        if ctx.round() == 1 && self.me.0.is_multiple_of(32) {
+            let t = Token(self.me.0);
+            self.flood.mark_seen(t.clone());
+            ctx.send(t);
+        }
+        let inbox: Vec<Token> = ctx.inbox().iter().map(|m| (*m.msg).clone()).collect();
+        for t in inbox {
+            if self.flood.first_sighting(t.clone()) {
+                ctx.send(t);
+            }
+        }
+    }
+}
+
+fn sweep(runner: &Runner, g: &netsim::Graph, seeds: &[u64]) -> TrialSummary {
+    let stats = runner.run(seeds, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = 2 * u64::from(g.diameter()) + 2;
+        let schedule = schedules::random(g, NodeId(0), 8, horizon, &mut rng);
+        let mut eng =
+            Engine::new(g.clone(), schedule, |v| Flooder { me: v, flood: FloodState::new() });
+        let report = eng.run(horizon);
+        TrialStats::from_metrics(seed, report.rounds, eng.metrics())
+    });
+    stats.iter().collect()
+}
+
+fn bench_runner_sweep(crit: &mut Criterion) {
+    let n = 1000usize;
+    let mut rng = StdRng::seed_from_u64(42);
+    let p = (3.0 * (n as f64).ln() / n as f64).min(0.5);
+    let g = topology::connected_gnp(n, p, &mut rng);
+    let seeds: Vec<u64> = (0..12).collect();
+
+    // Sanity: thread count must not change the aggregate.
+    let serial = sweep(&Runner::new(1), &g, &seeds);
+    for threads in [2usize, 4] {
+        assert_eq!(sweep(&Runner::new(threads), &g, &seeds), serial);
+    }
+
+    let mut group = crit.benchmark_group("runner_sweep_gnp1000");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let runner = Runner::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &runner, |b, runner| {
+            b.iter(|| black_box(sweep(runner, &g, &seeds).worst_max_bits))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner_sweep);
+criterion_main!(benches);

@@ -32,12 +32,7 @@ struct Outcome {
     undercount: u64,
 }
 
-fn check(
-    out: &mut Outcome,
-    inst: &Instance,
-    t: u32,
-    tweaks: Tweaks,
-) {
+fn check(out: &mut Outcome, inst: &Instance, t: u32, tweaks: Tweaks) {
     let c = 2u32;
     let rep = run_pair_with_tweaks(&Sum, inst, inst.schedule.clone(), c, t, true, 0, tweaks);
     out.runs += 1;
@@ -104,18 +99,17 @@ fn main() {
     let trials = 120;
     println!("Ablations — scenario-1 (≤ t failures) guarantee under design changes\n");
     let mut t = Table::new(vec![
-        "variant", "runs", "wrong results", "aborts", "VERI false (must be 0)", "total undercount",
+        "variant",
+        "runs",
+        "wrong results",
+        "aborts",
+        "VERI false (must be 0)",
+        "total undercount",
     ]);
     let variants = [
         ("faithful (2t horizon, speculative)", Tweaks::default()),
-        (
-            "no speculative flooding",
-            Tweaks { speculative_flooding: false, ..Tweaks::default() },
-        ),
-        (
-            "t-ancestor horizon",
-            Tweaks { ancestor_factor: 1, ..Tweaks::default() },
-        ),
+        ("no speculative flooding", Tweaks { speculative_flooding: false, ..Tweaks::default() }),
+        ("t-ancestor horizon", Tweaks { ancestor_factor: 1, ..Tweaks::default() }),
     ];
     let mut faithful_wrong = 0;
     let mut ablated_wrong = 0;

@@ -12,14 +12,9 @@ use ftagg_bench::{Env, Table};
 fn run_op<C: Caaf>(op: &C, env: &Env, t: &mut Table) {
     let cap = op.max_allowed_input().min(env.max_input);
     let inputs: Vec<u64> = env.inputs.iter().map(|&v| v.min(cap)).collect();
-    let inst = Instance::new(
-        env.graph.clone(),
-        netsim::NodeId(0),
-        inputs,
-        env.schedule.clone(),
-        cap,
-    )
-    .unwrap();
+    let inst =
+        Instance::new(env.graph.clone(), netsim::NodeId(0), inputs, env.schedule.clone(), cap)
+            .unwrap();
     let cfg = TradeoffConfig { b: 84, c: 2, f: 12, seed: 7 };
     let r = run_tradeoff(op, &inst, &cfg);
     // ModSum is checked against the exact reachability oracle by the test

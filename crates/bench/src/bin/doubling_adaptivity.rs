@@ -19,7 +19,12 @@ fn main() {
     let trials = 6u64;
     println!("Doubling (unknown f) — overhead vs actual failures φ (N = {n}, c = {c})\n");
     let mut t = Table::new(vec![
-        "φ (crashes)", "avg stages", "avg final guess", "CC (geomean)", "avg rounds", "fallbacks",
+        "φ (crashes)",
+        "avg stages",
+        "avg final guess",
+        "CC (geomean)",
+        "avg rounds",
+        "fallbacks",
         "all correct",
     ]);
     for &phi in &[0usize, 1, 2, 4, 8] {
@@ -61,5 +66,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nok — correctness preserved everywhere; cost grows with φ, not with a worst-case f.");
+    println!(
+        "\nok — correctness preserved everywhere; cost grows with φ, not with a worst-case f."
+    );
 }

@@ -19,34 +19,53 @@ use ftagg::baselines::{run_brute, run_folklore};
 use ftagg::bounds;
 use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
 use ftagg_bench::chart::BarChart;
-use ftagg_bench::{f, geomean, Env, Table};
+use ftagg_bench::{f, geomean, threads_from_args, Env, Table};
+use netsim::Runner;
 
 fn main() {
     let n = 120;
     let f_bound = 40;
     let c = 2u32;
     let trials = 5;
+    let runner = Runner::new(threads_from_args());
 
     println!("Figure 1 — communication/time landscape (N = {n}, f = {f_bound}, c = {c})");
-    println!("measured = geometric mean of bottleneck CC over {trials} random adversaries\n");
+    println!(
+        "measured = geometric mean of bottleneck CC over {trials} random adversaries \
+         ({} worker threads)\n",
+        runner.threads()
+    );
 
     let mut table = Table::new(vec![
-        "b", "measured CC", "upper f/b·log²N", "lower new", "lower old", "pairs", "fallbacks",
+        "b",
+        "measured CC",
+        "upper f/b·log²N",
+        "lower new",
+        "lower old",
+        "pairs",
+        "fallbacks",
     ]);
     let mut chart = BarChart::new("\nmeasured CC by b (log scale):").log_scale();
+    let seeds: Vec<u64> = (0..trials).collect();
     for &b in &[42u64, 63, 84, 126, 168, 252, 336, 504, 756] {
-        let mut ccs = Vec::new();
-        let mut pairs = 0usize;
-        let mut fallbacks = 0usize;
-        for trial in 0..trials {
+        // One trial per seed, in parallel; the reduction below walks the
+        // runner's seed-ordered results, so the printed numbers match the
+        // old serial loop exactly.
+        let results = runner.run(&seeds, |trial| {
             let env = Env::caterpillar(1000 * b + trial, 60, f_bound, b, c);
             let inst = env.instance();
             let cfg = TradeoffConfig { b, c, f: f_bound, seed: trial };
             let r = run_tradeoff(&Sum, &inst, &cfg);
             assert!(r.correct, "b = {b}, trial {trial}: incorrect result");
-            ccs.push(r.metrics.max_bits() as f64);
-            pairs += r.pairs_run;
-            fallbacks += usize::from(r.used_fallback);
+            (r.metrics.max_bits() as f64, r.pairs_run, r.used_fallback)
+        });
+        let mut ccs = Vec::new();
+        let mut pairs = 0usize;
+        let mut fallbacks = 0usize;
+        for (cc, p, fb) in results {
+            ccs.push(cc);
+            pairs += p;
+            fallbacks += usize::from(fb);
         }
         chart.bar(format!("b = {b}"), geomean(&ccs));
         table.row(vec![
@@ -64,19 +83,22 @@ fn main() {
 
     // The fixed-TC baselines anchoring the two ends of the figure.
     println!("\nbaselines (fixed TC):");
-    let mut ccs_brute = Vec::new();
-    let mut ccs_folk = Vec::new();
-    let mut folk_attempts = 0usize;
-    for trial in 0..trials {
+    let baseline = runner.run(&seeds, |trial| {
         let env = Env::caterpillar(7_000 + trial, 60, f_bound, 84, c);
         let inst = env.instance();
         let br = run_brute(&Sum, &inst, inst.schedule.clone(), c, 0);
         assert!(br.correct);
-        ccs_brute.push(br.metrics.max_bits() as f64);
         let fo = run_folklore(&Sum, &inst, c, 2 * f_bound + 2);
         assert!(fo.correct);
-        ccs_folk.push(fo.metrics.max_bits() as f64);
-        folk_attempts += fo.attempts;
+        (br.metrics.max_bits() as f64, fo.metrics.max_bits() as f64, fo.attempts)
+    });
+    let mut ccs_brute = Vec::new();
+    let mut ccs_folk = Vec::new();
+    let mut folk_attempts = 0usize;
+    for (br, fo, att) in baseline {
+        ccs_brute.push(br);
+        ccs_folk.push(fo);
+        folk_attempts += att;
     }
     let mut t2 = Table::new(vec!["protocol", "TC (flooding rounds)", "measured CC", "theory"]);
     t2.row(vec![

@@ -16,11 +16,9 @@ fn main() {
     // Topology: root 0; chain 0-1-2 (1 = "B", 2 = "A"); A's children D=3,
     // E=4; F=5 a direct child of the root; 6,7 form a backup path keeping
     // D and E root-connected after B and A die.
-    let g = Graph::new(
-        8,
-        &[(0, 1), (1, 2), (2, 3), (2, 4), (0, 5), (0, 7), (7, 6), (6, 3), (6, 4)],
-    )
-    .unwrap();
+    let g =
+        Graph::new(8, &[(0, 1), (1, 2), (2, 3), (2, 4), (0, 5), (0, 7), (7, 6), (6, 3), (6, 4)])
+            .unwrap();
     let c = 2u32;
     let cd = u64::from(c) * u64::from(g.diameter());
     let b_action = (2 * cd + 1) + (cd - 1 + 1); // B's aggregation round

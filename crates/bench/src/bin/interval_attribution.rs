@@ -29,7 +29,10 @@ fn main() {
         r.x, r.t
     );
     let mut t = Table::new(vec![
-        "interval", "global rounds", "bits (all nodes)", "per-pair cap N·(AGG+VERI budgets)",
+        "interval",
+        "global rounds",
+        "bits (all nodes)",
+        "per-pair cap N·(AGG+VERI budgets)",
     ]);
     let cap = n as u64 * (agg_bit_budget(n, r.t) + veri_bit_budget(n, r.t));
     let mut nonzero = 0;
@@ -39,24 +42,14 @@ fn main() {
         let bits = r.metrics.bits_in_rounds(lo..=hi);
         if bits > 0 {
             nonzero += 1;
-            t.row(vec![
-                y.to_string(),
-                format!("{lo}..{hi}"),
-                bits.to_string(),
-                cap.to_string(),
-            ]);
+            t.row(vec![y.to_string(), format!("{lo}..{hi}"), bits.to_string(), cap.to_string()]);
             assert!(bits <= cap, "interval {y} exceeded the theorem cap");
         }
     }
     // Fallback window.
     let fb_lo = (b - 2 * u64::from(c)) * d + 1;
     let fb_bits = r.metrics.bits_in_rounds(fb_lo..=fb_lo + 2 * u64::from(c) * d + 2);
-    t.row(vec![
-        "fallback".to_string(),
-        format!("{fb_lo}.."),
-        fb_bits.to_string(),
-        "-".to_string(),
-    ]);
+    t.row(vec!["fallback".to_string(), format!("{fb_lo}.."), fb_bits.to_string(), "-".to_string()]);
     t.print();
     println!(
         "\n{} of {} intervals carried traffic (pairs run: {}); all within the per-pair cap;",
@@ -66,8 +59,7 @@ fn main() {
     assert_eq!(nonzero, r.pairs_run as u64, "traffic must sit exactly in executed intervals");
     assert_eq!(
         r.metrics.bits_in_rounds(1..=b * d + 3),
-        r.metrics
-            .bits_in_rounds(1..=u64::MAX >> 1),
+        r.metrics.bits_in_rounds(1..=u64::MAX >> 1),
         "no traffic outside the TC budget"
     );
     println!("ok.");

@@ -42,7 +42,11 @@ fn main() {
 
     println!("\nalternative free-entry choices (Theorem 9 allows any reals):");
     let mut t2 = Table::new(vec!["free entries", "q", "rank"]);
-    for (label, free) in [("all 0 (identity)", vec![0i64; 6]), ("all +1", vec![1; 6]), ("all -1 (Lemma 11)", vec![-1; 6])] {
+    for (label, free) in [
+        ("all 0 (identity)", vec![0i64; 6]),
+        ("all +1", vec![1; 6]),
+        ("all -1 (Lemma 11)", vec![-1; 6]),
+    ] {
         let m = theorem9_matrix(6, &free);
         t2.row(vec![label.to_string(), "6".to_string(), rank_rational(&m).to_string()]);
     }
@@ -61,9 +65,8 @@ fn main() {
     t3.print();
 
     println!("\nresulting lower-bound curves (bits):");
-    let mut t4 = Table::new(vec![
-        "n", "q", "EQ ≥ n/(q-1)", "USZ ≥ n/q − log n", "old USZ ≥ n/q² − log n",
-    ]);
+    let mut t4 =
+        Table::new(vec!["n", "q", "EQ ≥ n/(q-1)", "USZ ≥ n/q − log n", "old USZ ≥ n/q² − log n"]);
     for &(n, q) in &[(1usize << 10, 4u32), (1 << 14, 8), (1 << 14, 64), (1 << 20, 64)] {
         t4.row(vec![
             n.to_string(),

@@ -13,9 +13,8 @@ use std::time::Instant;
 
 fn main() {
     println!("Scale check — Algorithm 1 end-to-end at growing N (c = 2, f = N/16)\n");
-    let mut t = Table::new(vec![
-        "N", "topology", "d", "wall ms", "CC bits", "TC fl.rounds", "correct",
-    ]);
+    let mut t =
+        Table::new(vec!["N", "topology", "d", "wall ms", "CC bits", "TC fl.rounds", "correct"]);
     for &n in &[100usize, 250, 500, 1000, 2000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let side = (n as f64).sqrt().round() as usize;

@@ -9,26 +9,36 @@
 use caaf::Sum;
 use ftagg::bounds;
 use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
-use ftagg_bench::{f, geomean, Env, Table};
+use ftagg_bench::{f, geomean, threads_from_args, Env, Table};
+use netsim::Runner;
 
 fn main() {
     let c = 2u32;
     let trials = 4u64;
-    println!("Theorem 1 — Algorithm 1 across the (N, f, b) grid (c = {c}, {trials} trials/point)\n");
+    let runner = Runner::new(threads_from_args());
+    println!(
+        "Theorem 1 — Algorithm 1 across the (N, f, b) grid (c = {c}, {trials} trials/point, \
+         {} worker threads)\n",
+        runner.threads()
+    );
     let mut t = Table::new(vec![
-        "N", "f", "b", "measured CC", "bound (precise)", "bound (simple)", "pairs", "min(x,f+1,logN)",
-        "TC used", "correct",
+        "N",
+        "f",
+        "b",
+        "measured CC",
+        "bound (precise)",
+        "bound (simple)",
+        "pairs",
+        "min(x,f+1,logN)",
+        "TC used",
+        "correct",
     ]);
     for &n_spine in &[30usize, 60] {
         let n = 2 * n_spine;
         for &ff in &[8usize, 24, 48] {
             for &b in &[42u64, 126, 378] {
-                let mut ccs = Vec::new();
-                let mut pairs_max = 0usize;
-                let mut tc_max = 0u64;
-                let mut all_correct = true;
-                let mut pair_cap = 0u64;
-                for trial in 0..trials {
+                let seeds: Vec<u64> = (0..trials).collect();
+                let results = runner.run(&seeds, |trial| {
                     let env = Env::caterpillar(
                         9_000_000 + 31 * (n as u64) + 7 * (ff as u64) + b + trial,
                         n_spine,
@@ -39,20 +49,32 @@ fn main() {
                     let inst = env.instance();
                     let cfg = TradeoffConfig { b, c, f: ff, seed: trial };
                     let r = run_tradeoff(&Sum, &inst, &cfg);
-                    all_correct &= r.correct;
-                    ccs.push(r.metrics.max_bits() as f64);
-                    pairs_max = pairs_max.max(r.pairs_run);
-                    tc_max = tc_max.max(r.flooding_rounds);
-                    pair_cap = r
-                        .x
-                        .min(ff as u64 + 1)
-                        .min(u64::from(wire::id_bits(n)));
+                    let pair_cap = r.x.min(ff as u64 + 1).min(u64::from(wire::id_bits(n)));
                     assert!(
                         r.pairs_run as u64 <= pair_cap,
                         "pairs {} > min(x, f+1, logN) = {pair_cap}",
                         r.pairs_run
                     );
                     assert!(r.flooding_rounds <= b + 1, "TC {} > b = {b}", r.flooding_rounds);
+                    (
+                        r.metrics.max_bits() as f64,
+                        r.pairs_run,
+                        r.flooding_rounds,
+                        r.correct,
+                        pair_cap,
+                    )
+                });
+                let mut ccs = Vec::new();
+                let mut pairs_max = 0usize;
+                let mut tc_max = 0u64;
+                let mut all_correct = true;
+                let mut pair_cap = 0u64;
+                for (cc, pr, tc, ok, cap) in results {
+                    ccs.push(cc);
+                    pairs_max = pairs_max.max(pr);
+                    tc_max = tc_max.max(tc);
+                    all_correct &= ok;
+                    pair_cap = cap;
                 }
                 assert!(all_correct);
                 t.row(vec![

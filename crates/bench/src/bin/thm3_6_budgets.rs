@@ -17,8 +17,17 @@ fn main() {
     let c = 2u32;
     println!("Theorems 3 & 6 — AGG/VERI budgets (c = {c})\n");
     let mut t = Table::new(vec![
-        "family", "N", "t", "AGG bits max", "AGG budget", "VERI bits max", "VERI budget",
-        "AGG fl.rounds", "11c", "VERI fl.rounds", "8c",
+        "family",
+        "N",
+        "t",
+        "AGG bits max",
+        "AGG budget",
+        "VERI bits max",
+        "VERI budget",
+        "AGG fl.rounds",
+        "11c",
+        "VERI fl.rounds",
+        "8c",
     ]);
     let mut rng = StdRng::seed_from_u64(1);
     for fam in topology::Family::ALL {
@@ -34,18 +43,8 @@ fn main() {
             };
             let inst = Instance::new(g, NodeId(0), vec![3; n], s, 3).unwrap();
             let (eng, params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), c, tt, true);
-            let agg_max = inst
-                .graph
-                .nodes()
-                .map(|v| eng.node(v).agg_bits_sent())
-                .max()
-                .unwrap();
-            let veri_max = inst
-                .graph
-                .nodes()
-                .map(|v| eng.node(v).veri_bits_sent())
-                .max()
-                .unwrap();
+            let agg_max = inst.graph.nodes().map(|v| eng.node(v).agg_bits_sent()).max().unwrap();
+            let veri_max = inst.graph.nodes().map(|v| eng.node(v).veri_bits_sent()).max().unwrap();
             let ab = agg_bit_budget(n, tt);
             let vb = veri_bit_budget(n, tt);
             assert!(agg_max <= ab && veri_max <= vb, "{fam}: budget violated");
@@ -77,12 +76,7 @@ fn main() {
     let inst = Instance::new(g, NodeId(0), vec![1; n], netsim::FailureSchedule::none(), 1).unwrap();
     for &tt in &[0u32, 1, 2, 4, 8, 16] {
         let (eng, _) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), c, tt, true);
-        let agg_max = inst
-            .graph
-            .nodes()
-            .map(|v| eng.node(v).agg_bits_sent())
-            .max()
-            .unwrap();
+        let agg_max = inst.graph.nodes().map(|v| eng.node(v).agg_bits_sent()).max().unwrap();
         let ab = agg_bit_budget(n, tt);
         t2.row(vec![
             tt.to_string(),

@@ -27,7 +27,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2014);
     println!("Theorem 12 — UNIONSIZECP transcripts vs bounds (avg over 10 instances)\n");
     let mut t = Table::new(vec![
-        "n", "q", "bitmask", "zero-list", "cycle-cut", "UB (n/q·logn+logq)", "LB new (n/q−logn)",
+        "n",
+        "q",
+        "bitmask",
+        "zero-list",
+        "cycle-cut",
+        "UB (n/q·logn+logq)",
+        "LB new (n/q−logn)",
         "LB old (n/q²−logn)",
     ]);
     for &n in &[256usize, 1024, 4096] {
@@ -56,7 +62,13 @@ fn main() {
 
     println!("\nTheorem 8 — EQUALITYCP via a UNIONSIZECP oracle (overhead is logarithmic):\n");
     let mut t2 = Table::new(vec![
-        "n", "q", "USZ bits", "EQ bits", "overhead", "O(log n + log q)", "verdicts checked",
+        "n",
+        "q",
+        "USZ bits",
+        "EQ bits",
+        "overhead",
+        "O(log n + log q)",
+        "verdicts checked",
     ]);
     for &n in &[256usize, 4096] {
         for &q in &[4u32, 64] {
@@ -79,7 +91,8 @@ fn main() {
                 checked += 1;
             }
             let overhead = (eq - usz) / trials;
-            let logs = f64::from(wire::id_bits(n.max(2))) + f64::from(wire::range_bits(u64::from(q)));
+            let logs =
+                f64::from(wire::id_bits(n.max(2))) + f64::from(wire::range_bits(u64::from(q)));
             t2.row(vec![
                 n.to_string(),
                 q.to_string(),
@@ -89,10 +102,7 @@ fn main() {
                 f(2.0 * logs, 0),
                 checked.to_string(),
             ]);
-            assert!(
-                overhead as f64 <= 3.0 * logs,
-                "reduction overhead {overhead} not logarithmic"
-            );
+            assert!(overhead as f64 <= 3.0 * logs, "reduction overhead {overhead} not logarithmic");
         }
     }
     t2.print();

@@ -10,8 +10,8 @@ use caaf::Sum;
 use ftagg::bounds;
 use ftagg::tradeoff::TradeoffConfig;
 use ftagg_bench::search::{worst_case_search, SearchConfig};
-use ftagg_bench::{f, Table};
-use netsim::topology;
+use ftagg_bench::{f, threads_from_args, Table};
+use netsim::{topology, Runner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,10 +26,11 @@ fn main() {
     println!(
         "Adversary search — locally-worst oblivious schedules (N = {n}, f = {f_budget}, c = {c})\n"
     );
-    let mut t = Table::new(vec![
-        "b", "searched CC", "improvements", "upper bound", "crashes used",
-    ]);
-    for &b in &[42u64, 126, 378] {
+    let mut t = Table::new(vec!["b", "searched CC", "improvements", "upper bound", "crashes used"]);
+    // Each hill-climb is seeded by its b, so the three searches are
+    // independent trials the runner can fan out; rows come back in b order.
+    let budgets = [42u64, 126, 378];
+    let rows = Runner::new(threads_from_args()).run(&budgets, |b| {
         let cfg = SearchConfig {
             iterations: 40,
             coin_seeds: 2,
@@ -37,13 +38,16 @@ fn main() {
             tradeoff: TradeoffConfig { b, c, f: f_budget, seed: 0 },
         };
         let r = worst_case_search(&Sum, &g, &inputs, 31, f_budget, &cfg);
-        t.row(vec![
+        vec![
             b.to_string(),
             f(r.cc, 0),
             (r.history.len() - 1).to_string(),
             f(bounds::upper_bound_simple(n, f_budget, b), 0),
             r.schedule.crash_count().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
     println!("\nok — every evaluated schedule produced a correct result (zero-error).");

@@ -21,9 +21,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     println!("Zero-error vs Monte Carlo equality (n = {n}, q = {q}, {trials} instances)\n");
 
-    let mut t = Table::new(vec![
-        "protocol", "avg bits", "errors", "error rate", "zero-error?",
-    ]);
+    let mut t = Table::new(vec!["protocol", "avg bits", "errors", "error rate", "zero-error?"]);
 
     for &(label, bits, rounds) in &[
         ("fingerprint 2-bit ×1", 2u32, 1u32),

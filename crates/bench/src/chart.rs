@@ -17,12 +17,7 @@ pub struct BarChart {
 impl BarChart {
     /// A chart with a title, linear scale, 48-column bars.
     pub fn new(title: impl Into<String>) -> Self {
-        BarChart {
-            title: title.into(),
-            rows: Vec::new(),
-            log_scale: false,
-            width: 48,
-        }
+        BarChart { title: title.into(), rows: Vec::new(), log_scale: false, width: 48 }
     }
 
     /// Switches to log₂ scale (for CC series spanning decades).
@@ -64,12 +59,7 @@ impl BarChart {
                 v
             }
         };
-        let max_scaled = self
-            .rows
-            .iter()
-            .map(|(_, v)| scale(*v))
-            .fold(0.0f64, f64::max)
-            .max(1e-12);
+        let max_scaled = self.rows.iter().map(|(_, v)| scale(*v)).fold(0.0f64, f64::max).max(1e-12);
         let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         for (label, v) in &self.rows {
             let filled = ((scale(*v) / max_scaled) * self.width as f64).round() as usize;
@@ -101,10 +91,7 @@ mod tests {
         let out = c.render();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);
-        let bars: Vec<usize> = lines[1..]
-            .iter()
-            .map(|l| l.matches('█').count())
-            .collect();
+        let bars: Vec<usize> = lines[1..].iter().map(|l| l.matches('█').count()).collect();
         assert_eq!(bars, vec![10, 5, 0]);
         assert!(lines[1].ends_with("10"));
     }
@@ -114,11 +101,7 @@ mod tests {
         let mut c = BarChart::new("log").log_scale().width(16);
         c.bar("big", 1024.0).bar("small", 32.0);
         let out = c.render();
-        let bars: Vec<usize> = out
-            .lines()
-            .skip(1)
-            .map(|l| l.matches('█').count())
-            .collect();
+        let bars: Vec<usize> = out.lines().skip(1).map(|l| l.matches('█').count()).collect();
         // log2: 10 vs 5 → 16 vs 8 chars.
         assert_eq!(bars, vec![16, 8]);
     }
@@ -133,11 +116,7 @@ mod tests {
         let mut c = BarChart::new("t").width(4);
         c.bar("xx", 1.0).bar("yyyy", 1.0);
         let out = c.render();
-        let starts: Vec<usize> = out
-            .lines()
-            .skip(1)
-            .map(|l| l.find('│').unwrap())
-            .collect();
+        let starts: Vec<usize> = out.lines().skip(1).map(|l| l.find('│').unwrap()).collect();
         assert_eq!(starts[0], starts[1]);
     }
 }

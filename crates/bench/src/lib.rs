@@ -37,10 +37,7 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row (missing cells print empty; extras are dropped).
@@ -89,6 +86,27 @@ pub fn f(x: f64, p: usize) -> String {
     format!("{x:.p$}")
 }
 
+/// Worker-thread count for the experiment binaries: `--threads N` on the
+/// command line wins, then the `FTAGG_THREADS` environment variable, then
+/// `0` (meaning "machine parallelism" — see [`netsim::Runner::new`]).
+///
+/// Results are independent of this knob: every bin reduces the runner's
+/// seed-ordered output, so any thread count reproduces the serial numbers
+/// bit for bit.
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(v) = args.next() {
+                if let Ok(n) = v.parse() {
+                    return n;
+                }
+            }
+        }
+    }
+    std::env::var("FTAGG_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 /// Draws random failure schedules until one respects the `c·d` stretch
 /// assumption (or gives up after `tries`, returning the failure-free
 /// schedule and reporting it).
@@ -128,7 +146,11 @@ impl Env {
     /// Builds an environment deterministically from a seed.
     pub fn random(seed: u64, n: usize, f_target: usize, b: u64, c: u32) -> Env {
         let mut rng = StdRng::seed_from_u64(seed);
-        let graph = netsim::topology::connected_gnp(n, (3.0 * (n as f64).ln() / n as f64).min(0.5), &mut rng);
+        let graph = netsim::topology::connected_gnp(
+            n,
+            (3.0 * (n as f64).ln() / n as f64).min(0.5),
+            &mut rng,
+        );
         let horizon = b * u64::from(graph.diameter().max(1));
         let schedule =
             stretch_respecting_schedule(&graph, NodeId(0), f_target, horizon, c, 50, &mut rng);

@@ -47,14 +47,9 @@ fn evaluate<C: Caaf>(
     schedule: &FailureSchedule,
     cfg: &SearchConfig,
 ) -> f64 {
-    let inst = Instance::new(
-        graph.clone(),
-        NodeId(0),
-        inputs.to_vec(),
-        schedule.clone(),
-        max_input,
-    )
-    .expect("search instances are valid");
+    let inst =
+        Instance::new(graph.clone(), NodeId(0), inputs.to_vec(), schedule.clone(), max_input)
+            .expect("search instances are valid");
     let mut total = 0u64;
     for seed in 0..cfg.coin_seeds.max(1) {
         let tc = TradeoffConfig { seed, ..cfg.tradeoff };
@@ -138,8 +133,7 @@ fn mutate<R: Rng>(
                 s.crash(n, r);
             }
         }
-        if s.edge_failures(graph) <= f_budget
-            && s.stretch_factor(graph, NodeId(0)) <= f64::from(c)
+        if s.edge_failures(graph) <= f_budget && s.stretch_factor(graph, NodeId(0)) <= f64::from(c)
         {
             return s;
         }

@@ -22,8 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod oracle;
 pub mod ops;
+pub mod oracle;
 pub mod query;
 pub mod stats;
 
@@ -90,9 +90,7 @@ pub trait Caaf: Clone + fmt::Debug {
     where
         Self: Sized,
     {
-        values
-            .into_iter()
-            .fold(self.identity(), |acc, v| self.combine(acc, v))
+        values.into_iter().fold(self.identity(), |acc, v| self.combine(acc, v))
     }
 }
 

@@ -390,7 +390,11 @@ mod prop_tests {
                 }
             }
             Direction::Decreasing => {
-                assert!(op.combine(a, b) <= a && op.combine(a, b) <= b || a == op.identity() || b == op.identity());
+                assert!(
+                    op.combine(a, b) <= a && op.combine(a, b) <= b
+                        || a == op.identity()
+                        || b == op.identity()
+                );
             }
         }
     }

@@ -83,11 +83,7 @@ pub fn kth_largest_by_counts(
 ///
 /// Returns `None` when `m == 0` or the oracle cannot account for `⌈m/2⌉`
 /// inputs within the domain.
-pub fn median_by_counts(
-    count_le: impl FnMut(u64) -> u64,
-    domain_max: u64,
-    m: u64,
-) -> Option<u64> {
+pub fn median_by_counts(count_le: impl FnMut(u64) -> u64, domain_max: u64, m: u64) -> Option<u64> {
     if m == 0 {
         return None;
     }
@@ -138,11 +134,8 @@ mod tests {
         let mut sorted = data.to_vec();
         sorted.sort_unstable();
         for k in 1..=data.len() as u64 {
-            let got = kth_smallest_by_counts(
-                |x| data.iter().filter(|&&v| v <= x).count() as u64,
-                10,
-                k,
-            );
+            let got =
+                kth_smallest_by_counts(|x| data.iter().filter(|&&v| v <= x).count() as u64, 10, k);
             assert_eq!(got, Some(sorted[(k - 1) as usize]), "k = {k}");
         }
     }

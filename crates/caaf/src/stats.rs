@@ -52,21 +52,9 @@ impl StatsSpec {
     /// The components to aggregate (each is a SUM- or COUNT-shaped CAAF
     /// run over derived inputs).
     pub fn components(&self) -> Vec<Component> {
-        let sum = Component {
-            name: "sum",
-            derive: |x| x,
-            derived_max: |m| m,
-        };
-        let count = Component {
-            name: "count",
-            derive: |_| 1,
-            derived_max: |_| 1,
-        };
-        let sum_sq = Component {
-            name: "sum_sq",
-            derive: |x| x * x,
-            derived_max: |m| m * m,
-        };
+        let sum = Component { name: "sum", derive: |x| x, derived_max: |m| m };
+        let count = Component { name: "count", derive: |_| 1, derived_max: |_| 1 };
+        let sum_sq = Component { name: "sum_sq", derive: |x| x * x, derived_max: |m| m * m };
         match self.stat {
             Statistic::Mean => vec![sum, count],
             Statistic::Variance => vec![sum, count, sum_sq],
@@ -126,10 +114,7 @@ pub fn combine_stats(stat: Statistic, aggregates: &[u64]) -> Option<f64> {
         }
         Statistic::Variance => {
             let [sum, count, sum_sq] = aggregates else {
-                panic!(
-                    "variance needs [sum, count, sum_sq], got {} components",
-                    aggregates.len()
-                )
+                panic!("variance needs [sum, count, sum_sq], got {} components", aggregates.len())
             };
             if *count == 0 {
                 return None;

@@ -48,17 +48,14 @@ impl Args {
     /// value, or a stray positional argument.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut it = raw.into_iter();
-        let command = it
-            .next()
-            .ok_or("missing subcommand (run | topo | trace | sweep | bounds)")?;
+        let command =
+            it.next().ok_or("missing subcommand (run | topo | trace | sweep | bounds)")?;
         let mut opts: BTreeMap<String, Vec<String>> = BTreeMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{key}'"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("option --{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
             opts.entry(name.to_string()).or_default().push(value);
         }
         Ok(Args { command, opts })
@@ -119,6 +116,7 @@ commands:
           --topology SPEC --t T --c C --crash NODE@ROUND --dot (print DOT)
   sweep   sweep the TC budget b and print the measured tradeoff curve
           --topology SPEC --f F --c C --from B0 --to B1 --points K --seed S
+          --threads T (parallel trial runner; 0 = auto, same output any T)
   bounds  print the paper's bound curves       --n N --f F --b B
 ";
 
@@ -258,8 +256,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "visible critical failures: {:?}", root.critical_failures_seen());
     let _ = writeln!(out, "flooded psums at root: {:?}\n", root.flooded_psums_seen());
     let tree = ftagg::analysis::TreeView::from_engine(&eng, NodeId(0));
-    let crashed: std::collections::BTreeSet<NodeId> =
-        schedule.all_crashed().into_iter().collect();
+    let crashed: std::collections::BTreeSet<NodeId> = schedule.all_crashed().into_iter().collect();
     out.push_str("aggregation tree:\n");
     out.push_str(&tree.render_ascii(&crashed));
     out.push('\n');
@@ -313,7 +310,11 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         let mut best = netsim::FailureSchedule::none();
         for _ in 0..50 {
             let s = netsim::adversary::schedules::random_with_edge_budget(
-                &graph, NodeId(0), f, horizon, &mut rng,
+                &graph,
+                NodeId(0),
+                f,
+                horizon,
+                &mut rng,
             );
             if s.stretch_factor(&graph, NodeId(0)) <= f64::from(c) {
                 best = s;
@@ -325,25 +326,31 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
     let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
     let inst = Instance::new(graph, NodeId(0), inputs, schedule, 100)?;
 
+    let threads: usize = args.num("threads", 1)?;
     let mut out = String::new();
     let _ = writeln!(out, "N = {n}, f = {} scheduled, c = {c}", inst.edge_failures());
-    let _ = writeln!(out, "{:>7} {:>12} {:>14} {:>8} {:>9}", "b", "measured CC", "upper bound", "pairs", "correct");
-    for i in 0..points {
-        let b = if points == 1 {
-            from
-        } else {
-            from + (to - from) * u64::from(i) / u64::from(points - 1)
-        };
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12} {:>14} {:>8} {:>9}",
+        "b", "measured CC", "upper bound", "pairs", "correct"
+    );
+    // One sweep point per "seed"; the runner hands rows back in point
+    // order, so the report is identical for every --threads value.
+    let points_idx: Vec<u64> = (0..u64::from(points)).collect();
+    let rows = netsim::Runner::new(threads).run(&points_idx, |i| {
+        let b = if points == 1 { from } else { from + (to - from) * i / u64::from(points - 1) };
         let cfg = TradeoffConfig { b, c, f, seed };
         let r = run_tradeoff(&Sum, &inst, &cfg);
-        let _ = writeln!(
-            out,
-            "{b:>7} {:>12} {:>14.0} {:>8} {:>9}",
+        format!(
+            "{b:>7} {:>12} {:>14.0} {:>8} {:>9}\n",
             r.metrics.max_bits(),
             bounds::upper_bound_simple(n, f, b),
             r.pairs_run,
             r.correct
-        );
+        )
+    });
+    for row in rows {
+        out.push_str(&row);
     }
     Ok(out)
 }
@@ -471,6 +478,31 @@ mod tests {
         assert!(out.contains("measured CC"), "{out}");
         assert_eq!(out.matches("true").count(), 2, "{out}");
         assert!(dispatch(&args(&["sweep", "--from", "5"])).is_err());
+    }
+
+    #[test]
+    fn sweep_output_is_identical_across_thread_counts() {
+        let sweep = |threads: &str| {
+            dispatch(&args(&[
+                "sweep",
+                "--topology",
+                "grid:4x4",
+                "--f",
+                "3",
+                "--from",
+                "42",
+                "--to",
+                "126",
+                "--points",
+                "3",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let serial = sweep("1");
+        assert_eq!(sweep("2"), serial);
+        assert_eq!(sweep("8"), serial);
     }
 
     #[test]

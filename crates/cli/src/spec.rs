@@ -55,9 +55,8 @@ impl OpSpec {
 }
 
 fn parse_pair(s: &str, sep: char) -> Result<(usize, usize), String> {
-    let (a, b) = s
-        .split_once(sep)
-        .ok_or_else(|| format!("expected '{sep}'-separated pair, got '{s}'"))?;
+    let (a, b) =
+        s.split_once(sep).ok_or_else(|| format!("expected '{sep}'-separated pair, got '{s}'"))?;
     Ok((
         a.parse().map_err(|_| format!("bad number '{a}'"))?,
         b.parse().map_err(|_| format!("bad number '{b}'"))?,
@@ -158,9 +157,8 @@ pub fn parse_inputs(spec: &str, n: usize, seed: u64) -> Result<(Vec<u64>, u64), 
 pub fn parse_crashes(specs: &[String]) -> Result<FailureSchedule, String> {
     let mut s = FailureSchedule::none();
     for c in specs {
-        let (node, round) = c
-            .split_once('@')
-            .ok_or_else(|| format!("crash spec '{c}' must be NODE@ROUND"))?;
+        let (node, round) =
+            c.split_once('@').ok_or_else(|| format!("crash spec '{c}' must be NODE@ROUND"))?;
         let node: u32 = node.parse().map_err(|_| format!("bad node '{node}'"))?;
         let round: u64 = round.parse().map_err(|_| format!("bad round '{round}'"))?;
         if round == 0 {
@@ -200,18 +198,11 @@ pub fn parse_op(spec: &str) -> Result<OpSpec, String> {
 /// Serializes a full scenario (explicit edge-list topology, inputs, and
 /// crash schedule) into a one-line-per-field text format that
 /// [`parse_scenario`] reads back — the CLI's `--save`/`--load` files.
-pub fn format_scenario(
-    graph: &Graph,
-    inputs: &[u64],
-    schedule: &FailureSchedule,
-) -> String {
+pub fn format_scenario(graph: &Graph, inputs: &[u64], schedule: &FailureSchedule) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let edges: Vec<String> = graph
-        .edges()
-        .iter()
-        .map(|e| format!("{}-{}", e.lo().0, e.hi().0))
-        .collect();
+    let edges: Vec<String> =
+        graph.edges().iter().map(|e| format!("{}-{}", e.lo().0, e.hi().0)).collect();
     let _ = writeln!(out, "nodes {}", graph.len());
     let _ = writeln!(out, "edges {}", edges.join(","));
     let vals: Vec<String> = inputs.iter().map(u64::to_string).collect();

@@ -26,11 +26,7 @@ pub struct TreeView {
 impl TreeView {
     /// Collects the tree from a finished pair-execution engine.
     pub fn from_engine<C: Caaf>(eng: &Engine<Envelope, PairNode<C>>, root: NodeId) -> Self {
-        let nodes = eng
-            .graph()
-            .nodes()
-            .map(|v| eng.node(v).snapshot())
-            .collect();
+        let nodes = eng.graph().nodes().map(|v| eng.node(v).snapshot()).collect();
         TreeView { nodes, root }
     }
 
@@ -56,10 +52,7 @@ impl TreeView {
 
     /// All in-tree nodes.
     pub fn members(&self) -> Vec<NodeId> {
-        (0..self.nodes.len() as u32)
-            .map(NodeId)
-            .filter(|&v| self.in_tree(v))
-            .collect()
+        (0..self.nodes.len() as u32).map(NodeId).filter(|&v| self.in_tree(v)).collect()
     }
 
     /// Renders the aggregation tree as indented ASCII, one node per line,
@@ -83,11 +76,7 @@ impl TreeView {
     ) {
         let snap = &self.nodes[v.index()];
         let flag = if marked.contains(&v) { " ✗" } else { "" };
-        emit(format!(
-            "{}{v:?} (psum {}){flag}",
-            "  ".repeat(depth),
-            snap.psum
-        ));
+        emit(format!("{}{v:?} (psum {}){flag}", "  ".repeat(depth), snap.psum));
         // Children per the parent pointers (v's own `children` set may
         // include acks the parent recorded; parent pointers are the
         // authoritative tree).
@@ -140,9 +129,7 @@ pub fn fragments(tree: &TreeView, visible_critical: &BTreeSet<NodeId>) -> Fragme
     for v in members {
         let starts_new = v == tree.root
             || visible_critical.contains(&v)
-            || tree
-                .parent(v)
-                .is_none_or(|p| fragment_of[p.index()].is_none());
+            || tree.parent(v).is_none_or(|p| fragment_of[p.index()].is_none());
         if starts_new {
             fragment_of[v.index()] = Some(local_roots.len());
             local_roots.push(v);
@@ -222,16 +209,11 @@ pub fn find_lfcs(
 ) -> LfcAnalysis {
     let frags = fragments(tree, visible_critical);
     let n = tree.nodes.len();
-    let connected_agg: BTreeSet<NodeId> = graph
-        .reachable_from(tree.root, &schedule.dead_by(agg_end))
-        .into_iter()
-        .collect();
-    let failed =
-        |v: NodeId| schedule.is_dead(v, agg_end) || !connected_agg.contains(&v);
-    let connected: BTreeSet<NodeId> = graph
-        .reachable_from(tree.root, &schedule.dead_by(veri_end))
-        .into_iter()
-        .collect();
+    let connected_agg: BTreeSet<NodeId> =
+        graph.reachable_from(tree.root, &schedule.dead_by(agg_end)).into_iter().collect();
+    let failed = |v: NodeId| schedule.is_dead(v, agg_end) || !connected_agg.contains(&v);
+    let connected: BTreeSet<NodeId> =
+        graph.reachable_from(tree.root, &schedule.dead_by(veri_end)).into_iter().collect();
     let alive_at_veri = |v: NodeId| !schedule.is_dead(v, veri_end) && connected.contains(&v);
 
     // chain[v] = number of consecutive failed nodes ending at v walking up
@@ -263,10 +245,8 @@ pub fn find_lfcs(
     }
 
     let need = t.max(1);
-    let tails = members
-        .into_iter()
-        .filter(|&v| chain[v.index()] >= need && live_desc[v.index()])
-        .collect();
+    let tails =
+        members.into_iter().filter(|&v| chain[v.index()] >= need && live_desc[v.index()]).collect();
     LfcAnalysis { tails }
 }
 
@@ -374,7 +354,15 @@ mod tests {
         assert_eq!(frags.count(), 1);
         assert_eq!(frags.local_roots, vec![NodeId(0)]);
         assert!(critical_failures(&tree, &i.schedule, &params).is_empty());
-        let lfc = find_lfcs(&i.graph, &tree, &i.schedule, &BTreeSet::new(), 1, params.agg_rounds(), params.total_rounds());
+        let lfc = find_lfcs(
+            &i.graph,
+            &tree,
+            &i.schedule,
+            &BTreeSet::new(),
+            1,
+            params.agg_rounds(),
+            params.total_rounds(),
+        );
         assert!(!lfc.exists());
     }
 
@@ -406,7 +394,15 @@ mod tests {
         assert!(frags.same_fragment(NodeId(1), NodeId(2)));
         assert!(!frags.same_fragment(NodeId(0), NodeId(2)));
 
-        let lfc = find_lfcs(&i.graph, &tree, &i.schedule, &visible, 1, params.agg_rounds(), params.total_rounds());
+        let lfc = find_lfcs(
+            &i.graph,
+            &tree,
+            &i.schedule,
+            &visible,
+            1,
+            params.agg_rounds(),
+            params.total_rounds(),
+        );
         assert!(lfc.exists());
         assert_eq!(lfc.tails, vec![NodeId(1)]);
 
@@ -427,7 +423,15 @@ mod tests {
         let (eng, params) = run_pair_engine(&Sum, &i, i.schedule.clone(), 1, 1, true);
         let tree = TreeView::from_engine(&eng, NodeId(0));
         let visible = eng.node(NodeId(0)).critical_failures_seen().clone();
-        let lfc = find_lfcs(&i.graph, &tree, &i.schedule, &visible, 1, params.agg_rounds(), params.total_rounds());
+        let lfc = find_lfcs(
+            &i.graph,
+            &tree,
+            &i.schedule,
+            &visible,
+            1,
+            params.agg_rounds(),
+            params.total_rounds(),
+        );
         assert!(!lfc.exists(), "partitioned descendants do not make an LFC");
     }
 
@@ -443,7 +447,15 @@ mod tests {
         let (eng, params) = run_pair_engine(&Sum, &i, i.schedule.clone(), 1, 3, true);
         let tree = TreeView::from_engine(&eng, NodeId(0));
         let visible = eng.node(NodeId(0)).critical_failures_seen().clone();
-        let lfc = find_lfcs(&i.graph, &tree, &i.schedule, &visible, 3, params.agg_rounds(), params.total_rounds());
+        let lfc = find_lfcs(
+            &i.graph,
+            &tree,
+            &i.schedule,
+            &visible,
+            3,
+            params.agg_rounds(),
+            params.total_rounds(),
+        );
         assert!(!lfc.exists());
     }
 
@@ -461,7 +473,15 @@ mod tests {
         let (eng, params) = run_pair_engine(&Sum, &i, i.schedule.clone(), 1, 1, true);
         let tree = TreeView::from_engine(&eng, NodeId(0));
         let visible = eng.node(NodeId(0)).critical_failures_seen().clone();
-        let lfc = find_lfcs(&i.graph, &tree, &i.schedule, &visible, 1, params.agg_rounds(), params.total_rounds());
+        let lfc = find_lfcs(
+            &i.graph,
+            &tree,
+            &i.schedule,
+            &visible,
+            1,
+            params.agg_rounds(),
+            params.total_rounds(),
+        );
         assert!(!lfc.exists(), "no live descendant below the dead chain");
     }
 

@@ -185,15 +185,8 @@ pub fn run_brute<C: Caaf>(
     let horizon = 2 * model.cd() + 2;
     let run = eng.run(horizon);
     let result = eng.node(root).result(op);
-    let correct = inst
-        .correct_interval(op, global_offset + run.rounds)
-        .contains(result);
-    BruteReport {
-        result,
-        rounds: run.rounds,
-        metrics: eng.metrics().clone(),
-        correct,
-    }
+    let correct = inst.correct_interval(op, global_offset + run.rounds).contains(result);
+    BruteReport { result, rounds: run.rounds, metrics: eng.metrics().clone(), correct }
 }
 
 #[cfg(test)]

@@ -14,9 +14,7 @@
 
 use crate::config::Instance;
 use caaf::Caaf;
-use netsim::{
-    Engine, FailureSchedule, Message, Metrics, NodeId, NodeLogic, Round, RoundCtx,
-};
+use netsim::{Engine, FailureSchedule, Message, Metrics, NodeId, NodeLogic, Round, RoundCtx};
 use std::collections::BTreeMap;
 use wire::range_bits;
 
@@ -90,7 +88,15 @@ pub struct FolkNode<C: Caaf> {
 
 impl<C: Caaf> FolkNode<C> {
     /// Creates the logic for node `me`.
-    pub fn new(op: C, me: NodeId, root: NodeId, n: usize, cd: u64, value_bits: u32, input: u64) -> Self {
+    pub fn new(
+        op: C,
+        me: NodeId,
+        root: NodeId,
+        n: usize,
+        cd: u64,
+        value_bits: u32,
+        input: u64,
+    ) -> Self {
         let is_root = me == root;
         FolkNode {
             op,
@@ -232,16 +238,8 @@ pub fn run_tag_once<C: Caaf>(
     let run = eng.run(FolkNode::<C>::attempt_rounds(cd));
     let result = eng.node(root).result();
     let clean = eng.node(root).clean();
-    let correct = inst
-        .correct_interval(op, global_offset + run.rounds)
-        .contains(result);
-    AttemptReport {
-        result,
-        clean,
-        rounds: run.rounds,
-        metrics: eng.metrics().clone(),
-        correct,
-    }
+    let correct = inst.correct_interval(op, global_offset + run.rounds).contains(result);
+    AttemptReport { result, clean, rounds: run.rounds, metrics: eng.metrics().clone(), correct }
 }
 
 /// Outcome of the folklore retry protocol.

@@ -100,7 +100,8 @@ mod tests {
     #[test]
     fn gap_is_polylog() {
         // Gap ≤ log²N · log b (up to the clamped-log conventions).
-        for &(n, f, b) in &[(1024usize, 512usize, 32u64), (4096, 2048, 128), (1 << 16, 1 << 14, 64)] {
+        for &(n, f, b) in &[(1024usize, 512usize, 32u64), (4096, 2048, 128), (1 << 16, 1 << 14, 64)]
+        {
             let g = gap(n, f, b);
             let polylog = log2c(n as f64).powi(2) * log2c(b as f64);
             assert!(g <= polylog * 2.0, "gap {g} vs polylog {polylog} at n={n} f={f} b={b}");

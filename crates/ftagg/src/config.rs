@@ -84,23 +84,13 @@ impl Instance {
             return Err(format!("root {root} out of range"));
         }
         if inputs.len() != graph.len() {
-            return Err(format!(
-                "expected {} inputs, got {}",
-                graph.len(),
-                inputs.len()
-            ));
+            return Err(format!("expected {} inputs, got {}", graph.len(), inputs.len()));
         }
         if let Some(&bad) = inputs.iter().find(|&&v| v > max_input) {
             return Err(format!("input {bad} exceeds max_input {max_input}"));
         }
         schedule.validate(&graph, root)?;
-        Ok(Instance {
-            graph,
-            root,
-            inputs,
-            schedule,
-            max_input,
-        })
+        Ok(Instance { graph, root, inputs, schedule, max_input })
     }
 
     /// Number of nodes.
@@ -158,14 +148,8 @@ mod tests {
     use netsim::topology;
 
     fn base_instance() -> Instance {
-        Instance::new(
-            topology::path(4),
-            NodeId(0),
-            vec![1, 2, 3, 4],
-            FailureSchedule::none(),
-            100,
-        )
-        .unwrap()
+        Instance::new(topology::path(4), NodeId(0), vec![1, 2, 3, 4], FailureSchedule::none(), 100)
+            .unwrap()
     }
 
     #[test]
@@ -185,9 +169,15 @@ mod tests {
         assert!(Instance::new(g, NodeId(0), vec![0; 4], FailureSchedule::none(), 1).is_err());
 
         let g = topology::path(3);
-        assert!(Instance::new(g.clone(), NodeId(9), vec![0; 3], FailureSchedule::none(), 1).is_err());
-        assert!(Instance::new(g.clone(), NodeId(0), vec![0; 2], FailureSchedule::none(), 1).is_err());
-        assert!(Instance::new(g.clone(), NodeId(0), vec![0, 5, 0], FailureSchedule::none(), 1).is_err());
+        assert!(
+            Instance::new(g.clone(), NodeId(9), vec![0; 3], FailureSchedule::none(), 1).is_err()
+        );
+        assert!(
+            Instance::new(g.clone(), NodeId(0), vec![0; 2], FailureSchedule::none(), 1).is_err()
+        );
+        assert!(
+            Instance::new(g.clone(), NodeId(0), vec![0, 5, 0], FailureSchedule::none(), 1).is_err()
+        );
         let mut s = FailureSchedule::none();
         s.crash(NodeId(0), 1);
         assert!(Instance::new(g, NodeId(0), vec![0; 3], s, 1).is_err());
@@ -197,14 +187,7 @@ mod tests {
     fn correct_interval_tracks_partition() {
         let mut s = FailureSchedule::none();
         s.crash(NodeId(1), 5);
-        let inst = Instance::new(
-            topology::path(4),
-            NodeId(0),
-            vec![1, 2, 3, 4],
-            s,
-            100,
-        )
-        .unwrap();
+        let inst = Instance::new(topology::path(4), NodeId(0), vec![1, 2, 3, 4], s, 100).unwrap();
         // Before the crash everything is mandatory.
         let iv = inst.correct_interval(&Sum, 4);
         assert_eq!((iv.lo, iv.hi), (10, 10));

@@ -238,38 +238,21 @@ impl AggMsg {
                 }
                 AggMsg::TreeConstruct { level, ancestors }
             }
-            1 => AggMsg::Ack {
-                parent: NodeId(r.take(id)? as u32),
-            },
-            2 => AggMsg::Aggregation {
-                psum: r.take(val)?,
-                max_level: r.take(lvl)? as u32,
-            },
-            3 => AggMsg::CriticalFailure {
-                node: NodeId(r.take(id)? as u32),
-            },
-            4 => AggMsg::FloodedPsum {
-                source: NodeId(r.take(id)? as u32),
-                psum: r.take(val)?,
-            },
-            5 => AggMsg::Determination {
-                dominated: r.take_bit()?,
-                node: NodeId(r.take(id)? as u32),
-            },
+            1 => AggMsg::Ack { parent: NodeId(r.take(id)? as u32) },
+            2 => AggMsg::Aggregation { psum: r.take(val)?, max_level: r.take(lvl)? as u32 },
+            3 => AggMsg::CriticalFailure { node: NodeId(r.take(id)? as u32) },
+            4 => AggMsg::FloodedPsum { source: NodeId(r.take(id)? as u32), psum: r.take(val)? },
+            5 => {
+                AggMsg::Determination { dominated: r.take_bit()?, node: NodeId(r.take(id)? as u32) }
+            }
             6 => AggMsg::AggAbort,
             7 => AggMsg::DetectFailedParent,
-            8 => AggMsg::FailedParent {
-                parent: NodeId(r.take(id)? as u32),
-                x: r.take(lvl)? as u32,
-            },
+            8 => {
+                AggMsg::FailedParent { parent: NodeId(r.take(id)? as u32), x: r.take(lvl)? as u32 }
+            }
             9 => AggMsg::DetectFailedChild,
-            10 => AggMsg::FailedChild {
-                child: NodeId(r.take(id)? as u32),
-            },
-            11 => AggMsg::LfcVerdict {
-                tail: r.take_bit()?,
-                node: NodeId(r.take(id)? as u32),
-            },
+            10 => AggMsg::FailedChild { child: NodeId(r.take(id)? as u32) },
+            11 => AggMsg::LfcVerdict { tail: r.take_bit()?, node: NodeId(r.take(id)? as u32) },
             12 => AggMsg::VeriOverflow,
             bad => return Err(WireError::BadWidth(bad as u32 + 100)),
         })
@@ -333,10 +316,7 @@ mod tests {
     #[test]
     fn all_variants_roundtrip() {
         roundtrip(
-            &AggMsg::TreeConstruct {
-                level: 3,
-                ancestors: vec![NodeId(9), NodeId(4), NodeId(0)],
-            },
+            &AggMsg::TreeConstruct { level: 3, ancestors: vec![NodeId(9), NodeId(4), NodeId(0)] },
             3,
         );
         roundtrip(&AggMsg::TreeConstruct { level: 0, ancestors: vec![] }, 0);
@@ -368,14 +348,8 @@ mod tests {
     fn tree_construct_size_scales_with_ancestors() {
         let c = ctx();
         let small = AggMsg::TreeConstruct { level: 1, ancestors: vec![NodeId(0)] };
-        let big = AggMsg::TreeConstruct {
-            level: 5,
-            ancestors: (0..5).map(NodeId).collect(),
-        };
-        assert_eq!(
-            big.bit_len(&c) - small.bit_len(&c),
-            4 * u64::from(c.id_bits())
-        );
+        let big = AggMsg::TreeConstruct { level: 5, ancestors: (0..5).map(NodeId).collect() };
+        assert_eq!(big.bit_len(&c) - small.bit_len(&c), 4 * u64::from(c.id_bits()));
     }
 
     #[test]

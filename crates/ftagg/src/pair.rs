@@ -254,9 +254,8 @@ impl<C: Caaf> PairNode<C> {
     /// failure (the fragment-boundary index of the witness logic).
     fn boundary_index(&self) -> Option<u32> {
         (0..=self.params.horizon()).find(|&j| {
-            self.anc(j).is_some_and(|a| {
-                a == self.params.model.root || self.crit_failed.contains(&a)
-            })
+            self.anc(j)
+                .is_some_and(|a| a == self.params.model.root || self.crit_failed.contains(&a))
         })
     }
 
@@ -327,9 +326,7 @@ impl<C: Caaf> PairNode<C> {
             match &rcv.msg.msg {
                 AggMsg::TreeConstruct { level, ancestors } => {
                     if !self.activated && r <= self.a1_end() {
-                        let better = tc_best
-                            .as_ref()
-                            .is_none_or(|(from, _, _)| rcv.from < *from);
+                        let better = tc_best.as_ref().is_none_or(|(from, _, _)| rcv.from < *from);
                         if better {
                             tc_best = Some((rcv.from, *level, ancestors.clone()));
                         }
@@ -405,10 +402,7 @@ impl<C: Caaf> PairNode<C> {
                             self.initiate_flood(AggMsg::CriticalFailure { node: v }, out);
                         }
                     }
-                    out.push(AggMsg::Aggregation {
-                        psum: self.psum,
-                        max_level: self.max_level,
-                    });
+                    out.push(AggMsg::Aggregation { psum: self.psum, max_level: self.max_level });
                 }
             }
         }
@@ -424,10 +418,7 @@ impl<C: Caaf> PairNode<C> {
                 && r <= self.a3_end()
                 && !self.a3_heard_parent;
             if root_floods || speculates {
-                self.initiate_flood(
-                    AggMsg::FloodedPsum { source: self.me, psum: self.psum },
-                    out,
-                );
+                self.initiate_flood(AggMsg::FloodedPsum { source: self.me, psum: self.psum }, out);
             }
         }
 
@@ -450,8 +441,7 @@ impl<C: Caaf> PairNode<C> {
                     Some(j) => {
                         // dom: a flooded psum from a strict local ancestor.
                         (i + 1..=j).any(|k| {
-                            self.anc(k)
-                                .is_some_and(|a| self.flooded_psums.contains_key(&a))
+                            self.anc(k).is_some_and(|a| self.flooded_psums.contains_key(&a))
                         })
                     }
                 };
@@ -500,8 +490,7 @@ impl<C: Caaf> PairNode<C> {
         if r == self.v2_end() + 1 {
             let t = self.params.t;
             let j = self.boundary_index();
-            let accused: BTreeSet<NodeId> =
-                self.failed_parents.iter().map(|&(v, _)| v).collect();
+            let accused: BTreeSet<NodeId> = self.failed_parents.iter().map(|&(v, _)| v).collect();
             for v in accused {
                 let Some(i) = self.ancestor_index(v) else {
                     continue;
@@ -580,11 +569,8 @@ impl<C: Caaf> PairNode<C> {
         if self.aborted {
             return AggOutcome::Aborted;
         }
-        let vals = self
-            .flooded_psums
-            .iter()
-            .filter(|(s, _)| self.compulsory.contains(s))
-            .map(|(_, &p)| p);
+        let vals =
+            self.flooded_psums.iter().filter(|(s, _)| self.compulsory.contains(s)).map(|(_, &p)| p);
         AggOutcome::Result(self.op.aggregate(vals))
     }
 
@@ -687,13 +673,7 @@ mod tests {
 
     fn params(n: usize, d: u32, t: u32) -> PairParams {
         PairParams {
-            model: Model {
-                n,
-                root: NodeId(0),
-                d,
-                c: 1,
-                max_input: 100,
-            },
+            model: Model { n, root: NodeId(0), d, c: 1, max_input: 100 },
             t,
             run_veri: true,
             tweaks: Tweaks::default(),
@@ -709,9 +689,7 @@ mod tests {
         let d = g.diameter().max(1);
         let p = params(g.len(), d, t);
         let inputs = inputs.to_vec();
-        let mut eng = Engine::new(g, schedule, |v| {
-            PairNode::new(p, Sum, v, inputs[v.index()])
-        });
+        let mut eng = Engine::new(g, schedule, |v| PairNode::new(p, Sum, v, inputs[v.index()]));
         eng.run(p.total_rounds());
         eng
     }
@@ -803,10 +781,7 @@ mod tests {
                 // Root keeps its own input; nodes 2,3,4's inputs may or may
                 // not be included (they are partitioned => optional);
                 // node 1 failed => optional.
-                assert!(
-                    (1..=15).contains(&v),
-                    "result {v} outside correct interval"
-                );
+                assert!((1..=15).contains(&v), "result {v} outside correct interval");
             }
             AggOutcome::Aborted => panic!("few failures must not abort"),
         }

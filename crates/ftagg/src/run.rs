@@ -91,12 +91,7 @@ pub fn run_pair_with_tweaks<C: Caaf>(
     global_offset: Round,
     tweaks: Tweaks,
 ) -> PairReport {
-    let params = PairParams {
-        model: inst.model(c),
-        t,
-        run_veri,
-        tweaks,
-    };
+    let params = PairParams { model: inst.model(c), t, run_veri, tweaks };
     let op2 = op.clone();
     let inputs = inst.inputs.clone();
     let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
@@ -107,19 +102,12 @@ pub fn run_pair_with_tweaks<C: Caaf>(
     let outcome = root.agg_outcome();
     let verdict = run_veri.then(|| root.veri_verdict());
     let correct = match outcome {
-        AggOutcome::Result(v) => Some(
-            inst.correct_interval(op, global_offset + report.rounds)
-                .contains(v),
-        ),
+        AggOutcome::Result(v) => {
+            Some(inst.correct_interval(op, global_offset + report.rounds).contains(v))
+        }
         AggOutcome::Aborted => None,
     };
-    PairReport {
-        outcome,
-        verdict,
-        rounds: report.rounds,
-        metrics: eng.metrics().clone(),
-        correct,
-    }
+    PairReport { outcome, verdict, rounds: report.rounds, metrics: eng.metrics().clone(), correct }
 }
 
 /// Runs the pair and returns the whole engine for white-box inspection
@@ -133,12 +121,7 @@ pub fn run_pair_engine<C: Caaf>(
     t: u32,
     run_veri: bool,
 ) -> (Engine<Envelope, PairNode<C>>, PairParams) {
-    let params = PairParams {
-        model: inst.model(c),
-        t,
-        run_veri,
-        tweaks: Tweaks::default(),
-    };
+    let params = PairParams { model: inst.model(c), t, run_veri, tweaks: Tweaks::default() };
     let op2 = op.clone();
     let inputs = inst.inputs.clone();
     let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {

@@ -85,8 +85,7 @@ pub struct TradeoffReport {
 /// and config disagree structurally.
 pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> TradeoffReport {
     let model = inst.model(cfg.c);
-    let layout = IntervalLayout::new(cfg.b, cfg.c, model.d)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let layout = IntervalLayout::new(cfg.b, cfg.c, model.d).unwrap_or_else(|e| panic!("{e}"));
     let x = layout.x();
     let t = layout.t(cfg.f);
     let mut rng = StdRng::seed_from_u64(cfg.seed);

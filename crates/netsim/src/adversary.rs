@@ -86,7 +86,12 @@ impl FailureSchedule {
     /// # Panics
     ///
     /// Panics if `round == 0`.
-    pub fn crash_partial(&mut self, node: NodeId, round: Round, receivers: Vec<NodeId>) -> &mut Self {
+    pub fn crash_partial(
+        &mut self,
+        node: NodeId,
+        round: Round,
+        receivers: Vec<NodeId>,
+    ) -> &mut Self {
         assert!(round > 0, "rounds are 1-based");
         self.crashes.insert(node, CrashEvent::partial(round, receivers));
         self
@@ -119,11 +124,7 @@ impl FailureSchedule {
 
     /// Nodes that have crashed by (are dead during) `round`, ascending.
     pub fn dead_by(&self, round: Round) -> Vec<NodeId> {
-        self.crashes
-            .iter()
-            .filter(|(_, e)| round >= e.round)
-            .map(|(&n, _)| n)
-            .collect()
+        self.crashes.iter().filter(|(_, e)| round >= e.round).map(|(&n, _)| n).collect()
     }
 
     /// All nodes that ever crash, ascending.
@@ -164,9 +165,7 @@ impl FailureSchedule {
             if let Some(rx) = &e.partial {
                 for &r in rx {
                     if !g.has_edge(n, r) {
-                        return Err(format!(
-                            "partial receiver {r} is not a neighbor of {n}"
-                        ));
+                        return Err(format!("partial receiver {r} is not a neighbor of {n}"));
                     }
                 }
             }
@@ -237,9 +236,12 @@ pub mod schedules {
         s
     }
 
-    /// Crashes enough random nodes to produce at least `f` edge failures
-    /// (stopping early if the graph runs out of non-root nodes). Crash
-    /// rounds are uniform in `1..=horizon`.
+    /// Crashes random nodes to approach — but never exceed — an `f`
+    /// edge-failure budget (the model's `f` is an upper bound, so callers
+    /// like the worst-case search rely on `edge_failures(g) <= f` holding).
+    /// Nodes whose incident edges would overflow the budget are skipped in
+    /// favor of lower-degree candidates. Crash rounds are uniform in
+    /// `1..=horizon`.
     pub fn random_with_edge_budget<R: Rng>(
         g: &Graph,
         root: NodeId,
@@ -254,7 +256,15 @@ pub mod schedules {
             if s.edge_failures(g) >= f {
                 break;
             }
-            s.crash(v, rng.gen_range(1..=horizon.max(1)));
+            // Only commit the crash if it keeps the schedule within the
+            // edge budget; a high-degree node may not fit even when a
+            // later lower-degree one would.
+            let round = rng.gen_range(1..=horizon.max(1));
+            let mut with_v = s.clone();
+            with_v.crash(v, round);
+            if with_v.edge_failures(g) <= f {
+                s = with_v;
+            }
         }
         s
     }
@@ -273,10 +283,7 @@ pub mod schedules {
         // Walk to the farthest node, then crash a prefix of the path
         // (nearest-to-root first would disconnect more; we take interior).
         let dist = g.bfs_distances(root);
-        let far = g
-            .nodes()
-            .max_by_key(|v| dist[v.index()].unwrap_or(0))
-            .expect("graph non-empty");
+        let far = g.nodes().max_by_key(|v| dist[v.index()].unwrap_or(0)).expect("graph non-empty");
         // Reconstruct one shortest path root -> far.
         let mut pathv = vec![far];
         let mut cur = far;
@@ -309,10 +316,8 @@ pub mod schedules {
         horizon: Round,
         rng: &mut R,
     ) -> FailureSchedule {
-        let mut leaves: Vec<NodeId> = g
-            .nodes()
-            .filter(|&v| v != root && g.degree(v) == 1)
-            .collect();
+        let mut leaves: Vec<NodeId> =
+            g.nodes().filter(|&v| v != root && g.degree(v) == 1).collect();
         leaves.shuffle(rng);
         let mut s = FailureSchedule::none();
         for &v in leaves.iter().take(k) {
@@ -406,11 +411,16 @@ mod tests {
     }
 
     #[test]
-    fn edge_budget_schedule_reaches_f() {
+    fn edge_budget_schedule_fills_without_exceeding_f() {
         let g = topology::grid(5, 5);
         let mut rng = StdRng::seed_from_u64(12);
         let s = schedules::random_with_edge_budget(&g, NodeId(0), 10, 40, &mut rng);
-        assert!(s.edge_failures(&g) >= 10);
+        let edges = s.edge_failures(&g);
+        // `f` is a hard budget (the search asserts `<= f`), but the
+        // schedule should still come close to it: on a 5×5 grid every node
+        // has degree ≤ 4, so the greedy fill always gets within 3.
+        assert!(edges <= 10, "budget exceeded: {edges}");
+        assert!(edges >= 7, "budget underfilled: {edges}");
     }
 
     #[test]

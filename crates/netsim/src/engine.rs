@@ -18,6 +18,7 @@ use crate::graph::{Graph, NodeId};
 use crate::metrics::Metrics;
 use crate::trace::{Event, Trace};
 use std::fmt;
+use std::rc::Rc;
 
 /// A protocol message that knows its encoded size in bits.
 ///
@@ -34,12 +35,18 @@ pub trait Message: Clone + fmt::Debug {
 /// Matching the paper: "the sender of a message always attaches its id",
 /// which is how a node distinguishes a message *from its parent* from other
 /// traffic.
+///
+/// The payload is reference-counted: a local broadcast is one physical
+/// transmission heard by every neighbor, so the engine allocates the
+/// message once and every recipient's inbox shares it. Field access
+/// auto-derefs through the `Rc`, so protocol code reads `rcv.msg.field`
+/// exactly as if the payload were owned.
 #[derive(Clone, Debug)]
 pub struct Received<M> {
     /// The neighbor that broadcast the message in the previous round.
     pub from: NodeId,
-    /// The payload.
-    pub msg: M,
+    /// The payload, shared among all recipients of the broadcast.
+    pub msg: Rc<M>,
 }
 
 /// Per-round execution context handed to [`NodeLogic::on_round`].
@@ -160,8 +167,22 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     graph: Graph,
     schedule: FailureSchedule,
     nodes: Vec<L>,
-    /// Inbox for the *next* round to execute, indexed by node.
+    /// Inbox consumed by the round being executed, indexed by node.
     inboxes: Vec<Vec<Received<M>>>,
+    /// Inbox being filled for the next round: the other half of the double
+    /// buffer. Swapped with `inboxes` at each round boundary and cleared in
+    /// place, so per-round allocations amortize to zero.
+    next_inboxes: Vec<Vec<Received<M>>>,
+    /// Reusable outbox scratch handed to each node's [`RoundCtx`].
+    outbox: Vec<M>,
+    /// Reusable scratch for the live receiver set of one broadcast.
+    receivers: Vec<NodeId>,
+    /// First round each node is dead (`Round::MAX` if it never crashes):
+    /// the schedule's `is_dead` compiled down to one array load.
+    crash_round: Vec<Round>,
+    /// Sorted receiver restriction of each node's final broadcast, for
+    /// partial crashes (`None` for clean crashes and non-crashing nodes).
+    partial_rx: Vec<Option<Vec<NodeId>>>,
     round: Round,
     metrics: Metrics,
     stop_requested: bool,
@@ -179,9 +200,28 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
     ) -> Self {
         let n = graph.len();
         let nodes = (0..n as u32).map(|i| factory(NodeId(i))).collect();
+        // Compile the schedule into dense per-node lookups for the hot loop.
+        let mut crash_round = vec![Round::MAX; n];
+        let mut partial_rx: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        for (v, e) in schedule.iter() {
+            if v.index() >= n {
+                continue; // out-of-range crashes can never take effect
+            }
+            crash_round[v.index()] = e.round;
+            partial_rx[v.index()] = e.partial.as_ref().map(|rx| {
+                let mut rx = rx.clone();
+                rx.sort_unstable();
+                rx
+            });
+        }
         Engine {
             metrics: Metrics::new(n),
             inboxes: vec![Vec::new(); n],
+            next_inboxes: vec![Vec::new(); n],
+            outbox: Vec::new(),
+            receivers: Vec::new(),
+            crash_round,
+            partial_rx,
             graph,
             schedule,
             nodes,
@@ -243,63 +283,84 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         }
         let r = self.round + 1;
         let n = self.graph.len();
-        // Take this round's inboxes, leaving empty ones to refill.
-        let inboxes = std::mem::take(&mut self.inboxes);
-        self.inboxes = vec![Vec::new(); n];
+        // Flip the double buffer: last round's deliveries become this
+        // round's input; the other half is cleared in place for refilling.
+        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        for q in &mut self.next_inboxes {
+            q.clear();
+        }
         let mut stop = false;
-        #[allow(clippy::needless_range_loop)] // inboxes is re-borrowed per index
+        // Split-borrow the engine so a node's inbox, its logic, and the
+        // next-round buffers can be touched in one pass.
+        let Engine {
+            graph,
+            nodes,
+            inboxes,
+            next_inboxes,
+            outbox,
+            receivers,
+            crash_round,
+            partial_rx,
+            metrics,
+            trace,
+            crash_logged,
+            ..
+        } = self;
         for i in 0..n {
             let me = NodeId(i as u32);
-            if self.schedule.is_dead(me, r) {
-                if !self.crash_logged[i] {
-                    self.crash_logged[i] = true;
-                    if let Some(t) = self.trace.as_mut() {
+            if r >= crash_round[i] {
+                if !crash_logged[i] {
+                    crash_logged[i] = true;
+                    if let Some(t) = trace.as_mut() {
                         t.push(Event::Crash { round: r, node: me });
                     }
                 }
                 continue;
             }
-            let mut outbox = Vec::new();
+            outbox.clear();
             {
                 let mut ctx = RoundCtx {
                     me,
                     n,
                     round: r,
                     inbox: &inboxes[i],
-                    outbox: &mut outbox,
+                    outbox: &mut *outbox,
                     stop: &mut stop,
                 };
-                self.nodes[i].on_round(&mut ctx);
+                nodes[i].on_round(&mut ctx);
             }
             if outbox.is_empty() {
                 continue;
             }
             let bits: u64 = outbox.iter().map(Message::bit_len).sum();
-            self.metrics.record_send(me, r, bits, outbox.len() as u64);
-            if let Some(t) = self.trace.as_mut() {
+            metrics.record_send(me, r, bits, outbox.len() as u64);
+            if let Some(t) = trace.as_mut() {
                 t.push(Event::Send { round: r, node: me, bits, logical: outbox.len() as u64 });
             }
             // Deliveries for round r + 1. A sender crashing exactly at
             // r + 1 may have its final broadcast restricted to a subset.
-            let restriction: Option<&Vec<NodeId>> = self
-                .schedule
-                .event(me)
-                .filter(|e| e.round == r + 1)
-                .and_then(|e| e.partial.as_ref());
-            for &w in self.graph.neighbors(me) {
-                if self.schedule.is_dead(w, r + 1) {
+            let restriction: Option<&[NodeId]> =
+                if crash_round[i] == r + 1 { partial_rx[i].as_deref() } else { None };
+            receivers.clear();
+            for &w in graph.neighbors(me) {
+                if r + 1 >= crash_round[w.index()] {
                     continue;
                 }
                 if let Some(rx) = restriction {
-                    if !rx.contains(&w) {
+                    if rx.binary_search(&w).is_err() {
                         continue;
                     }
                 }
-                for msg in &outbox {
-                    self.inboxes[w.index()].push(Received {
-                        from: me,
-                        msg: msg.clone(),
-                    });
+                receivers.push(w);
+            }
+            if receivers.is_empty() {
+                continue;
+            }
+            // One allocation per logical message; every recipient shares it.
+            for msg in outbox.drain(..) {
+                let shared = Rc::new(msg);
+                for &w in receivers.iter() {
+                    next_inboxes[w.index()].push(Received { from: me, msg: Rc::clone(&shared) });
                 }
             }
         }
@@ -315,16 +376,10 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         while self.round < max_rounds {
             self.step();
             if self.stop_requested {
-                return RunReport {
-                    rounds: self.round,
-                    cause: StopCause::Requested,
-                };
+                return RunReport { rounds: self.round, cause: StopCause::Requested };
             }
         }
-        RunReport {
-            rounds: self.round,
-            cause: StopCause::RoundLimit,
-        }
+        RunReport { rounds: self.round, cause: StopCause::RoundLimit }
     }
 
     /// Nodes that are alive at round `round` *and* connected to `root` in
@@ -439,11 +494,8 @@ mod tests {
         let g = topology::path(3);
         let mut schedule = FailureSchedule::none();
         schedule.crash(NodeId(1), 2);
-        let mut eng = Engine::new(g, schedule, |_| Chatter {
-            sizes: vec![9],
-            heard: vec![],
-            stop_at: None,
-        });
+        let mut eng =
+            Engine::new(g, schedule, |_| Chatter { sizes: vec![9], heard: vec![], stop_at: None });
         eng.run(3);
         assert_eq!(eng.node(NodeId(0)).heard, vec![(2, NodeId(1), 9)]);
         assert_eq!(eng.node(NodeId(2)).heard, vec![(2, NodeId(1), 9)]);
@@ -454,11 +506,8 @@ mod tests {
         let g = topology::path(3);
         let mut schedule = FailureSchedule::none();
         schedule.crash_partial(NodeId(1), 2, vec![NodeId(2)]);
-        let mut eng = Engine::new(g, schedule, |_| Chatter {
-            sizes: vec![9],
-            heard: vec![],
-            stop_at: None,
-        });
+        let mut eng =
+            Engine::new(g, schedule, |_| Chatter { sizes: vec![9], heard: vec![], stop_at: None });
         eng.run(3);
         // Node 0 misses the final broadcast; node 2 gets it.
         assert!(eng.node(NodeId(0)).heard.is_empty());
@@ -564,17 +613,9 @@ mod trace_tests {
         let t = eng.trace().expect("tracing enabled");
         // Node 2 sent once (round 1), then crashed at round 2.
         assert_eq!(t.send_rounds(NodeId(2)), vec![1]);
-        assert!(t
-            .events()
-            .contains(&Event::Crash { round: 2, node: NodeId(2) }));
+        assert!(t.events().contains(&Event::Crash { round: 2, node: NodeId(2) }));
         // Crash logged exactly once.
-        assert_eq!(
-            t.events()
-                .iter()
-                .filter(|e| matches!(e, Event::Crash { .. }))
-                .count(),
-            1
-        );
+        assert_eq!(t.events().iter().filter(|e| matches!(e, Event::Crash { .. })).count(), 1);
         // Nodes 0 and 1 sent in rounds 1 and 2.
         assert_eq!(t.send_rounds(NodeId(0)), vec![1, 2]);
         assert_eq!(t.last_round(), Some(2));

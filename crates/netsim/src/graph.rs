@@ -132,7 +132,12 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-/// Immutable undirected graph with adjacency lists.
+/// Immutable undirected graph in compressed sparse row (CSR) form.
+///
+/// Adjacency is stored as one flat `targets` array sliced by per-node
+/// `offsets`, so the engine's delivery loop walks a contiguous slice with
+/// no per-node allocation or pointer chasing. [`Graph::neighbors`] still
+/// returns a sorted `&[NodeId]`, so callers are unaffected by the layout.
 ///
 /// # Examples
 ///
@@ -148,7 +153,10 @@ impl std::error::Error for GraphError {}
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// `offsets[v]..offsets[v + 1]` indexes `targets`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists.
+    targets: Vec<NodeId>,
     edges: Vec<Edge>,
 }
 
@@ -163,7 +171,6 @@ impl Graph {
         if n == 0 {
             return Err(GraphError::Empty);
         }
-        let mut adj = vec![Vec::new(); n];
         let mut list = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
             if a == b {
@@ -178,30 +185,41 @@ impl Graph {
         list.sort_unstable();
         for w in list.windows(2) {
             if w[0] == w[1] {
-                return Err(GraphError::DuplicateEdge {
-                    edge: (w[0].lo().0, w[0].hi().0),
-                });
+                return Err(GraphError::DuplicateEdge { edge: (w[0].lo().0, w[0].hi().0) });
             }
         }
+        // CSR build: count degrees, prefix-sum into offsets, then scatter.
+        let mut offsets = vec![0u32; n + 1];
         for &e in &list {
-            adj[e.lo().index()].push(e.hi());
-            adj[e.hi().index()].push(e.lo());
+            offsets[e.lo().index() + 1] += 1;
+            offsets[e.hi().index() + 1] += 1;
         }
-        for l in &mut adj {
-            l.sort_unstable();
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
         }
-        Ok(Graph { adj, edges: list })
+        let mut targets = vec![NodeId(0); 2 * list.len()];
+        let mut cursor = offsets.clone();
+        for &e in &list {
+            targets[cursor[e.lo().index()] as usize] = e.hi();
+            cursor[e.lo().index()] += 1;
+            targets[cursor[e.hi().index()] as usize] = e.lo();
+            cursor[e.hi().index()] += 1;
+        }
+        for i in 0..n {
+            targets[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        Ok(Graph { offsets, targets, edges: list })
     }
 
     /// Number of nodes `N`.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Returns true iff the graph has no nodes (never true for a constructed
     /// graph; present for API completeness).
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Number of edges.
@@ -219,23 +237,25 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `v` is out of range.
+    #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v.index()]
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        self.neighbors(v).len()
     }
 
     /// Returns true iff `a` and `b` are adjacent.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj[a.index()].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..self.len() as u32).map(NodeId)
     }
 
     /// BFS distances from `src`; `None` for unreachable nodes.
@@ -274,11 +294,7 @@ impl Graph {
 
     /// Eccentricity of `src` (max BFS distance to any reachable node).
     pub fn eccentricity(&self, src: NodeId) -> u32 {
-        self.bfs_distances(src)
-            .into_iter()
-            .flatten()
-            .max()
-            .unwrap_or(0)
+        self.bfs_distances(src).into_iter().flatten().max().unwrap_or(0)
     }
 
     /// Diameter `d` of the graph: the maximum eccentricity over all nodes.
@@ -302,10 +318,8 @@ impl Graph {
     pub fn residual_diameter(&self, root: NodeId, removed: &[NodeId]) -> Option<u32> {
         let from_root = self.bfs_distances_avoiding(root, removed);
         from_root[root.index()]?;
-        let component: Vec<NodeId> = self
-            .nodes()
-            .filter(|v| from_root[v.index()].is_some())
-            .collect();
+        let component: Vec<NodeId> =
+            self.nodes().filter(|v| from_root[v.index()].is_some()).collect();
         let mut diam = 0;
         for &v in &component {
             let dv = self.bfs_distances_avoiding(v, removed);
@@ -368,10 +382,7 @@ impl Graph {
         for &v in nodes {
             dead[v.index()] = true;
         }
-        self.edges
-            .iter()
-            .filter(|e| dead[e.lo().index()] || dead[e.hi().index()])
-            .count()
+        self.edges.iter().filter(|e| dead[e.lo().index()] || dead[e.hi().index()]).count()
     }
 }
 
@@ -402,18 +413,9 @@ mod tests {
     #[test]
     fn new_rejects_bad_inputs() {
         assert_eq!(Graph::new(0, &[]), Err(GraphError::Empty));
-        assert!(matches!(
-            Graph::new(2, &[(0, 2)]),
-            Err(GraphError::EdgeOutOfRange { .. })
-        ));
-        assert!(matches!(
-            Graph::new(2, &[(0, 0)]),
-            Err(GraphError::SelfLoop { node: 0 })
-        ));
-        assert!(matches!(
-            Graph::new(3, &[(0, 1), (1, 0)]),
-            Err(GraphError::DuplicateEdge { .. })
-        ));
+        assert!(matches!(Graph::new(2, &[(0, 2)]), Err(GraphError::EdgeOutOfRange { .. })));
+        assert!(matches!(Graph::new(2, &[(0, 0)]), Err(GraphError::SelfLoop { node: 0 })));
+        assert!(matches!(Graph::new(3, &[(0, 1), (1, 0)]), Err(GraphError::DuplicateEdge { .. })));
     }
 
     #[test]

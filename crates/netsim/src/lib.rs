@@ -52,6 +52,7 @@ pub mod engine;
 pub mod flood;
 pub mod graph;
 pub mod metrics;
+pub mod runner;
 pub mod topology;
 pub mod trace;
 
@@ -60,4 +61,5 @@ pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, Stop
 pub use flood::FloodState;
 pub use graph::{Edge, Graph, GraphError, NodeId};
 pub use metrics::Metrics;
+pub use runner::{Runner, TrialStats, TrialSummary};
 pub use trace::{Event, Trace};

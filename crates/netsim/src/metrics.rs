@@ -8,14 +8,19 @@
 
 use crate::adversary::Round;
 use crate::graph::NodeId;
-use std::collections::BTreeMap;
 
 /// Per-node and per-round communication counters for one execution.
+///
+/// Per-round totals live in a dense `Vec` indexed by round (rounds are
+/// 1-based and bounded by the run's horizon), so the engine's per-send
+/// bookkeeping is an array increment instead of a map insertion.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     bits: Vec<u64>,
     sends: Vec<u64>,
-    per_round_bits: BTreeMap<Round, u64>,
+    /// `per_round_bits[r]` is the system-wide bits sent in round `r`
+    /// (index 0 is unused: rounds are 1-based). Grows on demand.
+    per_round_bits: Vec<u64>,
     last_send_round: Option<Round>,
 }
 
@@ -25,7 +30,7 @@ impl Metrics {
         Metrics {
             bits: vec![0; n],
             sends: vec![0; n],
-            per_round_bits: BTreeMap::new(),
+            per_round_bits: Vec::new(),
             last_send_round: None,
         }
     }
@@ -35,7 +40,11 @@ impl Metrics {
     pub fn record_send(&mut self, node: NodeId, round: Round, bits: u64, logical: u64) {
         self.bits[node.index()] += bits;
         self.sends[node.index()] += logical;
-        *self.per_round_bits.entry(round).or_insert(0) += bits;
+        let idx = round as usize;
+        if idx >= self.per_round_bits.len() {
+            self.per_round_bits.resize(idx + 1, 0);
+        }
+        self.per_round_bits[idx] += bits;
         self.last_send_round = Some(self.last_send_round.map_or(round, |r| r.max(round)));
     }
 
@@ -57,10 +66,7 @@ impl Metrics {
     /// The node achieving [`Metrics::max_bits`] (lowest id on ties).
     pub fn bottleneck(&self) -> Option<NodeId> {
         let max = self.max_bits();
-        self.bits
-            .iter()
-            .position(|&b| b == max)
-            .map(|i| NodeId(i as u32))
+        self.bits.iter().position(|&b| b == max).map(|i| NodeId(i as u32))
     }
 
     /// Sum of bits over all nodes (useful for average-node comparisons).
@@ -79,7 +85,31 @@ impl Metrics {
 
     /// Bits broadcast system-wide during the inclusive round window.
     pub fn bits_in_rounds(&self, window: std::ops::RangeInclusive<Round>) -> u64 {
-        self.per_round_bits.range(window).map(|(_, b)| b).sum()
+        let len = self.per_round_bits.len() as Round;
+        if len == 0 {
+            return 0;
+        }
+        let lo = (*window.start()).min(len) as usize;
+        let hi = (*window.end()).min(len.saturating_sub(1)) as usize;
+        if lo > hi {
+            return 0;
+        }
+        self.per_round_bits[lo..=hi].iter().sum()
+    }
+
+    /// Bits broadcast system-wide in a single round.
+    pub fn bits_in_round(&self, round: Round) -> u64 {
+        self.per_round_bits.get(round as usize).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(round, bits)` for every round with traffic, in
+    /// ascending round order.
+    pub fn per_round_bits(&self) -> impl Iterator<Item = (Round, u64)> + '_ {
+        self.per_round_bits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(r, &b)| (r as Round, b))
     }
 
     /// Last round in which any node broadcast, if any traffic occurred.
@@ -108,8 +138,16 @@ impl Metrics {
             self.bits[i] += other.bits[i];
             self.sends[i] += other.sends[i];
         }
-        for (&r, &b) in &other.per_round_bits {
-            *self.per_round_bits.entry(r + offset).or_insert(0) += b;
+        if !other.per_round_bits.is_empty() {
+            let need = other.per_round_bits.len() + offset as usize;
+            if need > self.per_round_bits.len() {
+                self.per_round_bits.resize(need, 0);
+            }
+            for (r, &b) in other.per_round_bits.iter().enumerate() {
+                if b > 0 {
+                    self.per_round_bits[r + offset as usize] += b;
+                }
+            }
         }
         let shifted_last = other.last_send_round.map(|r| r + offset);
         self.last_send_round = match (self.last_send_round, shifted_last) {
@@ -130,8 +168,13 @@ impl Metrics {
             self.bits[i] += other.bits[i];
             self.sends[i] += other.sends[i];
         }
-        for (&r, &b) in &other.per_round_bits {
-            *self.per_round_bits.entry(r).or_insert(0) += b;
+        if other.per_round_bits.len() > self.per_round_bits.len() {
+            self.per_round_bits.resize(other.per_round_bits.len(), 0);
+        }
+        for (r, &b) in other.per_round_bits.iter().enumerate() {
+            if b > 0 {
+                self.per_round_bits[r] += b;
+            }
         }
         self.last_send_round = match (self.last_send_round, other.last_send_round) {
             (Some(a), Some(b)) => Some(a.max(b)),

@@ -1,0 +1,293 @@
+//! Deterministic parallel trial execution.
+//!
+//! Every experiment in this repository has the same outer shape: run one
+//! simulated execution per seed, then aggregate. [`Runner`] fans a seed
+//! list out over a pool of scoped worker threads with work stealing, and
+//! returns the per-trial results **in seed order** — so any reduction over
+//! them is bit-identical to a serial `for seed in seeds` loop, regardless
+//! of thread count or OS scheduling. Determinism comes for free from the
+//! model: a trial's outcome is a pure function of its seed (the engine has
+//! no hidden randomness), and the runner never lets thread interleaving
+//! reach the results.
+//!
+//! ```
+//! use netsim::runner::Runner;
+//!
+//! let seeds: Vec<u64> = (0..32).collect();
+//! let serial: Vec<u64> = seeds.iter().map(|&s| s * s).collect();
+//! let parallel = Runner::new(4).run(&seeds, |s| s * s);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use crate::adversary::Round;
+use crate::graph::NodeId;
+use crate::metrics::Metrics;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Executes independent trials across a fixed-size thread pool.
+///
+/// Workers claim seeds through a shared atomic cursor (work stealing), so
+/// an expensive trial does not stall the others; each worker buffers
+/// `(index, result)` pairs locally, and the buffers are merged back into
+/// seed order after the pool joins. No locks are held while trials run.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner over `threads` workers. `0` selects the machine's
+    /// available parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Runner { threads }
+    }
+
+    /// The worker count this runner was resolved to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trial` once per seed and returns the results in seed order.
+    ///
+    /// With the same seeds, the returned vector is byte-identical for any
+    /// thread count (including 1), because results are re-ordered by seed
+    /// index before being returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any trial that panicked.
+    pub fn run<T, F>(&self, seeds: &[u64], trial: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        if self.threads <= 1 || seeds.len() <= 1 {
+            return seeds.iter().map(|&s| trial(s)).collect();
+        }
+        let workers = self.threads.min(seeds.len());
+        let cursor = AtomicUsize::new(0);
+        let trial = &trial;
+        let buckets: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&seed) = seeds.get(i) else { break };
+                            out.push((i, trial(seed)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(bucket) => bucket,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        // Merge the workers' buckets back into seed order.
+        let mut slots: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+        for bucket in buckets {
+            for (i, t) in bucket {
+                slots[i] = Some(t);
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every claimed seed produces a result")).collect()
+    }
+
+    /// Runs `trial` per seed, then folds the results serially **in seed
+    /// order** — the parallel equivalent of
+    /// `seeds.iter().fold(init, |acc, &s| reduce(acc, trial(s)))`.
+    pub fn run_reduce<T, A, F, R>(&self, seeds: &[u64], trial: F, init: A, mut reduce: R) -> A
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+        R: FnMut(A, T) -> A,
+    {
+        self.run(seeds, trial).into_iter().fold(init, &mut reduce)
+    }
+}
+
+/// The measurements one trial contributes to an aggregate sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialStats {
+    /// The seed that produced this trial.
+    pub seed: u64,
+    /// Rounds the execution ran.
+    pub rounds: Round,
+    /// The paper's CC: maximum bits over nodes.
+    pub max_bits: u64,
+    /// System-wide bits.
+    pub total_bits: u64,
+    /// The node achieving `max_bits` (lowest id on ties).
+    pub bottleneck: Option<NodeId>,
+}
+
+impl TrialStats {
+    /// Extracts the stats of a finished execution.
+    pub fn from_metrics(seed: u64, rounds: Round, metrics: &Metrics) -> Self {
+        TrialStats {
+            seed,
+            rounds,
+            max_bits: metrics.max_bits(),
+            total_bits: metrics.total_bits(),
+            bottleneck: metrics.bottleneck(),
+        }
+    }
+}
+
+/// Order-insensitive aggregate of many [`TrialStats`].
+///
+/// Everything here is a max, min, sum, or count, so absorbing trials in
+/// seed order (which [`Runner::run`] guarantees) gives bit-identical
+/// summaries across thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrialSummary {
+    /// Trials absorbed.
+    pub trials: usize,
+    /// Worst per-trial CC seen.
+    pub worst_max_bits: u64,
+    /// The seed achieving `worst_max_bits` (first in seed order on ties).
+    pub worst_seed: Option<u64>,
+    /// Sum of per-trial CCs (for the mean).
+    pub sum_max_bits: u64,
+    /// Sum of per-trial total bits.
+    pub sum_total_bits: u64,
+    /// Longest execution.
+    pub max_rounds: Round,
+    /// Sum of rounds (for the mean).
+    pub sum_rounds: Round,
+}
+
+impl TrialSummary {
+    /// Folds one trial into the aggregate.
+    pub fn absorb(&mut self, t: &TrialStats) {
+        self.trials += 1;
+        if t.max_bits > self.worst_max_bits || self.worst_seed.is_none() {
+            self.worst_max_bits = t.max_bits;
+            self.worst_seed = Some(t.seed);
+        }
+        self.sum_max_bits += t.max_bits;
+        self.sum_total_bits += t.total_bits;
+        self.max_rounds = self.max_rounds.max(t.rounds);
+        self.sum_rounds += t.rounds;
+    }
+
+    /// Mean per-trial CC.
+    pub fn mean_max_bits(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.sum_max_bits as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean rounds per trial.
+    pub fn mean_rounds(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.sum_rounds as f64 / self.trials as f64
+        }
+    }
+}
+
+impl<'a> FromIterator<&'a TrialStats> for TrialSummary {
+    fn from_iter<I: IntoIterator<Item = &'a TrialStats>>(iter: I) -> Self {
+        let mut s = TrialSummary::default();
+        for t in iter {
+            s.absorb(t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_resolves_to_machine_parallelism() {
+        assert!(Runner::new(0).threads() >= 1);
+        assert_eq!(Runner::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn results_are_in_seed_order_at_any_thread_count() {
+        let seeds: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = seeds.iter().map(|&s| s.wrapping_mul(s) ^ 0xabcd).collect();
+        for threads in [1, 2, 3, 8, 16] {
+            let got = Runner::new(threads).run(&seeds, |s| s.wrapping_mul(s) ^ 0xabcd);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_trial_costs_still_merge_correctly() {
+        // Make early seeds slow so work stealing reorders completion.
+        let seeds: Vec<u64> = (0..24).collect();
+        let got = Runner::new(4).run(&seeds, |s| {
+            if s < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            s + 1
+        });
+        assert_eq!(got, (1..=24).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_reduce_matches_serial_fold() {
+        let seeds: Vec<u64> = (0..50).collect();
+        let serial = seeds.iter().fold(0u64, |acc, &s| acc.wrapping_mul(3) ^ s);
+        // A non-commutative fold: only seed-order reduction matches.
+        let par = Runner::new(8).run_reduce(&seeds, |s| s, 0u64, |acc, s| acc.wrapping_mul(3) ^ s);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn empty_and_singleton_seed_lists() {
+        let r = Runner::new(8);
+        assert_eq!(r.run(&[], |s| s), Vec::<u64>::new());
+        assert_eq!(r.run(&[7], |s| s * 2), vec![14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 3 exploded")]
+    fn worker_panics_propagate() {
+        let seeds: Vec<u64> = (0..8).collect();
+        let _ = Runner::new(2).run(&seeds, |s| {
+            assert!(s != 3, "trial 3 exploded");
+            s
+        });
+    }
+
+    #[test]
+    fn summary_is_order_insensitive_aggregate_of_stats() {
+        let mut m = Metrics::new(3);
+        m.record_send(NodeId(1), 2, 10, 1);
+        m.record_send(NodeId(2), 3, 4, 1);
+        let a = TrialStats::from_metrics(5, 3, &m);
+        assert_eq!(a.max_bits, 10);
+        assert_eq!(a.total_bits, 14);
+        assert_eq!(a.bottleneck, Some(NodeId(1)));
+
+        let b = TrialStats { seed: 6, rounds: 9, max_bits: 2, total_bits: 2, bottleneck: None };
+        let s: TrialSummary = [&a, &b].into_iter().collect();
+        assert_eq!(s.trials, 2);
+        assert_eq!(s.worst_max_bits, 10);
+        assert_eq!(s.worst_seed, Some(5));
+        assert_eq!(s.max_rounds, 9);
+        assert!((s.mean_max_bits() - 6.0).abs() < 1e-12);
+        assert!((s.mean_rounds() - 6.0).abs() < 1e-12);
+    }
+}

@@ -127,8 +127,7 @@ pub fn binary_tree(n: usize) -> Graph {
 /// Panics if `spine == 0`.
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine > 0, "caterpillar needs a spine");
-    let mut edges: Vec<(u32, u32)> =
-        (0..spine as u32 - 1).map(|i| (i, i + 1)).collect();
+    let mut edges: Vec<(u32, u32)> = (0..spine as u32 - 1).map(|i| (i, i + 1)).collect();
     let mut next = spine as u32;
     for s in 0..spine as u32 {
         for _ in 0..legs {
@@ -148,8 +147,7 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 /// Panics if `handle == 0`.
 pub fn broom(handle: usize, bristles: usize) -> Graph {
     assert!(handle > 0, "broom needs a handle");
-    let mut edges: Vec<(u32, u32)> =
-        (0..handle as u32 - 1).map(|i| (i, i + 1)).collect();
+    let mut edges: Vec<(u32, u32)> = (0..handle as u32 - 1).map(|i| (i, i + 1)).collect();
     let center = handle as u32 - 1;
     for i in 0..bristles as u32 {
         edges.push((center, handle as u32 + i));
@@ -286,9 +284,8 @@ pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
     }
     let mut edges = Vec::with_capacity(n - 1);
     // Min-leaf extraction: classic O(n log n) Prüfer decoding.
-    let mut leaves: std::collections::BTreeSet<u32> = (0..n as u32)
-        .filter(|&v| degree[v as usize] == 1)
-        .collect();
+    let mut leaves: std::collections::BTreeSet<u32> =
+        (0..n as u32).filter(|&v| degree[v as usize] == 1).collect();
     for &p in &prufer {
         let leaf = *leaves.iter().next().expect("a leaf always exists");
         leaves.remove(&leaf);
@@ -319,11 +316,7 @@ pub fn connected_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!(n > 0, "graph needs at least one node");
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
     let tree = random_tree(n, rng);
-    let mut edges: Vec<(u32, u32)> = tree
-        .edges()
-        .iter()
-        .map(|e| (e.lo().0, e.hi().0))
-        .collect();
+    let mut edges: Vec<(u32, u32)> = tree.edges().iter().map(|e| (e.lo().0, e.hi().0)).collect();
     let have: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
     for a in 0..n as u32 {
         for b in a + 1..n as u32 {
@@ -344,11 +337,7 @@ pub fn connected_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
 pub fn random_connected_m<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
     assert!(n > 0, "graph needs at least one node");
     let tree = random_tree(n, rng);
-    let mut edges: Vec<(u32, u32)> = tree
-        .edges()
-        .iter()
-        .map(|e| (e.lo().0, e.hi().0))
-        .collect();
+    let mut edges: Vec<(u32, u32)> = tree.edges().iter().map(|e| (e.lo().0, e.hi().0)).collect();
     let mut have: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
     let max_edges = n * (n - 1) / 2;
     let target = m.clamp(edges.len(), max_edges);
@@ -449,16 +438,10 @@ pub fn relabel_preserving<R: Rng>(g: &Graph, fixed: NodeId, rng: &mut R) -> Grap
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.shuffle(rng);
     // Swap so that `fixed` maps to itself.
-    let pos = perm
-        .iter()
-        .position(|&x| x == fixed.0)
-        .expect("fixed id present");
+    let pos = perm.iter().position(|&x| x == fixed.0).expect("fixed id present");
     perm.swap(pos, fixed.index());
-    let edges: Vec<(u32, u32)> = g
-        .edges()
-        .iter()
-        .map(|e| (perm[e.lo().index()], perm[e.hi().index()]))
-        .collect();
+    let edges: Vec<(u32, u32)> =
+        g.edges().iter().map(|e| (perm[e.lo().index()], perm[e.hi().index()])).collect();
     Graph::new(n, &edges).expect("relabeling preserves validity")
 }
 

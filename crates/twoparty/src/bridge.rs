@@ -33,10 +33,7 @@ pub struct Embedding {
 /// The embedding used by the Theorem 2 accounting (unit constants).
 pub fn embedding(f: usize, b: u64) -> Embedding {
     let lb = (b.max(2) as f64).log2();
-    Embedding {
-        n: f,
-        q: ((b as f64) * lb).ceil().max(2.0) as u32,
-    }
+    Embedding { n: f, q: ((b as f64) * lb).ceil().max(2.0) as u32 }
 }
 
 /// The `Ω(f/(b·log b))` term of Theorem 2, derived by pushing Theorem 12

@@ -158,10 +158,7 @@ mod tests {
             }
         }
         assert!(unequal > 100);
-        assert!(
-            errors > unequal / 8,
-            "1-bit fingerprints should visibly err: {errors}/{unequal}"
-        );
+        assert!(errors > unequal / 8, "1-bit fingerprints should visibly err: {errors}/{unequal}");
     }
 
     #[test]

@@ -85,12 +85,8 @@ impl Frac {
         // Cross-reduce first to keep intermediates small.
         let g1 = gcd(self.num, o.den).max(1);
         let g2 = gcd(o.num, self.den).max(1);
-        let num = (self.num / g1)
-            .checked_mul(o.num / g2)
-            .expect("fraction overflow in mul");
-        let den = (self.den / g2)
-            .checked_mul(o.den / g1)
-            .expect("fraction overflow in mul");
+        let num = (self.num / g1).checked_mul(o.num / g2).expect("fraction overflow in mul");
+        let den = (self.den / g2).checked_mul(o.den / g1).expect("fraction overflow in mul");
         Frac::new(num, den)
     }
 
@@ -133,10 +129,8 @@ pub fn rank_rational(m: &[Vec<i64>]) -> usize {
     }
     let cols = m[0].len();
     assert!(m.iter().all(|r| r.len() == cols), "ragged matrix");
-    let mut a: Vec<Vec<Frac>> = m
-        .iter()
-        .map(|r| r.iter().map(|&x| Frac::int(i128::from(x))).collect())
-        .collect();
+    let mut a: Vec<Vec<Frac>> =
+        m.iter().map(|r| r.iter().map(|&x| Frac::int(i128::from(x))).collect()).collect();
     let mut rank = 0;
     for col in 0..cols {
         let Some(pivot) = (rank..rows).find(|&r| !a[r][col].is_zero()) else {

@@ -51,11 +51,7 @@ impl CpInstance {
 
     /// Ground truth for UNIONSIZECP: `|{i : X_i ≠ 0 or Y_i ≠ 0}|`.
     pub fn union_size(&self) -> u64 {
-        self.x
-            .iter()
-            .zip(&self.y)
-            .filter(|&(&a, &b)| a != 0 || b != 0)
-            .count() as u64
+        self.x.iter().zip(&self.y).filter(|&(&a, &b)| a != 0 || b != 0).count() as u64
     }
 
     /// Ground truth for EQUALITYCP: `X == Y`.
@@ -68,10 +64,8 @@ impl CpInstance {
     pub fn random<R: Rng>(n: usize, q: u32, p_advance: f64, rng: &mut R) -> Self {
         assert!(q >= 2, "q must be at least 2");
         let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..q)).collect();
-        let y: Vec<u32> = x
-            .iter()
-            .map(|&a| if rng.gen_bool(p_advance) { (a + 1) % q } else { a })
-            .collect();
+        let y: Vec<u32> =
+            x.iter().map(|&a| if rng.gen_bool(p_advance) { (a + 1) % q } else { a }).collect();
         CpInstance { q, x, y }
     }
 

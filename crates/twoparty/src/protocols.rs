@@ -87,12 +87,7 @@ impl UnionSizeProtocol for TrivialBitmask {
         let n = inst.n();
         // Bob -> Alice: zero-position bitmask.
         t.bob_sends(n as u64);
-        let z = inst
-            .x
-            .iter()
-            .zip(&inst.y)
-            .filter(|&(&a, &b)| a == 0 && b == 0)
-            .count() as u64;
+        let z = inst.x.iter().zip(&inst.y).filter(|&(&a, &b)| a == 0 && b == 0).count() as u64;
         n as u64 - z
     }
 }
@@ -112,12 +107,7 @@ impl UnionSizeProtocol for ZeroList {
         let zb = inst.y.iter().filter(|&&b| b == 0).count() as u64;
         t.bob_sends(u64::from(count_bits(n)));
         t.bob_sends(zb * u64::from(pos_bits(n)));
-        let z = inst
-            .x
-            .iter()
-            .zip(&inst.y)
-            .filter(|&(&a, &b)| a == 0 && b == 0)
-            .count() as u64;
+        let z = inst.x.iter().zip(&inst.y).filter(|&(&a, &b)| a == 0 && b == 0).count() as u64;
         n as u64 - z
     }
 }
@@ -152,13 +142,8 @@ impl UnionSizeProtocol for CutProtocol {
             counts[a as usize] += 1;
         }
         let r_star = (0..q).min_by_key(|&r| counts[r as usize]).expect("q >= 2");
-        let l: Vec<usize> = inst
-            .x
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a == r_star)
-            .map(|(i, _)| i)
-            .collect();
+        let l: Vec<usize> =
+            inst.x.iter().enumerate().filter(|&(_, &a)| a == r_star).map(|(i, _)| i).collect();
         // Alice -> Bob: r*, |L|, the positions of L.
         t.alice_sends(u64::from(range_bits(u64::from(q - 1))));
         t.alice_sends(u64::from(count_bits(n)));
@@ -171,11 +156,7 @@ impl UnionSizeProtocol for CutProtocol {
         } else {
             let k0 = rho(0);
             // Alice -> Bob: prefix count of her ranks below ρ(0), off L.
-            let a_prefix = inst
-                .x
-                .iter()
-                .filter(|&&a| a != r_star && rho(a) < k0)
-                .count() as u64;
+            let a_prefix = inst.x.iter().filter(|&&a| a != r_star && rho(a) < k0).count() as u64;
             t.alice_sends(u64::from(count_bits(n)));
             // Bob: prefix count of his ranks up to ρ(0), off L.
             let in_l = {
@@ -185,12 +166,9 @@ impl UnionSizeProtocol for CutProtocol {
                 }
                 mask
             };
-            let b_prefix = inst
-                .y
-                .iter()
-                .enumerate()
-                .filter(|&(i, &b)| !in_l[i] && rho(b) <= k0)
-                .count() as u64;
+            let b_prefix =
+                inst.y.iter().enumerate().filter(|&(i, &b)| !in_l[i] && rho(b) <= k0).count()
+                    as u64;
             b_prefix - a_prefix
         };
         // Bob -> Alice: the answer.
@@ -211,16 +189,20 @@ impl BestOf {
     /// Alice's exact cost if the cycle-cut protocol runs on `inst`.
     fn cut_cost(inst: &CpInstance) -> u64 {
         let n = inst.n();
-        let mut counts = vec![0u64; inst.q as usize];
+        let q = inst.q;
+        let mut counts = vec![0u64; q as usize];
         for &a in &inst.x {
             counts[a as usize] += 1;
         }
-        let l = *counts.iter().min().expect("q >= 2");
-        let lq = u64::from(range_bits(u64::from(inst.q - 1)));
+        // Same tie-breaking as CutProtocol::run (first minimal r).
+        let r_star = (0..q).min_by_key(|&r| counts[r as usize]).expect("q >= 2");
+        let l = counts[r_star as usize];
+        let lq = u64::from(range_bits(u64::from(q - 1)));
         let ln = u64::from(pos_bits(n));
         let lc = u64::from(count_bits(n));
-        // r*, |L|, L, (maybe prefix), answer — size upper bound.
-        lq + lc + l * ln + lc + lc
+        // r*, |L|, L, the prefix count (sent only when r* ≠ 0), answer.
+        let prefix = if r_star == 0 { 0 } else { lc };
+        lq + lc + l * ln + prefix + lc
     }
 
     /// Bob's exact cost if the zero-list protocol runs on `inst`.
@@ -296,12 +278,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn protocols() -> Vec<Box<dyn UnionSizeProtocol>> {
-        vec![
-            Box::new(TrivialBitmask),
-            Box::new(ZeroList),
-            Box::new(CutProtocol),
-            Box::new(BestOf),
-        ]
+        vec![Box::new(TrivialBitmask), Box::new(ZeroList), Box::new(CutProtocol), Box::new(BestOf)]
     }
 
     #[test]

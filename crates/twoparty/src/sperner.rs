@@ -76,9 +76,7 @@ pub fn verify_lemma11(q: usize) -> bool {
 /// condition in the `v → w` direction: `w` "covers" `v` everywhere, i.e.
 /// for every coordinate `v_i == w_i` or `v_i == (w_i + 1) mod q`.
 fn covered(v: &[u8], w: &[u8], q: u8) -> bool {
-    v.iter()
-        .zip(w)
-        .all(|(&a, &b)| a == b || a == (b + 1) % q)
+    v.iter().zip(w).all(|(&a, &b)| a == b || a == (b + 1) % q)
 }
 
 /// True iff `v` and `w` may coexist in a Sperner family `S` of Theorem 9:
@@ -220,10 +218,7 @@ mod tests {
         for (n, q) in [(1usize, 3u8), (2, 3), (3, 3), (1, 4), (2, 4), (1, 5), (2, 5)] {
             let bound = (q as usize - 1).pow(n as u32);
             let max = max_sperner_family(n, q);
-            assert!(
-                max <= bound,
-                "n={n} q={q}: found {max} > bound {bound}"
-            );
+            assert!(max <= bound, "n={n} q={q}: found {max} > bound {bound}");
         }
     }
 

@@ -41,11 +41,7 @@ fn every_instance_every_protocol() {
                     ("zero-list", ZeroList.run(&inst, &mut Transcript::new())),
                     ("cycle-cut", CutProtocol.run(&inst, &mut Transcript::new())),
                 ] {
-                    assert_eq!(
-                        got, truth,
-                        "{name} wrong on q={q} x={:?} y={:?}",
-                        inst.x, inst.y
-                    );
+                    assert_eq!(got, truth, "{name} wrong on q={q} x={:?} y={:?}", inst.x, inst.y);
                 }
             }
         }

@@ -233,10 +233,7 @@ impl<'a> BitReader<'a> {
             return Err(WireError::BadWidth(width));
         }
         if self.remaining() < u64::from(width) {
-            return Err(WireError::OutOfBits {
-                wanted: width,
-                left: self.remaining(),
-            });
+            return Err(WireError::OutOfBits { wanted: width, left: self.remaining() });
         }
         let mut v = 0u64;
         for _ in 0..width {
@@ -299,11 +296,7 @@ pub trait BitCodec: Sized + PartialEq + fmt::Debug {
 pub fn assert_roundtrip<T: BitCodec>(ctx: &T::Ctx, value: &T) {
     let mut w = BitWriter::new();
     value.encode(ctx, &mut w);
-    assert_eq!(
-        w.bit_len(),
-        T::encoded_bits(ctx),
-        "encoded size differs from declared size"
-    );
+    assert_eq!(w.bit_len(), T::encoded_bits(ctx), "encoded size differs from declared size");
     let buf = w.finish();
     let mut r = BitReader::new(&buf);
     let back = T::decode(ctx, &mut r).expect("decode succeeds");
@@ -420,10 +413,7 @@ mod tests {
         }
 
         fn decode(ctx: &usize, r: &mut BitReader<'_>) -> Result<Self, WireError> {
-            Ok(Pair {
-                id: r.take(id_bits(*ctx))?,
-                flag: r.take_bit()?,
-            })
+            Ok(Pair { id: r.take(id_bits(*ctx))?, flag: r.take_bit()? })
         }
     }
 

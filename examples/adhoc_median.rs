@@ -51,7 +51,9 @@ fn main() -> Result<(), String> {
             total_bits += rep.metrics.max_bits();
             println!(
                 "  probe #{probes}: count(latency <= {x:>4}) = {:>2}   [{} stages, {} bits]",
-                rep.result, rep.stages, rep.metrics.max_bits()
+                rep.result,
+                rep.stages,
+                rep.metrics.max_bits()
             );
             rep.result
         },
@@ -62,7 +64,10 @@ fn main() -> Result<(), String> {
     let mut sorted = latencies.clone();
     sorted.sort_unstable();
     println!("\ndistributed median  = {med:?}");
-    println!("centralized median  = {} (over *all* inputs; small drift from", sorted[n.div_ceil(2) - 1]);
+    println!(
+        "centralized median  = {} (over *all* inputs; small drift from",
+        sorted[n.div_ceil(2) - 1]
+    );
     println!("                      the failed node's input is allowed by the model)");
     println!("probes used         = {probes} (budget {})", probe_budget(domain_max));
     println!("bottleneck bits     = {total_bits} total across probes");

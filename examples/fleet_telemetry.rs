@@ -59,11 +59,7 @@ fn main() -> Result<(), String> {
     // inputs may legitimately be included or excluded — interval
     // semantics, so expect a small drift, not equality).
     let m_ref = readings.iter().sum::<u64>() as f64 / n as f64;
-    let v_ref = readings
-        .iter()
-        .map(|&x| (x as f64 - m_ref).powi(2))
-        .sum::<f64>()
-        / n as f64;
+    let v_ref = readings.iter().map(|&x| (x as f64 - m_ref).powi(2)).sum::<f64>() / n as f64;
 
     println!("\nfleet mean battery  = {mean:.2}  (all-inputs reference {m_ref:.2})");
     println!("fleet variance      = {var:.2}  (all-inputs reference {v_ref:.2})");

@@ -36,7 +36,10 @@ fn main() -> Result<(), String> {
     let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
     let inst = Instance::new(graph, root, inputs, schedule, 100)?;
 
-    println!("N = {n} nodes, diameter d = {d}, f = {} edge failures scheduled", inst.edge_failures());
+    println!(
+        "N = {n} nodes, diameter d = {d}, f = {} edge failures scheduled",
+        inst.edge_failures()
+    );
     println!("sum of all inputs = {}\n", inst.full_aggregate(&Sum));
 
     // The paper's protocol (Algorithm 1).
@@ -45,7 +48,10 @@ fn main() -> Result<(), String> {
     println!("Algorithm 1  (b = {b}):");
     println!("  result   = {} (correct: {})", r.result, r.correct);
     println!("  CC       = {} bits at the bottleneck node", r.metrics.max_bits());
-    println!("  TC       = {} flooding rounds, {} pairs run, fallback: {}\n", r.flooding_rounds, r.pairs_run, r.used_fallback);
+    println!(
+        "  TC       = {} flooding rounds, {} pairs run, fallback: {}\n",
+        r.flooding_rounds, r.pairs_run, r.used_fallback
+    );
 
     // Baseline: brute-force flooding (O(1) TC, O(N log N) CC).
     let br = run_brute(&Sum, &inst, inst.schedule.clone(), 2, 0);

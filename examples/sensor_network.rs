@@ -49,8 +49,11 @@ fn main() -> Result<(), String> {
     let readings: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=250)).collect();
 
     println!("10x10 sensor grid, base station at node 0, d = {d}");
-    println!("{} sensors scheduled to die; f = {} edge failures\n", schedule.crash_count(),
-        schedule.edge_failures(&graph));
+    println!(
+        "{} sensors scheduled to die; f = {} edge failures\n",
+        schedule.crash_count(),
+        schedule.edge_failures(&graph)
+    );
 
     // SUM of readings.
     let inst = Instance::new(graph.clone(), root, readings.clone(), schedule.clone(), 250)?;

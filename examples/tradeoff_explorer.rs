@@ -35,8 +35,10 @@ fn main() -> Result<(), String> {
     let inst = Instance::new(graph, root, inputs, schedule, 64)?;
 
     println!("N = {n}, f = {} (scheduled), d = {d}, c = {c}", inst.edge_failures());
-    println!("\n{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "b", "measured CC", "upper bound", "lower bound", "old lower", "correct");
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "b", "measured CC", "upper bound", "lower bound", "old lower", "correct"
+    );
     for b in [42u64, 63, 84, 126, 189, 252, 378] {
         let cfg = TradeoffConfig { b, c, f, seed: b };
         let r = run_tradeoff(&Sum, &inst, &cfg);
@@ -54,10 +56,17 @@ fn main() -> Result<(), String> {
     let br = run_brute(&Sum, &inst, inst.schedule.clone(), c, 0);
     let fo = run_folklore(&Sum, &inst, c, 2 * f + 2);
     println!("\nbaselines (fixed TC):");
-    println!("  brute force : CC = {:>7} bits (theory ~ N·logN = {:.0})",
-        br.metrics.max_bits(), bounds::brute_cc(n));
-    println!("  folklore    : CC = {:>7} bits over {} attempts (theory ~ f·logN = {:.0})",
-        fo.metrics.max_bits(), fo.attempts, bounds::folklore_cc(n, f));
+    println!(
+        "  brute force : CC = {:>7} bits (theory ~ N·logN = {:.0})",
+        br.metrics.max_bits(),
+        bounds::brute_cc(n)
+    );
+    println!(
+        "  folklore    : CC = {:>7} bits over {} attempts (theory ~ f·logN = {:.0})",
+        fo.metrics.max_bits(),
+        fo.attempts,
+        bounds::folklore_cc(n, f)
+    );
     assert!(br.correct && fo.correct);
     Ok(())
 }

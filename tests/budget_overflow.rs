@@ -63,10 +63,7 @@ fn veri_overflow_forces_false_within_budget() {
     let root = eng.node(inst.root);
     // With t = 0 there are no witnesses, so any failed-parent claim that
     // reaches the root (or an overflow) forces false — the one-sided rule.
-    assert!(
-        !root.veri_verdict(),
-        "VERI must output false (overflow or detected failures)"
-    );
+    assert!(!root.veri_verdict(), "VERI must output false (overflow or detected failures)");
     assert!(
         !root.failed_parents_seen().is_empty(),
         "the failed-parent claims must have reached the root"

@@ -73,11 +73,8 @@ fn modular_sum_with_exact_oracle() {
         let r = run_tradeoff(&op, &inst, &cfg);
         // Mandatory inputs: alive & root-connected at the end.
         let dead = inst.schedule.dead_by(r.rounds);
-        let alive: std::collections::HashSet<_> = inst
-            .graph
-            .reachable_from(inst.root, &dead)
-            .into_iter()
-            .collect();
+        let alive: std::collections::HashSet<_> =
+            inst.graph.reachable_from(inst.root, &dead).into_iter().collect();
         let mut mandatory = Vec::new();
         let mut optional = Vec::new();
         for v in inst.graph.nodes() {
@@ -128,8 +125,5 @@ fn median_via_count_under_failures() {
     sorted.sort_unstable();
     let lo = sorted[(k as usize - 1).saturating_sub(1)];
     let hi = sorted[(k as usize).min(n - 1)];
-    assert!(
-        (lo..=hi).contains(&got),
-        "median {got} outside tolerance [{lo}, {hi}]"
-    );
+    assert!((lo..=hi).contains(&got), "median {got} outside tolerance [{lo}, {hi}]");
 }

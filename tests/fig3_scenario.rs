@@ -128,9 +128,7 @@ fn without_speculation_window_sums_survive_via_parent_flood() {
 
     match root.agg_outcome() {
         AggOutcome::Result(v) => {
-            assert!(inst
-                .correct_interval(&Sum, params.total_rounds())
-                .contains(v));
+            assert!(inst.correct_interval(&Sum, params.total_rounds()).contains(v));
             // Only B's input (2) may be missing.
             let full: u64 = inst.inputs.iter().sum();
             assert!(v >= full - 2);

@@ -49,11 +49,7 @@ fn tradeoff_survives_partial_broadcast_crashes() {
         let inst = Instance::new(g, NodeId(0), inputs, s, 63).unwrap();
         let cfg = TradeoffConfig { b: 63, c: C, f: inst.edge_failures().max(1), seed: trial };
         let r = run_tradeoff(&Sum, &inst, &cfg);
-        assert!(
-            r.correct,
-            "trial {trial}: result {} incorrect under partial broadcasts",
-            r.result
-        );
+        assert!(r.correct, "trial {trial}: result {} incorrect under partial broadcasts", r.result);
         checked += 1;
     }
     assert!(checked >= 25, "want coverage, got {checked}");

@@ -1,0 +1,170 @@
+//! Property-based checks of the simulator substrate itself: the model
+//! guarantees the protocols rely on (synchronous one-round delivery to
+//! live graph neighbors only, crashed nodes fall permanently silent) and
+//! the metering identities (system totals equal per-node and per-round
+//! sums). These pin the engine's hot path — buffer reuse and shared
+//! message delivery must never change *what* is delivered, only how.
+
+use netsim::{
+    topology, Engine, FailureSchedule, Graph, Message, NodeId, NodeLogic, Received, Round, RoundCtx,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A traceable payload: who sent it and in which round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Ping {
+    from: NodeId,
+    sent_round: Round,
+}
+
+impl Message for Ping {
+    fn bit_len(&self) -> u64 {
+        48
+    }
+}
+
+/// Deterministic per-(node, round) send decision — a cheap hash so every
+/// reconstruction of the expected traffic agrees with the nodes'.
+fn sends_in(seed: u64, v: NodeId, r: Round) -> bool {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(v.0).wrapping_mul(0x517c_c1b7_2722_0a95))
+        .wrapping_add(r.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 32;
+    x % 3 == 0
+}
+
+/// Records everything the engine does to this node.
+struct Probe {
+    me: NodeId,
+    seed: u64,
+    /// Rounds in which `on_round` ran (must all precede this node's crash).
+    active_rounds: Vec<Round>,
+    /// `(sender, sent_round, received_round)` for every delivery.
+    received: Vec<(NodeId, Round, Round)>,
+}
+
+impl NodeLogic<Ping> for Probe {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Ping>) {
+        let r = ctx.round();
+        self.active_rounds.push(r);
+        for m in ctx.inbox() {
+            let Received { from, msg } = m;
+            self.received.push((*from, msg.sent_round, r));
+        }
+        if sends_in(self.seed, self.me, r) {
+            ctx.send(Ping { from: self.me, sent_round: r });
+        }
+    }
+}
+
+/// A random connected graph plus a partial-free crash schedule.
+fn random_setup(seed: u64, n: usize, crashes: usize, horizon: Round) -> (Graph, FailureSchedule) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = if rng.gen_bool(0.5) {
+        topology::connected_gnp(n, 0.2, &mut rng)
+    } else {
+        topology::random_tree(n, &mut rng)
+    };
+    let mut s = FailureSchedule::none();
+    let n = g.len();
+    for _ in 0..crashes {
+        let v = NodeId(rng.gen_range(1..n as u32));
+        let r = rng.gen_range(1..=horizon);
+        s.crash(v, r);
+    }
+    (g, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The delivery matrix, reconstructed from the model's definition,
+    /// must equal what the nodes observed — exactly: a message sent by a
+    /// live node in round `r` reaches precisely its live graph neighbors
+    /// in round `r + 1`, once each, and nobody else ever hears anything.
+    #[test]
+    fn delivery_is_exactly_neighbors_one_round_later(
+        seed in 0u64..1_000_000,
+        n in 3usize..24,
+        crashes in 0usize..6,
+    ) {
+        let horizon: Round = 12;
+        let (g, s) = random_setup(seed, n, crashes, horizon);
+        let mut eng = Engine::new(g.clone(), s.clone(), |v| Probe {
+            me: v,
+            seed,
+            active_rounds: Vec::new(),
+            received: Vec::new(),
+        });
+        eng.run(horizon);
+
+        for w in g.nodes() {
+            // Dead nodes fall silent: no activity at or past the crash.
+            for &r in &eng.node(w).active_rounds {
+                prop_assert!(!s.is_dead(w, r), "dead node {w} ran in round {r}");
+            }
+            // Expected inbox of w, in any order: every live neighbor that
+            // sent in r-1 while w is alive in r.
+            let mut expected: Vec<(NodeId, Round, Round)> = Vec::new();
+            for r in 2..=horizon {
+                if s.is_dead(w, r) {
+                    continue;
+                }
+                for &u in g.neighbors(w) {
+                    if !s.is_dead(u, r - 1) && sends_in(seed, u, r - 1) {
+                        expected.push((u, r - 1, r));
+                    }
+                }
+            }
+            let mut got = eng.node(w).received.clone();
+            got.sort_unstable_by_key(|&(u, sr, rr)| (rr, sr, u.0));
+            expected.sort_unstable_by_key(|&(u, sr, rr)| (rr, sr, u.0));
+            prop_assert_eq!(&got, &expected, "delivery matrix of node {}", w);
+            // Every delivery is from a graph neighbor, one round later.
+            for &(u, sr, rr) in &got {
+                prop_assert!(g.has_edge(u, w));
+                prop_assert_eq!(rr, sr + 1);
+            }
+        }
+    }
+
+    /// Metering identities: the system total equals the sum over nodes
+    /// and the sum over rounds, however the traffic is distributed.
+    #[test]
+    fn metrics_totals_are_consistent(
+        seed in 0u64..1_000_000,
+        n in 3usize..24,
+        crashes in 0usize..6,
+    ) {
+        let horizon: Round = 12;
+        let (g, s) = random_setup(seed, n, crashes, horizon);
+        let mut eng = Engine::new(g.clone(), s, |v| Probe {
+            me: v,
+            seed,
+            active_rounds: Vec::new(),
+            received: Vec::new(),
+        });
+        eng.run(horizon);
+        let m = eng.metrics();
+
+        let per_node: u64 = g.nodes().map(|v| m.bits_of(v)).sum();
+        prop_assert_eq!(m.total_bits(), per_node);
+
+        let per_round: u64 = m.per_round_bits().map(|(_, b)| b).sum();
+        prop_assert_eq!(m.total_bits(), per_round);
+        prop_assert_eq!(m.bits_in_rounds(1..=horizon), m.total_bits());
+        for (r, b) in m.per_round_bits() {
+            prop_assert_eq!(m.bits_in_round(r), b);
+            prop_assert!(b > 0);
+        }
+        prop_assert!(m.max_bits() <= m.total_bits());
+        if let Some(last) = m.last_send_round() {
+            prop_assert_eq!(m.per_round_bits().last().map(|(r, _)| r), Some(last));
+        }
+    }
+}

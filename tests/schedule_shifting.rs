@@ -34,10 +34,7 @@ fn shifted_drops_stale_partial_restrictions() {
     assert_eq!(sh.event(NodeId(4)), Some(&CrashEvent::clean(1)));
     // Window starts right before: restriction survives, round shifts.
     let sh = s.shifted(7);
-    assert_eq!(
-        sh.event(NodeId(4)),
-        Some(&CrashEvent::partial(2, vec![NodeId(3)]))
-    );
+    assert_eq!(sh.event(NodeId(4)), Some(&CrashEvent::partial(2, vec![NodeId(3)])));
 }
 
 #[test]

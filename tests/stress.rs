@@ -1,8 +1,11 @@
-//! Long-running randomized stress (ignored by default — run with
-//! `cargo test --test stress -- --ignored` when you want the heavy
-//! sweep). Everything here re-checks the zero-error guarantee and budget
-//! invariants over far more trials and larger instances than the default
-//! suite.
+//! Randomized stress over the zero-error guarantee and budget invariants.
+//!
+//! The fast slice (~50 trials on small instances) runs in the default
+//! suite; the heavy sweeps (thousands of trials, larger N) stay behind
+//! `cargo test --test stress -- --ignored`. All of them fan trials out
+//! through [`netsim::Runner`]: each trial is a pure function of its seed
+//! and returns only `Send` summaries (the engine itself is not `Send`),
+//! so the counts are identical at any thread count.
 
 use caaf::Sum;
 use ftagg::analysis::{classify, Scenario};
@@ -11,84 +14,116 @@ use ftagg::pair::AggOutcome;
 use ftagg::run::run_pair_engine;
 use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
 use ftagg::Instance;
-use netsim::{adversary::schedules, topology, NodeId};
+use netsim::{adversary::schedules, topology, NodeId, Runner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const C: u32 = 2;
 
+/// One randomized pair execution: draw a small instance from `seed`, run
+/// AGG+VERI, assert this trial's Table 2 guarantee row and the per-node
+/// bit budgets, and report which scenario it landed in (`None` when the
+/// drawn schedule violates the `c·d` stretch assumption and is skipped).
+fn pair_trial(seed: u64) -> Option<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(10usize..40);
+    let g = match seed % 4 {
+        0 => topology::cycle(n.max(3)),
+        1 => topology::connected_gnp(n, 0.15, &mut rng),
+        2 => topology::caterpillar(n / 2, 1),
+        _ => topology::random_tree(n, &mut rng),
+    };
+    let n = g.len();
+    let horizon = 26 * u64::from(g.diameter()) + 10;
+    let k = rng.gen_range(0..6);
+    let s = schedules::random(&g, NodeId(0), k, horizon, &mut rng);
+    if s.stretch_factor(&g, NodeId(0)) > f64::from(C) {
+        return None;
+    }
+    let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+    let t = rng.gen_range(0..6);
+    let inst = Instance::new(g, NodeId(0), inputs, s, 63).unwrap();
+    let (eng, params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), C, t, true);
+    let (scenario, _) = classify(&inst, &inst.schedule, &eng, &params);
+    let root = eng.node(inst.root);
+    let iv = inst.correct_interval(&Sum, params.total_rounds());
+    let idx = match scenario {
+        Scenario::FewFailures => {
+            assert!(matches!(root.agg_outcome(), AggOutcome::Result(v) if iv.contains(v)));
+            assert!(root.veri_verdict());
+            0
+        }
+        Scenario::ManyFailuresNoLfc => {
+            if let AggOutcome::Result(v) = root.agg_outcome() {
+                assert!(iv.contains(v));
+            }
+            1
+        }
+        Scenario::ManyFailuresLfc => {
+            assert!(!root.veri_verdict());
+            2
+        }
+    };
+    // Budgets always.
+    for v in inst.graph.nodes() {
+        assert!(eng.node(v).agg_bits_sent() <= agg_bit_budget(n, t));
+        assert!(eng.node(v).veri_bits_sent() <= veri_bit_budget(n, t));
+    }
+    Some(idx)
+}
+
+/// Folds scenario indices into per-scenario counts.
+fn scenario_counts(observed: Vec<Option<usize>>) -> [usize; 3] {
+    let mut counts = [0usize; 3];
+    for idx in observed.into_iter().flatten() {
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Tier-1 slice: ~50 randomized pair executions on small instances, fast
+/// enough for the default suite. Same trial body as the 2000-run sweep.
+#[test]
+fn stress_fast_slice_fifty_runs() {
+    let seeds: Vec<u64> = (0..50).map(|t| 1_000_000 + t).collect();
+    let counts = scenario_counts(Runner::new(0).run(&seeds, pair_trial));
+    // Coverage here is necessarily looser than the heavy sweep's: just
+    // require that the slice exercised a healthy number of executions.
+    assert!(counts.iter().sum::<usize>() >= 25, "too many skipped: {counts:?}");
+    assert!(counts[0] > 0, "no few-failure runs: {counts:?}");
+}
+
 #[test]
 #[ignore = "heavy: ~2000 randomized executions"]
 fn stress_table2_two_thousand_runs() {
-    let mut counts = [0usize; 3];
-    for trial in 0..2000u64 {
-        let mut rng = StdRng::seed_from_u64(1_000_000 + trial);
-        let n = rng.gen_range(10..40);
-        let g = match trial % 4 {
-            0 => topology::cycle(n.max(3)),
-            1 => topology::connected_gnp(n, 0.15, &mut rng),
-            2 => topology::caterpillar(n / 2, 1),
-            _ => topology::random_tree(n, &mut rng),
-        };
-        let n = g.len();
-        let horizon = 26 * u64::from(g.diameter()) + 10;
-        let k = rng.gen_range(0..6);
-        let s = schedules::random(&g, NodeId(0), k, horizon, &mut rng);
-        if s.stretch_factor(&g, NodeId(0)) > f64::from(C) {
-            continue;
-        }
-        let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
-        let t = rng.gen_range(0..6);
-        let inst = Instance::new(g, NodeId(0), inputs, s, 63).unwrap();
-        let (eng, params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), C, t, true);
-        let (scenario, _) = classify(&inst, &inst.schedule, &eng, &params);
-        let root = eng.node(inst.root);
-        let iv = inst.correct_interval(&Sum, params.total_rounds());
-        match scenario {
-            Scenario::FewFailures => {
-                counts[0] += 1;
-                assert!(matches!(root.agg_outcome(), AggOutcome::Result(v) if iv.contains(v)));
-                assert!(root.veri_verdict());
-            }
-            Scenario::ManyFailuresNoLfc => {
-                counts[1] += 1;
-                if let AggOutcome::Result(v) = root.agg_outcome() {
-                    assert!(iv.contains(v));
-                }
-            }
-            Scenario::ManyFailuresLfc => {
-                counts[2] += 1;
-                assert!(!root.veri_verdict());
-            }
-        }
-        // Budgets always.
-        for v in inst.graph.nodes() {
-            assert!(eng.node(v).agg_bits_sent() <= agg_bit_budget(n, t));
-            assert!(eng.node(v).veri_bits_sent() <= veri_bit_budget(n, t));
-        }
-    }
+    let seeds: Vec<u64> = (0..2000).map(|t| 1_000_000 + t).collect();
+    let counts = scenario_counts(Runner::new(0).run(&seeds, pair_trial));
     assert!(counts.iter().all(|&c| c > 50), "scenario coverage: {counts:?}");
 }
 
 #[test]
 #[ignore = "heavy: large-N tradeoff sweep"]
 fn stress_tradeoff_large_instances() {
-    for trial in 0..40u64 {
-        let mut rng = StdRng::seed_from_u64(2_000_000 + trial);
+    let seeds: Vec<u64> = (0..40).map(|t| 2_000_000 + t).collect();
+    let ran = Runner::new(0).run(&seeds, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
         let n = rng.gen_range(100..300);
         let g = topology::connected_gnp(n, (3.0 * (n as f64).ln() / n as f64).min(0.3), &mut rng);
-        let b = 21 * u64::from(C) * rng.gen_range(1..6);
+        let b = 21 * u64::from(C) * rng.gen_range(1u64..6);
         let horizon = b * u64::from(g.diameter());
         let f = rng.gen_range(1..n / 4);
         let s = schedules::random_with_edge_budget(&g, NodeId(0), f, horizon, &mut rng);
         if s.stretch_factor(&g, NodeId(0)) > f64::from(C) {
-            continue;
+            return false;
         }
         let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1024)).collect();
         let inst = Instance::new(g, NodeId(0), inputs, s, 1023).unwrap();
-        let cfg = TradeoffConfig { b, c: C, f, seed: trial };
+        let cfg = TradeoffConfig { b, c: C, f, seed };
         let r = run_tradeoff(&Sum, &inst, &cfg);
-        assert!(r.correct, "trial {trial} (n={n}, b={b}, f={f}): wrong result");
+        assert!(r.correct, "seed {seed} (n={n}, b={b}, f={f}): wrong result");
         assert!(r.flooding_rounds <= b + 1);
-    }
+        true
+    });
+    let executed = ran.into_iter().filter(|&x| x).count();
+    assert!(executed >= 10, "too many stretch-violating schedules skipped: {executed}");
 }

@@ -24,11 +24,8 @@ const C: u32 = 2;
 /// strict subset-sum condition.
 fn strictly_correct(inst: &Instance, result: u64, end_round: u64) -> bool {
     let dead = inst.schedule.dead_by(end_round);
-    let alive: std::collections::HashSet<NodeId> = inst
-        .graph
-        .reachable_from(inst.root, &dead)
-        .into_iter()
-        .collect();
+    let alive: std::collections::HashSet<NodeId> =
+        inst.graph.reachable_from(inst.root, &dead).into_iter().collect();
     let mut mandatory = Vec::new();
     let mut optional = Vec::new();
     for v in inst.graph.nodes() {

@@ -55,10 +55,7 @@ fn run_matrix(mut make: impl FnMut(u64) -> (Instance, u32)) -> Tally {
             Scenario::ManyFailuresNoLfc => {
                 tally.many_no_lfc += 1;
                 if let AggOutcome::Result(v) = outcome {
-                    assert!(
-                        correct(v),
-                        "trial {trial}: scenario 2 result {v} incorrect (t = {t})"
-                    );
+                    assert!(correct(v), "trial {trial}: scenario 2 result {v} incorrect (t = {t})");
                 }
                 // VERI unconstrained.
             }
@@ -106,17 +103,13 @@ fn table2_cycles_force_lfcs() {
         // Nodes 1..=run_len die just after tree construction: a failed
         // chain whose descendants stay alive around the cycle.
         for v in 1..=run_len {
-            s.crash(NodeId(v as u32), 2 * cd + 2 + rng.gen_range(0..3));
+            s.crash(NodeId(v as u32), 2 * cd + 2 + rng.gen_range(0u64..3));
         }
         let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..16)).collect();
         let t = rng.gen_range(1..4);
         (Instance::new(g, NodeId(0), inputs, s, 15).unwrap(), t)
     });
-    assert!(
-        tally.many_lfc >= 10,
-        "this family should produce LFCs, got {}",
-        tally.many_lfc
-    );
+    assert!(tally.many_lfc >= 10, "this family should produce LFCs, got {}", tally.many_lfc);
 }
 
 #[test]

@@ -9,11 +9,9 @@ use twoparty::bridge::theorem2_lower_bound;
 fn bridge_and_closed_form_agree_asymptotically() {
     // In the regime where f/(b·log b) dominates the log-slacks, the two
     // computations must agree within a factor of 2.
-    for &(n, f, b) in &[
-        (1usize << 16, 1usize << 20, 32u64),
-        (1 << 18, 1 << 22, 64),
-        (1 << 14, 1 << 19, 128),
-    ] {
+    for &(n, f, b) in
+        &[(1usize << 16, 1usize << 20, 32u64), (1 << 18, 1 << 22, 64), (1 << 14, 1 << 19, 128)]
+    {
         let closed = lower_bound_new(n, f, b);
         let bridged = theorem2_lower_bound(n, f, b);
         let ratio = bridged / closed;

@@ -103,23 +103,11 @@ fn cc_grows_linearly_in_t() {
     // lists dominate).
     let g = topology::caterpillar(16, 1);
     let n = g.len();
-    let inst = Instance::new(
-        g,
-        NodeId(0),
-        vec![1; n],
-        netsim::FailureSchedule::none(),
-        1,
-    )
-    .unwrap();
+    let inst = Instance::new(g, NodeId(0), vec![1; n], netsim::FailureSchedule::none(), 1).unwrap();
     let mut costs = Vec::new();
     for t in [1u32, 2, 4, 8] {
         let (eng, _) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), C, t, true);
-        let max = inst
-            .graph
-            .nodes()
-            .map(|v| eng.node(v).agg_bits_sent())
-            .max()
-            .unwrap();
+        let max = inst.graph.nodes().map(|v| eng.node(v).agg_bits_sent()).max().unwrap();
         costs.push((t, max));
     }
     for w in costs.windows(2) {
@@ -127,9 +115,6 @@ fn cc_grows_linearly_in_t() {
         let (t1, c1) = w[1];
         assert!(c1 >= c0, "cost must not drop as t grows: {costs:?}");
         // Sub-linear headroom check: cost(2t) ≤ 2.5 × cost(t) + overhead.
-        assert!(
-            c1 <= c0 * 5 / 2 + 200,
-            "t {t0} -> {t1}: cost jumped {c0} -> {c1}"
-        );
+        assert!(c1 <= c0 * 5 / 2 + 200, "t {t0} -> {t1}: cost jumped {c0} -> {c1}");
     }
 }
