@@ -3,7 +3,12 @@
 //! a-priori worst-case bound.
 //!
 //! Sweeps the actual number of crashed nodes φ on a fixed topology and
-//! reports stages, CC, and TC of the doubling wrapper.
+//! reports stages, CC, and TC of the doubling wrapper. Per-stage cost is
+//! read from the first-class phase attribution (`Metrics::phases`): each
+//! doubling stage is a `"stage k"` span, so the "stage-0 share" column —
+//! the fraction of all bits spent in the first (cheapest) guess — is a
+//! direct measurement of how much of the budget failure-free executions
+//! keep.
 
 use caaf::Sum;
 use ftagg::doubling::{run_doubling, DoublingConfig};
@@ -24,6 +29,7 @@ fn main() {
         "avg final guess",
         "CC (geomean)",
         "avg rounds",
+        "stage-0 share",
         "fallbacks",
         "all correct",
     ]);
@@ -35,6 +41,8 @@ fn main() {
         let mut fallbacks = 0usize;
         let mut ok = true;
         let mut done = 0u64;
+        let mut stage0_bits = 0u64;
+        let mut all_bits = 0u64;
         for trial in 0..trials {
             let mut rng = StdRng::seed_from_u64(100 * phi as u64 + trial);
             let g = topology::connected_gnp(n, 0.12, &mut rng);
@@ -52,6 +60,17 @@ fn main() {
             rounds += r.rounds;
             fallbacks += usize::from(r.used_fallback);
             done += 1;
+            // Per-stage attribution: the top-level "stage k"/"fallback"
+            // spans partition the run's traffic exactly.
+            let phases = r.metrics.phases();
+            let top_total: u64 = phases.iter().filter(|p| p.depth == 0).map(|p| p.bits).sum();
+            assert_eq!(
+                top_total,
+                r.metrics.total_bits(),
+                "stage spans must account for every bit (φ = {phi}, trial = {trial})"
+            );
+            stage0_bits += phases.iter().find(|p| p.label == "stage 0").map_or(0, |p| p.bits);
+            all_bits += r.metrics.total_bits();
         }
         assert!(ok, "doubling produced an incorrect result at φ = {phi}");
         let d = done.max(1) as f64;
@@ -61,6 +80,7 @@ fn main() {
             f(guesses as f64 / d, 1),
             f(geomean(&ccs), 0),
             f(rounds as f64 / d, 0),
+            f(stage0_bits as f64 / all_bits.max(1) as f64, 2),
             fallbacks.to_string(),
             ok.to_string(),
         ]);

@@ -1,10 +1,15 @@
 //! E15 — per-interval CC attribution inside Algorithm 1.
 //!
-//! Using the round-accurate merged ledger (`Metrics::bits_in_rounds` over
-//! `absorb_shifted` sub-executions), shows *where* Algorithm 1's bits go:
-//! each executed interval's system-wide traffic, versus the per-pair
-//! budget `N·[(11t+14)(logN+5) + (5t+7)(3logN+10)]` that Theorems 3/6 cap
-//! it by, and the silence of unselected intervals.
+//! Shows *where* Algorithm 1's bits go using the first-class phase
+//! attribution API (`Metrics::phases`): `run_tradeoff` labels every
+//! executed interval's window (with the pair's AGG/VERI halves nested
+//! inside it) and the brute-force fallback, so the table below is read
+//! straight off the merged ledger. Each interval's traffic is checked
+//! against the per-pair budget `N·[(11t+14)(logN+5) + (5t+7)(3logN+10)]`
+//! that Theorems 3/6 cap it by, and unselected intervals are verified
+//! silent. Every phase row is also asserted to agree **exactly** with the
+//! raw `Metrics::bits_in_rounds` window query the pre-phase version of
+//! this bin computed by hand.
 
 use caaf::Sum;
 use ftagg::msg::{agg_bit_budget, veri_bit_budget};
@@ -29,33 +34,59 @@ fn main() {
         r.x, r.t
     );
     let mut t = Table::new(vec![
-        "interval",
+        "phase",
         "global rounds",
         "bits (all nodes)",
         "per-pair cap N·(AGG+VERI budgets)",
     ]);
     let cap = n as u64 * (agg_bit_budget(n, r.t) + veri_bit_budget(n, r.t));
+    let phases = r.metrics.phases();
     let mut nonzero = 0;
-    for y in 1..=r.x {
-        let lo = (y - 1) * interval_rounds + 1;
-        let hi = y * interval_rounds;
-        let bits = r.metrics.bits_in_rounds(lo..=hi);
-        if bits > 0 {
-            nonzero += 1;
-            t.row(vec![y.to_string(), format!("{lo}..{hi}"), bits.to_string(), cap.to_string()]);
-            assert!(bits <= cap, "interval {y} exceeded the theorem cap");
+    let mut fallback_bits = 0;
+    for ph in &phases {
+        // Exact agreement between the phase table and the raw ledger
+        // window query the pre-phase bin used.
+        assert_eq!(
+            ph.bits,
+            r.metrics.bits_in_rounds(ph.start..=ph.end),
+            "phase '{}' disagrees with the raw window query",
+            ph.label
+        );
+        let label = format!("{}{}", "  ".repeat(ph.depth), ph.label);
+        let is_interval = ph.depth == 0 && ph.label.starts_with("interval");
+        if is_interval {
+            // The span is the interval's full 19c-flooding-round window.
+            assert_eq!(ph.rounds, interval_rounds, "interval span must cover its window");
+            nonzero += u64::from(ph.bits > 0);
+            assert!(ph.bits <= cap, "{} exceeded the theorem cap", ph.label);
         }
+        if ph.label == "fallback" {
+            fallback_bits = ph.bits;
+        }
+        t.row(vec![
+            label,
+            format!("{}..{}", ph.start, ph.end),
+            ph.bits.to_string(),
+            if is_interval { cap.to_string() } else { "-".to_string() },
+        ]);
     }
-    // Fallback window.
-    let fb_lo = (b - 2 * u64::from(c)) * d + 1;
-    let fb_bits = r.metrics.bits_in_rounds(fb_lo..=fb_lo + 2 * u64::from(c) * d + 2);
-    t.row(vec!["fallback".to_string(), format!("{fb_lo}.."), fb_bits.to_string(), "-".to_string()]);
     t.print();
+
+    // The nested AGG/VERI spans of each interval sum to at most the
+    // interval's traffic, and all executed intervals sum to the run total
+    // minus the fallback.
+    let interval_total: u64 =
+        phases.iter().filter(|p| p.label.starts_with("interval")).map(|p| p.bits).sum();
+    assert_eq!(
+        interval_total + fallback_bits,
+        r.metrics.total_bits(),
+        "intervals + fallback must account for every bit"
+    );
     println!(
         "\n{} of {} intervals carried traffic (pairs run: {}); all within the per-pair cap;",
         nonzero, r.x, r.pairs_run
     );
-    println!("fallback traffic: {fb_bits} bits (0 unless all sampled intervals failed).");
+    println!("fallback traffic: {fallback_bits} bits (0 unless all sampled intervals failed).");
     assert_eq!(nonzero, r.pairs_run as u64, "traffic must sit exactly in executed intervals");
     assert_eq!(
         r.metrics.bits_in_rounds(1..=b * d + 3),

@@ -95,6 +95,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "topo" => cmd_topo(args),
         "trace" => cmd_trace(args),
         "sweep" => cmd_sweep(args),
+        "report" => cmd_report(args),
         "bounds" => cmd_bounds(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
@@ -114,9 +115,14 @@ commands:
   topo    print topology statistics            --topology SPEC
   trace   run one AGG+VERI pair with a per-round event log
           --topology SPEC --t T --c C --crash NODE@ROUND --dot (print DOT)
+          --jsonl PATH (also export the event log as versioned JSONL)
   sweep   sweep the TC budget b and print the measured tradeoff curve
           --topology SPEC --f F --c C --from B0 --to B1 --points K --seed S
           --threads T (parallel trial runner; 0 = auto, same output any T)
+  report  render a run report: phase table, CC/round histograms, top-k nodes
+          live:  --topology SPEC --trials K --b B --c C --f F --seed S
+                 --threads T --top K
+          file:  --input TRACE.jsonl [--render yes] --top K
   bounds  print the paper's bound curves       --n N --f F --b B
 ";
 
@@ -247,7 +253,15 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
             PairNode::new(params, Sum, v, u64::from(v.0))
         });
     eng.enable_trace();
+    eng.enter_phase("AGG");
+    eng.run(params.agg_rounds());
+    eng.exit_phase();
+    eng.enter_phase("VERI");
     eng.run(params.total_rounds());
+    eng.exit_phase();
+    if let ftagg::pair::AggOutcome::Result(v) = eng.node(NodeId(0)).agg_outcome() {
+        eng.annotate(netsim::Event::Decide { round: eng.round(), node: NodeId(0), value: v });
+    }
     let mut out = String::new();
     use std::fmt::Write as _;
     let root = eng.node(NodeId(0));
@@ -262,8 +276,247 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     out.push('\n');
     let trace = eng.trace().expect("tracing enabled");
     out.push_str(&trace.render());
+    if let Some(path) = args.get("jsonl") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create --jsonl file '{path}': {e}"))?;
+        let mut sink = netsim::JsonlSink::new(std::io::BufWriter::new(file));
+        for e in trace.events() {
+            use netsim::TraceSink as _;
+            sink.record(e);
+        }
+        let lines = sink.lines();
+        sink.finish().map_err(|e| format!("writing '{path}': {e}"))?;
+        let _ = writeln!(out, "\nwrote {lines} JSONL lines to {path}");
+    }
     if dot {
         let _ = writeln!(out, "\n{}", graph.to_dot("execution", &schedule.all_crashed()));
+    }
+    Ok(out)
+}
+
+/// Renders one row of the phase table.
+fn phase_row(out: &mut String, cols: [&str; 6]) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>7} {:>12} {:>12} {:>10} {:>6}",
+        cols[0], cols[1], cols[2], cols[3], cols[4], cols[5]
+    );
+}
+
+fn cmd_report(args: &Args) -> Result<String, String> {
+    let top: usize = args.num("top", 3)?;
+    match args.get("input") {
+        Some(path) => report_from_jsonl(args, path, top),
+        None => report_live(args, top),
+    }
+}
+
+/// Offline mode: reconstruct metrics from a saved JSONL trace and render
+/// the same report a live run would produce.
+fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<String, String> {
+    use netsim::Event;
+    use std::fmt::Write as _;
+
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open --input '{path}': {e}"))?;
+    let trace = netsim::Trace::from_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("parsing '{path}': {e}"))?;
+    let metrics = trace.replay_metrics();
+
+    let mut out = String::new();
+    let mut counts = [0u64; 4]; // sends, delivers, crashes, decides
+    for e in trace.events() {
+        match e {
+            Event::Send { .. } => counts[0] += 1,
+            Event::Deliver { .. } => counts[1] += 1,
+            Event::Crash { .. } => counts[2] += 1,
+            Event::Decide { .. } => counts[3] += 1,
+            _ => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "trace report: {} events over rounds 1..={} (schema v{})",
+        trace.events().len(),
+        trace.last_round().unwrap_or(0),
+        netsim::TRACE_SCHEMA_VERSION,
+    );
+    let _ = writeln!(
+        out,
+        "sends = {}, delivers = {}, crashes = {}, decides = {}",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+    let _ = writeln!(
+        out,
+        "CC = {} bits at {:?}, total = {} bits",
+        metrics.max_bits(),
+        metrics.bottleneck().unwrap_or(netsim::NodeId(0)),
+        metrics.total_bits()
+    );
+    for e in trace.events() {
+        if let Event::Decide { round, node, value } = e {
+            let _ = writeln!(out, "decision: {node:?} output {value} in round {round}");
+        }
+    }
+
+    let phases = metrics.phases();
+    if !phases.is_empty() {
+        out.push_str("\nphase table:\n");
+        phase_row(&mut out, ["label", "rounds", "window", "bits", "sends", "depth"]);
+        for ph in &phases {
+            let indented = format!("{}{}", "  ".repeat(ph.depth), ph.label);
+            phase_row(
+                &mut out,
+                [
+                    &indented,
+                    &ph.rounds.to_string(),
+                    &format!("{}..{}", ph.start, ph.end),
+                    &ph.bits.to_string(),
+                    &ph.sends.to_string(),
+                    &ph.depth.to_string(),
+                ],
+            );
+        }
+    }
+
+    let mut per_node: Vec<(usize, u64)> =
+        metrics.bits_per_node().iter().copied().enumerate().collect();
+    per_node.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.push_str("\ntop bottleneck nodes:\n");
+    for &(v, bits) in per_node.iter().take(top).filter(|&&(_, bits)| bits > 0) {
+        let _ = writeln!(out, "  n{v:<5} {bits} bits");
+    }
+
+    if args.get("render").is_some() {
+        out.push_str("\ntrace replay:\n");
+        out.push_str(&trace.render());
+    }
+    Ok(out)
+}
+
+/// Live mode: sweep Algorithm 1 over `--trials` seeded instances on one
+/// topology and aggregate the per-trial stats (deterministically, in seed
+/// order, for any `--threads`).
+fn report_live(args: &Args, top: usize) -> Result<String, String> {
+    use caaf::Sum;
+    use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+    use netsim::{Runner, TrialStats, TrialSummary};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt::Write as _;
+
+    let seed: u64 = args.num("seed", 0)?;
+    let topo_spec = args.get("topology").unwrap_or("grid:5x5").to_string();
+    let graph = spec::parse_topology(&topo_spec, seed)?;
+    let n = graph.len();
+    let c: u32 = args.num("c", 2)?;
+    let b: u64 = args.num("b", 42 * u64::from(c))?;
+    let f: usize = args.num("f", n / 8)?;
+    let trials: u64 = args.num("trials", 16)?;
+    if trials == 0 {
+        return Err("need --trials >= 1".into());
+    }
+    let threads: usize = args.num("threads", 1)?;
+
+    // One instance per trial: trial i draws its schedule and inputs from
+    // seed ^ i's stream on the shared topology, so the report is a
+    // distribution over adversaries and inputs, not a single execution.
+    let horizon = b * u64::from(graph.diameter().max(1));
+    let seeds: Vec<u64> = (0..trials).map(|i| seed.wrapping_add(i)).collect();
+    let results = Runner::new(threads).run(&seeds, |s| {
+        let mut rng = StdRng::seed_from_u64(s);
+        let mut schedule = netsim::FailureSchedule::none();
+        for _ in 0..50 {
+            let cand = netsim::adversary::schedules::random_with_edge_budget(
+                &graph,
+                NodeId(0),
+                f,
+                horizon,
+                &mut rng,
+            );
+            if cand.stretch_factor(&graph, NodeId(0)) <= f64::from(c) {
+                schedule = cand;
+                break;
+            }
+        }
+        let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+        let inst = Instance::new(graph.clone(), NodeId(0), inputs, schedule, 100)
+            .expect("topology and inputs are valid by construction");
+        let r = run_tradeoff(&Sum, &inst, &TradeoffConfig { b, c, f, seed: s });
+        let stats = TrialStats::from_metrics(s, r.rounds, &r.metrics);
+        (stats, r.metrics.bits_per_node().to_vec(), r.correct)
+    });
+
+    let mut summary = TrialSummary::default();
+    let mut node_bits = vec![0u64; n];
+    let mut bottleneck_hits = vec![0u64; n];
+    let mut all_correct = true;
+    for (stats, bits, correct) in &results {
+        if let Some(v) = stats.bottleneck {
+            bottleneck_hits[v.index()] += 1;
+        }
+        summary.absorb(stats);
+        for (acc, &b) in node_bits.iter_mut().zip(bits) {
+            *acc += b;
+        }
+        all_correct &= correct;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run report: {trials} tradeoff trials over {topo_spec} (N = {n}, b = {b}, c = {c}, f = {f})"
+    );
+    let _ = writeln!(out, "all correct = {all_correct}");
+    let _ = writeln!(
+        out,
+        "CC     p50 = {:>8}  p90 = {:>8}  max = {:>8}  mean = {:.1}  (worst seed {})",
+        summary.hist_max_bits.quantile(0.5),
+        summary.hist_max_bits.quantile(0.9),
+        summary.hist_max_bits.max(),
+        summary.mean_max_bits(),
+        summary.worst_seed.unwrap_or(0),
+    );
+    let _ = writeln!(
+        out,
+        "rounds p50 = {:>8}  p90 = {:>8}  max = {:>8}  mean = {:.1}",
+        summary.hist_rounds.quantile(0.5),
+        summary.hist_rounds.quantile(0.9),
+        summary.hist_rounds.max(),
+        summary.mean_rounds(),
+    );
+
+    out.push_str("\nphase table (aggregated over trials):\n");
+    phase_row(&mut out, ["label", "spans", "mean bits", "worst bits", "sum rounds", "worst"]);
+    for agg in &summary.phases {
+        phase_row(
+            &mut out,
+            [
+                &agg.label,
+                &agg.spans.to_string(),
+                &format!("{:.0}", agg.mean_bits()),
+                &agg.worst_bits.to_string(),
+                &agg.sum_rounds.to_string(),
+                &agg.worst_rounds.to_string(),
+            ],
+        );
+    }
+
+    out.push_str("\nCC histogram (bits at bottleneck node, per trial):\n");
+    for (lo, hi, count) in summary.hist_max_bits.bars() {
+        let _ = writeln!(out, "  [{lo:>8}, {hi:>8}]  {}", "#".repeat(count as usize));
+    }
+
+    let mut per_node: Vec<(usize, u64)> = node_bits.iter().copied().enumerate().collect();
+    per_node.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.push_str("\ntop bottleneck nodes (summed over trials):\n");
+    for &(v, bits) in per_node.iter().take(top).filter(|&&(_, bits)| bits > 0) {
+        let _ = writeln!(
+            out,
+            "  n{v:<5} {bits:>10} bits total, bottleneck in {}/{} trials",
+            bottleneck_hits[v], trials
+        );
     }
     Ok(out)
 }
@@ -523,6 +776,73 @@ mod tests {
         assert!(out.contains("-- round 1 --"));
         assert!(out.contains("graph execution {"));
         assert!(out.contains("fillcolor=red"));
+    }
+
+    #[test]
+    fn report_live_mode() {
+        let report = |threads: &str| {
+            dispatch(&args(&[
+                "report",
+                "--topology",
+                "grid:4x4",
+                "--trials",
+                "4",
+                "--b",
+                "42",
+                "--c",
+                "2",
+                "--f",
+                "3",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let out = report("1");
+        assert!(out.contains("run report: 4 tradeoff trials"), "{out}");
+        assert!(out.contains("all correct = true"), "{out}");
+        assert!(out.contains("phase table"), "{out}");
+        assert!(out.contains("interval"), "{out}");
+        assert!(out.contains("AGG"), "{out}");
+        assert!(out.contains("CC histogram"), "{out}");
+        assert!(out.contains("top bottleneck nodes"), "{out}");
+        // Deterministic for any thread count.
+        assert_eq!(report("4"), out);
+        assert!(dispatch(&args(&["report", "--trials", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_jsonl_roundtrips_into_file_report() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace_jsonl_roundtrip.jsonl");
+        let path = path.to_str().unwrap();
+        let out = dispatch(&args(&[
+            "trace",
+            "--topology",
+            "cycle:6",
+            "--crash",
+            "2@20",
+            "--jsonl",
+            path,
+        ]))
+        .unwrap();
+        assert!(out.contains("JSONL lines"), "{out}");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"ftagg-trace\",\"v\":1}"), "{text}");
+
+        let report =
+            dispatch(&args(&["report", "--input", path, "--render", "yes", "--top", "2"])).unwrap();
+        assert!(report.contains("trace report:"), "{report}");
+        assert!(report.contains("phase table"), "{report}");
+        assert!(report.contains("AGG"), "{report}");
+        assert!(report.contains("VERI"), "{report}");
+        assert!(report.contains("crashes = 1"), "{report}");
+        assert!(report.contains("top bottleneck nodes"), "{report}");
+        assert!(report.contains("-- round 1 --"), "{report}");
+        // The replayed CC equals the trace's own send accounting.
+        std::fs::remove_file(path).ok();
+        assert!(dispatch(&args(&["report", "--input", "/nonexistent/x.jsonl"])).is_err());
     }
 
     #[test]

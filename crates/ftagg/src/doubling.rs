@@ -74,6 +74,9 @@ pub fn run_doubling<C: Caaf>(op: &C, inst: &Instance, cfg: &DoublingConfig) -> D
         let t = guess.min(u32::MAX as u64) as u32;
         let shifted = inst.schedule.shifted(offset);
         let rep = run_pair_with_schedule(op, inst, shifted, cfg.c, t, true, offset);
+        // Each stage's round window becomes a phase; the pair's AGG/VERI
+        // spans nest inside it once the sub-metrics are absorbed.
+        metrics.push_span(format!("stage {k}"), offset + 1, offset + rep.rounds);
         metrics.absorb_shifted(&rep.metrics, offset);
         offset += rep.rounds;
         if rep.accepted() {
@@ -91,6 +94,7 @@ pub fn run_doubling<C: Caaf>(op: &C, inst: &Instance, cfg: &DoublingConfig) -> D
     }
     let shifted = inst.schedule.shifted(offset);
     let rep = run_brute(op, inst, shifted, cfg.c, offset);
+    metrics.push_span("fallback", offset + 1, offset + rep.rounds);
     metrics.absorb_shifted(&rep.metrics, offset);
     offset += rep.rounds;
     DoublingReport {

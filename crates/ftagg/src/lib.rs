@@ -58,4 +58,4 @@ pub mod tradeoff;
 
 pub use config::{Instance, Model};
 pub use pair::{AggOutcome, NodeSnapshot, PairNode, PairParams};
-pub use run::{run_pair, run_pair_with_schedule, PairReport};
+pub use run::{run_pair, run_pair_with_schedule, run_pair_with_sink, PairReport};

@@ -5,7 +5,7 @@ use crate::config::Instance;
 use crate::msg::Envelope;
 use crate::pair::{AggOutcome, PairNode, PairParams, Tweaks};
 use caaf::Caaf;
-use netsim::{Engine, FailureSchedule, Metrics, NodeId, Round};
+use netsim::{Engine, Event, FailureSchedule, Metrics, NodeId, Round, TraceSink};
 
 /// Outcome of one AGG (+ optional VERI) pair execution.
 #[derive(Clone, Debug)]
@@ -91,23 +91,88 @@ pub fn run_pair_with_tweaks<C: Caaf>(
     global_offset: Round,
     tweaks: Tweaks,
 ) -> PairReport {
+    run_pair_core(op, inst, schedule, c, t, run_veri, global_offset, tweaks, None).0
+}
+
+/// [`run_pair_with_schedule`] with an event sink observing the execution:
+/// the engine streams `Send`/`Deliver`/`Crash` events into it, the driver
+/// adds `PhaseEnter`/`PhaseExit` markers around AGG and VERI plus a
+/// `Decide` event if the root produced a result. Returns the report and
+/// the sink back (e.g. to downcast a [`netsim::Trace`] or finish a
+/// [`netsim::JsonlSink`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_with_sink<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+    global_offset: Round,
+    sink: Box<dyn TraceSink>,
+) -> (PairReport, Box<dyn TraceSink>) {
+    let (report, sink) = run_pair_core(
+        op,
+        inst,
+        schedule,
+        c,
+        t,
+        run_veri,
+        global_offset,
+        Tweaks::default(),
+        Some(sink),
+    );
+    (report, sink.expect("engine returns the sink it was given"))
+}
+
+/// The one driver all `run_pair*` fronts share: builds the engine,
+/// attributes the AGG and VERI round windows as metrics phases (mirrored
+/// to the sink when one is installed), runs to the pair's round budget,
+/// and evaluates the paper's correctness oracle.
+#[allow(clippy::too_many_arguments)]
+fn run_pair_core<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+    global_offset: Round,
+    tweaks: Tweaks,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (PairReport, Option<Box<dyn TraceSink>>) {
     let params = PairParams { model: inst.model(c), t, run_veri, tweaks };
     let op2 = op.clone();
     let inputs = inst.inputs.clone();
     let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
         PairNode::new(params, op2.clone(), v, inputs[v.index()])
     });
-    let report = eng.run(params.total_rounds());
+    if let Some(sink) = sink {
+        eng.set_sink(sink);
+    }
+    eng.enter_phase("AGG");
+    eng.run(params.agg_rounds());
+    eng.exit_phase();
+    if run_veri {
+        eng.enter_phase("VERI");
+        eng.run(params.total_rounds());
+        eng.exit_phase();
+    }
+    let rounds = eng.round();
     let root = eng.node(inst.root);
     let outcome = root.agg_outcome();
     let verdict = run_veri.then(|| root.veri_verdict());
     let correct = match outcome {
         AggOutcome::Result(v) => {
-            Some(inst.correct_interval(op, global_offset + report.rounds).contains(v))
+            Some(inst.correct_interval(op, global_offset + rounds).contains(v))
         }
         AggOutcome::Aborted => None,
     };
-    PairReport { outcome, verdict, rounds: report.rounds, metrics: eng.metrics().clone(), correct }
+    if let AggOutcome::Result(v) = outcome {
+        eng.annotate(Event::Decide { round: rounds, node: inst.root, value: v });
+    }
+    let report = PairReport { outcome, verdict, rounds, metrics: eng.metrics().clone(), correct };
+    (report, eng.take_sink())
 }
 
 /// Runs the pair and returns the whole engine for white-box inspection
@@ -171,6 +236,53 @@ mod tests {
         assert_eq!(r.result(), Some(10));
         assert_eq!(r.verdict, None);
         assert!(r.accepted());
+    }
+
+    #[test]
+    fn pair_metrics_carry_agg_veri_phases() {
+        let i = inst(5);
+        let r = run_pair(&Sum, &i, 1, 1, true);
+        let params =
+            PairParams { model: i.model(1), t: 1, run_veri: true, tweaks: Tweaks::default() };
+        let ph = r.metrics.phases();
+        assert_eq!(ph.len(), 2);
+        assert_eq!((ph[0].label.as_str(), ph[0].start, ph[0].end), ("AGG", 1, params.agg_rounds()));
+        assert_eq!(
+            (ph[1].label.as_str(), ph[1].start, ph[1].end),
+            ("VERI", params.agg_rounds() + 1, params.total_rounds())
+        );
+        // The two phases partition the run: their bits sum to the total.
+        assert_eq!(ph[0].bits + ph[1].bits, r.metrics.total_bits());
+        // Without VERI there is a single AGG phase.
+        let r = run_pair(&Sum, &i, 1, 0, false);
+        assert_eq!(r.metrics.phases().len(), 1);
+    }
+
+    #[test]
+    fn sink_returns_trace_with_phase_markers_and_decision() {
+        use netsim::{Event, Trace};
+        let i = inst(5);
+        let (r, sink) = crate::run::run_pair_with_sink(
+            &Sum,
+            &i,
+            i.schedule.clone(),
+            1,
+            1,
+            true,
+            0,
+            Box::new(Trace::new()),
+        );
+        assert_eq!(r.result(), Some(15));
+        let t = sink.as_any().downcast_ref::<Trace>().expect("we installed a Trace");
+        let kinds: Vec<&str> = t.events().iter().map(Event::kind).collect();
+        assert!(kinds.contains(&"phase_enter"));
+        assert!(kinds.contains(&"phase_exit"));
+        assert!(kinds.contains(&"deliver"));
+        // Exactly one decision, at the root, with the aggregate.
+        let decides: Vec<&Event> =
+            t.events().iter().filter(|e| matches!(e, Event::Decide { .. })).collect();
+        assert_eq!(decides.len(), 1);
+        assert_eq!(*decides[0], Event::Decide { round: r.rounds, node: NodeId(0), value: 15 });
     }
 
     #[test]

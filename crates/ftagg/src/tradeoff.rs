@@ -102,6 +102,11 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
         let offset: Round = layout.pair_offset(y);
         let shifted = inst.schedule.shifted(offset);
         let rep = run_pair_with_schedule(op, inst, shifted, cfg.c, t, true, offset);
+        // Attribute the interval's full 19c-flooding-round window as a
+        // phase; the pair's own AGG/VERI spans nest inside it when the
+        // sub-metrics are absorbed below.
+        let (win_lo, win_hi) = layout.interval_window(y);
+        metrics.push_span(format!("interval {y}"), win_lo, win_hi);
         metrics.absorb_shifted(&rep.metrics, offset);
         pairs_run += 1;
         if rep.accepted() {
@@ -126,8 +131,9 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
     let offset: Round = layout.fallback_start() - 1;
     let shifted = inst.schedule.shifted(offset);
     let rep = run_brute(op, inst, shifted, cfg.c, offset);
-    metrics.absorb_shifted(&rep.metrics, offset);
     let rounds = offset + rep.rounds;
+    metrics.push_span("fallback", offset + 1, rounds);
+    metrics.absorb_shifted(&rep.metrics, offset);
     TradeoffReport {
         result: rep.result,
         correct: rep.correct,

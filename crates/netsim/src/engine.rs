@@ -16,7 +16,7 @@
 use crate::adversary::{FailureSchedule, Round};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Metrics;
-use crate::trace::{Event, Trace};
+use crate::trace::{Event, Trace, TraceSink};
 use std::fmt;
 use std::rc::Rc;
 
@@ -186,7 +186,9 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     round: Round,
     metrics: Metrics,
     stop_requested: bool,
-    trace: Option<Trace>,
+    /// The installed event sink, if any. `None` (the default) keeps the
+    /// hot path at a single branch per event site.
+    sink: Option<Box<dyn TraceSink>>,
     crash_logged: Vec<bool>,
 }
 
@@ -227,20 +229,69 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             nodes,
             round: 0,
             stop_requested: false,
-            trace: None,
+            sink: None,
             crash_logged: vec![false; n],
         }
     }
 
-    /// Turns on event tracing (see [`Trace`]); call before the first step.
+    /// Turns on event tracing into an in-memory [`Trace`]; call before the
+    /// first step. Shorthand for `set_sink(Box::new(Trace::new()))`.
     pub fn enable_trace(&mut self) -> &mut Self {
-        self.trace = Some(Trace::new());
+        self.set_sink(Box::new(Trace::new()))
+    }
+
+    /// Installs an event sink (in-memory [`Trace`], a
+    /// [`crate::trace::RingSink`], a [`crate::trace::JsonlSink`], or any
+    /// custom [`TraceSink`]); call before the first step. Replaces any
+    /// previously installed sink.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> &mut Self {
+        self.sink = Some(sink);
         self
     }
 
-    /// The trace, if tracing was enabled.
+    /// Removes and returns the installed sink (e.g. to
+    /// [`crate::trace::JsonlSink::finish`] it after the run).
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// The installed sink, if any.
+    pub fn sink_mut(&mut self) -> Option<&mut dyn TraceSink> {
+        self.sink.as_deref_mut()
+    }
+
+    /// The trace, if the installed sink is the in-memory [`Trace`].
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.sink.as_ref().and_then(|s| s.as_any().downcast_ref::<Trace>())
+    }
+
+    /// Feeds a harness-level event (phase markers, decisions) to the
+    /// installed sink, if any. Events must respect round order: `e.round()`
+    /// may not precede the engine's current round.
+    pub fn annotate(&mut self, e: Event) {
+        debug_assert!(e.round() >= self.round, "annotation would violate round order");
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.record(&e);
+        }
+    }
+
+    /// Opens a phase on this engine's [`Metrics`] starting at the next
+    /// round, and mirrors it to the sink as a
+    /// [`Event::PhaseEnter`]. Returns the phase's start round.
+    pub fn enter_phase(&mut self, label: &str) -> Round {
+        let start = self.metrics.enter_phase(label);
+        self.annotate(Event::PhaseEnter { round: start, label: label.to_string() });
+        start
+    }
+
+    /// Closes the innermost open phase at the current round, mirroring a
+    /// [`Event::PhaseExit`] to the sink. Returns the phase's label and end
+    /// round, or `None` if no phase is open.
+    pub fn exit_phase(&mut self) -> Option<(String, Round)> {
+        let round = self.round;
+        let (label, end) = self.metrics.exit_phase_at(round)?;
+        self.annotate(Event::PhaseExit { round: end, label: label.clone() });
+        Some((label, end))
     }
 
     /// The topology.
@@ -302,20 +353,33 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             crash_round,
             partial_rx,
             metrics,
-            trace,
+            sink,
             crash_logged,
             ..
         } = self;
+        metrics.note_round(r);
         for i in 0..n {
             let me = NodeId(i as u32);
             if r >= crash_round[i] {
                 if !crash_logged[i] {
                     crash_logged[i] = true;
-                    if let Some(t) = trace.as_mut() {
-                        t.push(Event::Crash { round: r, node: me });
+                    if let Some(t) = sink.as_deref_mut() {
+                        t.record(&Event::Crash { round: r, node: me });
                     }
                 }
                 continue;
+            }
+            if let Some(t) = sink.as_deref_mut() {
+                // Deliveries are logged when the node consumes its inbox
+                // (this round), keeping the event log round-ordered.
+                for rcv in &inboxes[i] {
+                    t.record(&Event::Deliver {
+                        round: r,
+                        node: me,
+                        from: rcv.from,
+                        bits: rcv.msg.bit_len(),
+                    });
+                }
             }
             outbox.clear();
             {
@@ -334,8 +398,8 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             }
             let bits: u64 = outbox.iter().map(Message::bit_len).sum();
             metrics.record_send(me, r, bits, outbox.len() as u64);
-            if let Some(t) = trace.as_mut() {
-                t.push(Event::Send { round: r, node: me, bits, logical: outbox.len() as u64 });
+            if let Some(t) = sink.as_deref_mut() {
+                t.record(&Event::Send { round: r, node: me, bits, logical: outbox.len() as u64 });
             }
             // Deliveries for round r + 1. A sender crashing exactly at
             // r + 1 may have its final broadcast restricted to a subset.
@@ -618,7 +682,8 @@ mod trace_tests {
         assert_eq!(t.events().iter().filter(|e| matches!(e, Event::Crash { .. })).count(), 1);
         // Nodes 0 and 1 sent in rounds 1 and 2.
         assert_eq!(t.send_rounds(NodeId(0)), vec![1, 2]);
-        assert_eq!(t.last_round(), Some(2));
+        // The last event is the round-3 delivery of the round-2 sends.
+        assert_eq!(t.last_round(), Some(3));
     }
 
     #[test]
@@ -627,5 +692,84 @@ mod trace_tests {
         let mut eng = Engine::new(g, FailureSchedule::none(), |_| Talk);
         eng.run(3);
         assert!(eng.trace().is_none());
+        assert!(eng.take_sink().is_none());
+    }
+
+    #[test]
+    fn deliveries_are_traced_at_consumption_round() {
+        let g = topology::path(3);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |_| Talk);
+        eng.enable_trace();
+        eng.run(3);
+        let t = eng.trace().expect("tracing enabled");
+        // Node 1 hears both neighbors' round-1 sends in round 2.
+        let deliveries: Vec<_> = t
+            .of_node(NodeId(1))
+            .filter_map(|e| match e {
+                Event::Deliver { round, from, bits, .. } => Some((*round, *from, *bits)),
+                _ => None,
+            })
+            .collect();
+        assert!(deliveries.contains(&(2, NodeId(0), 1)));
+        assert!(deliveries.contains(&(2, NodeId(2), 1)));
+        // The event log stays round-ordered (in_round's invariant).
+        let rounds: Vec<Round> = t.events().iter().map(Event::round).collect();
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn phase_markers_reach_trace_and_metrics() {
+        let g = topology::path(2);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |_| Talk);
+        eng.enable_trace();
+        assert_eq!(eng.enter_phase("warmup"), 1);
+        eng.run(2);
+        let (label, end) = eng.exit_phase().expect("phase open");
+        assert_eq!((label.as_str(), end), ("warmup", 2));
+        assert!(eng.exit_phase().is_none());
+        let t = eng.trace().unwrap();
+        assert!(t.events().contains(&Event::PhaseEnter { round: 1, label: "warmup".into() }));
+        assert!(t.events().contains(&Event::PhaseExit { round: 2, label: "warmup".into() }));
+        let ph = eng.metrics().phases();
+        assert_eq!(ph.len(), 1);
+        assert_eq!((ph[0].start, ph[0].end), (1, 2));
+        assert_eq!(ph[0].bits, eng.metrics().total_bits());
+    }
+
+    #[test]
+    fn ring_and_jsonl_sinks_observe_the_same_events() {
+        use crate::trace::{JsonlSink, RingSink, Trace};
+        let run = |sink: Option<Box<dyn TraceSink>>| {
+            let g = topology::path(3);
+            let mut s = FailureSchedule::none();
+            s.crash(NodeId(2), 2);
+            let mut eng = Engine::new(g, s, |_| Talk);
+            if let Some(sink) = sink {
+                eng.set_sink(sink);
+            }
+            eng.run(4);
+            eng
+        };
+        let mut full = run(Some(Box::new(Trace::new())));
+        let mut ring = run(Some(Box::new(RingSink::new(4))));
+        let mut jsonl = run(Some(Box::new(JsonlSink::new(Vec::<u8>::new()))));
+
+        let full_trace =
+            full.take_sink().unwrap().as_any().downcast_ref::<Trace>().unwrap().clone();
+        let ring_sink = ring.take_sink().unwrap();
+        let ring_sink = ring_sink.as_any().downcast_ref::<RingSink>().unwrap();
+        // The ring kept the most recent 4 of the full event stream.
+        assert_eq!(ring_sink.seen() as usize, full_trace.events().len());
+        let tail: Vec<&Event> =
+            full_trace.events().iter().skip(full_trace.events().len() - 4).collect();
+        assert_eq!(ring_sink.events().collect::<Vec<_>>(), tail);
+        // The JSONL sink round-trips to the identical event sequence.
+        let boxed = jsonl.take_sink().unwrap();
+        let boxed: Box<JsonlSink<Vec<u8>>> = (boxed as Box<dyn std::any::Any>)
+            .downcast()
+            .expect("sink is the JSONL sink we installed");
+        let bytes = boxed.finish().unwrap();
+        let back = Trace::from_jsonl(&bytes[..]).unwrap();
+        assert_eq!(back.events(), full_trace.events());
     }
 }

@@ -60,6 +60,6 @@ pub use adversary::{CrashEvent, FailureSchedule, Round};
 pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause};
 pub use flood::FloodState;
 pub use graph::{Edge, Graph, GraphError, NodeId};
-pub use metrics::Metrics;
-pub use runner::{Runner, TrialStats, TrialSummary};
-pub use trace::{Event, Trace};
+pub use metrics::{Metrics, PhaseSpan, PhaseStats};
+pub use runner::{Histogram, Runner, TrialStats, TrialSummary};
+pub use trace::{Event, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_VERSION};

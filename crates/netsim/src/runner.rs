@@ -21,7 +21,7 @@
 
 use crate::adversary::Round;
 use crate::graph::NodeId;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, PhaseStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -118,6 +118,118 @@ impl Runner {
     }
 }
 
+/// A fixed-bucket log₂ histogram over `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. The bucket layout never depends on the data, so
+/// two histograms merge by adding counts — deterministically, in any
+/// order — which is what lets [`TrialSummary`] accumulate distribution
+/// shape across trials without storing every sample. Quantiles are
+/// resolved to the matching bucket's upper edge (a ≤ 2× overestimate);
+/// the maximum is tracked exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` = samples in bucket `i` (65 buckets cover all of u64).
+    counts: Vec<u64>,
+    samples: u64,
+    max: u64,
+}
+
+/// Buckets: one for zero plus one per possible bit length of a `u64`.
+const HIST_BUCKETS: usize = 65;
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; HIST_BUCKETS], samples: 0, max: 0 }
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper edge of bucket `i` (0, 1, 3, 7, …, u64::MAX).
+    fn bucket_edge(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; HIST_BUCKETS];
+        }
+        self.counts[Self::bucket(value)] += 1;
+        self.samples += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The exact maximum sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`), resolved to the upper edge of the
+    /// bucket holding the sample of that rank; 0 if empty. `quantile(0.5)`
+    /// is the p50, `quantile(0.9)` the p90.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the true maximum.
+                return Self::bucket_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; HIST_BUCKETS];
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(bucket_lower, bucket_upper, count)` for each non-empty bucket, in
+    /// ascending value order — the rows of a rendered histogram.
+    pub fn bars(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { Self::bucket_edge(i - 1) + 1 };
+                (lo, Self::bucket_edge(i), c)
+            })
+            .collect()
+    }
+}
+
 /// The measurements one trial contributes to an aggregate sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TrialStats {
@@ -131,10 +243,14 @@ pub struct TrialStats {
     pub total_bits: u64,
     /// The node achieving `max_bits` (lowest id on ties).
     pub bottleneck: Option<NodeId>,
+    /// Per-phase breakdown of this trial (empty if the protocol recorded
+    /// no phases).
+    pub phases: Vec<PhaseStats>,
 }
 
 impl TrialStats {
-    /// Extracts the stats of a finished execution.
+    /// Extracts the stats of a finished execution, including its phase
+    /// attribution.
     pub fn from_metrics(seed: u64, rounds: Round, metrics: &Metrics) -> Self {
         TrialStats {
             seed,
@@ -142,6 +258,38 @@ impl TrialStats {
             max_bits: metrics.max_bits(),
             total_bits: metrics.total_bits(),
             bottleneck: metrics.bottleneck(),
+            phases: metrics.phases(),
+        }
+    }
+}
+
+/// Cross-trial aggregate of one phase label (see [`TrialSummary::phases`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// The phase label being aggregated.
+    pub label: String,
+    /// Spans with this label absorbed (a trial may contribute several,
+    /// e.g. one `"AGG"` per interval).
+    pub spans: usize,
+    /// Sum of span bits (for the mean).
+    pub sum_bits: u64,
+    /// Worst single span's bits.
+    pub worst_bits: u64,
+    /// Sum of span logical sends.
+    pub sum_sends: u64,
+    /// Sum of span round counts.
+    pub sum_rounds: Round,
+    /// Longest single span.
+    pub worst_rounds: Round,
+}
+
+impl PhaseAgg {
+    /// Mean bits per span with this label.
+    pub fn mean_bits(&self) -> f64 {
+        if self.spans == 0 {
+            0.0
+        } else {
+            self.sum_bits as f64 / self.spans as f64
         }
     }
 }
@@ -167,6 +315,13 @@ pub struct TrialSummary {
     pub max_rounds: Round,
     /// Sum of rounds (for the mean).
     pub sum_rounds: Round,
+    /// Distribution of per-trial CC (`max_bits`) across trials.
+    pub hist_max_bits: Histogram,
+    /// Distribution of per-trial round counts across trials.
+    pub hist_rounds: Histogram,
+    /// Per-phase aggregates, keyed by label in first-encountered order
+    /// (deterministic because trials are absorbed in seed order).
+    pub phases: Vec<PhaseAgg>,
 }
 
 impl TrialSummary {
@@ -181,6 +336,28 @@ impl TrialSummary {
         self.sum_total_bits += t.total_bits;
         self.max_rounds = self.max_rounds.max(t.rounds);
         self.sum_rounds += t.rounds;
+        self.hist_max_bits.record(t.max_bits);
+        self.hist_rounds.record(t.rounds);
+        for ph in &t.phases {
+            let agg = match self.phases.iter_mut().find(|a| a.label == ph.label) {
+                Some(agg) => agg,
+                None => {
+                    self.phases.push(PhaseAgg { label: ph.label.clone(), ..PhaseAgg::default() });
+                    self.phases.last_mut().expect("just pushed")
+                }
+            };
+            agg.spans += 1;
+            agg.sum_bits += ph.bits;
+            agg.worst_bits = agg.worst_bits.max(ph.bits);
+            agg.sum_sends += ph.sends;
+            agg.sum_rounds += ph.rounds;
+            agg.worst_rounds = agg.worst_rounds.max(ph.rounds);
+        }
+    }
+
+    /// The cross-trial aggregate of one phase label, if any trial had it.
+    pub fn phase(&self, label: &str) -> Option<&PhaseAgg> {
+        self.phases.iter().find(|a| a.label == label)
     }
 
     /// Mean per-trial CC.
@@ -281,7 +458,14 @@ mod tests {
         assert_eq!(a.total_bits, 14);
         assert_eq!(a.bottleneck, Some(NodeId(1)));
 
-        let b = TrialStats { seed: 6, rounds: 9, max_bits: 2, total_bits: 2, bottleneck: None };
+        let b = TrialStats {
+            seed: 6,
+            rounds: 9,
+            max_bits: 2,
+            total_bits: 2,
+            bottleneck: None,
+            phases: vec![],
+        };
         let s: TrialSummary = [&a, &b].into_iter().collect();
         assert_eq!(s.trials, 2);
         assert_eq!(s.worst_max_bits, 10);
@@ -289,5 +473,83 @@ mod tests {
         assert_eq!(s.max_rounds, 9);
         assert!((s.mean_max_bits() - 6.0).abs() < 1e-12);
         assert!((s.mean_rounds() - 6.0).abs() < 1e-12);
+        assert_eq!(s.hist_max_bits.samples(), 2);
+        assert_eq!(s.hist_max_bits.max(), 10);
+        assert_eq!(s.hist_rounds.max(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_merge() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0, 1, 2, 3, 4, 8, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 8);
+        assert_eq!(h.max(), 1000);
+        // p50 of 8 samples is rank 4 (value 3, bucket [2,3] → edge 3).
+        assert_eq!(h.quantile(0.5), 3);
+        // p90 is rank 8 (value 1000, bucket [512,1023] → edge capped at max).
+        assert_eq!(h.quantile(0.9), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        // Merge equals recording the union, bucket by bucket.
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(70);
+        let mut b = Histogram::new();
+        b.record(6);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = Histogram::new();
+        for v in [5, 70, 6] {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct);
+        assert_eq!(merged.bars(), vec![(4, 7, 2), (64, 127, 1)]);
+        // A default (all-zero) histogram merges like an empty one.
+        let mut d = Histogram::default();
+        d.merge(&direct);
+        assert_eq!(d, direct);
+        d.record(0);
+        assert_eq!(d.samples(), 4);
+    }
+
+    #[test]
+    fn summary_aggregates_phases_by_label() {
+        use crate::metrics::PhaseStats;
+        let ph = |label: &str, bits: u64, rounds: Round| PhaseStats {
+            label: label.into(),
+            start: 1,
+            end: rounds,
+            rounds,
+            bits,
+            sends: bits / 2,
+            depth: 0,
+        };
+        let a = TrialStats {
+            seed: 0,
+            rounds: 10,
+            max_bits: 5,
+            total_bits: 9,
+            bottleneck: None,
+            phases: vec![ph("AGG", 6, 4), ph("VERI", 3, 6)],
+        };
+        let b = TrialStats {
+            seed: 1,
+            rounds: 12,
+            max_bits: 7,
+            total_bits: 11,
+            bottleneck: None,
+            phases: vec![ph("AGG", 8, 5)],
+        };
+        let s: TrialSummary = [&a, &b].into_iter().collect();
+        assert_eq!(s.phases.len(), 2);
+        let agg = s.phase("AGG").unwrap();
+        assert_eq!((agg.spans, agg.sum_bits, agg.worst_bits), (2, 14, 8));
+        assert_eq!((agg.sum_rounds, agg.worst_rounds), (9, 5));
+        assert!((agg.mean_bits() - 7.0).abs() < 1e-12);
+        let veri = s.phase("VERI").unwrap();
+        assert_eq!((veri.spans, veri.sum_bits, veri.sum_sends), (1, 3, 1));
+        assert!(s.phase("FALLBACK").is_none());
     }
 }

@@ -1,13 +1,34 @@
-//! Execution tracing: an optional per-round event log.
+//! Execution tracing: an optional per-round event log and pluggable sinks.
 //!
 //! Protocol debugging and the experiment harness sometimes need to *see*
 //! an execution — who broadcast in which round, what was delivered where,
-//! when crashes took effect. [`Trace`] is a compact, queryable event log
-//! the engine fills when tracing is enabled (it is off by default; the
-//! hot path pays one branch).
+//! when crashes took effect, which protocol phase the traffic belongs to.
+//! The engine emits [`Event`]s into a [`TraceSink`] when tracing is enabled
+//! (it is off by default; the hot path pays one branch). Three sinks ship
+//! with the crate:
+//!
+//! - [`Trace`] — the in-memory, queryable event log;
+//! - [`RingSink`] — a bounded ring buffer keeping the most recent events,
+//!   for long executions where only the tail matters;
+//! - [`JsonlSink`] — line-delimited JSON for offline analysis; the schema
+//!   is versioned ([`TRACE_SCHEMA_VERSION`]) and read back by
+//!   [`Trace::from_jsonl`].
+//!
+//! The observability layer is **passive**: sinks only observe the events
+//! the engine hands them and can never perturb an execution (pinned by
+//! `tests/observer_noninterference.rs`).
 
 use crate::adversary::Round;
 use crate::graph::NodeId;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+
+/// Version of the JSONL trace schema emitted by [`JsonlSink`] and asserted
+/// by [`Trace::from_jsonl`]. Bump when the line format changes; the golden
+/// snapshot test in `tests/golden_trace.rs` pins the on-disk format of the
+/// current version.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
 /// One traced event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,6 +45,18 @@ pub enum Event {
         /// Number of logical messages combined.
         logical: u64,
     },
+    /// A live node received one logical message in `round` (broadcast by
+    /// `from` in the previous round). Dead nodes receive nothing.
+    Deliver {
+        /// The round of the delivery.
+        round: Round,
+        /// The receiving node.
+        node: NodeId,
+        /// The neighbor that broadcast the message.
+        from: NodeId,
+        /// Encoded bits of the delivered message.
+        bits: u64,
+    },
     /// A node became dead at the start of `round` (first round it did not
     /// execute).
     Crash {
@@ -32,22 +65,220 @@ pub enum Event {
         /// The crashed node.
         node: NodeId,
     },
+    /// A protocol phase (AGG, VERI, an Algorithm 1 interval, …) begins at
+    /// `round`. Emitted by the harness, mirroring
+    /// [`crate::metrics::Metrics`] phase attribution.
+    PhaseEnter {
+        /// First round of the phase.
+        round: Round,
+        /// Phase label.
+        label: String,
+    },
+    /// The innermost open phase ends at `round` (inclusive).
+    PhaseExit {
+        /// Last round of the phase.
+        round: Round,
+        /// Phase label.
+        label: String,
+    },
+    /// A node decided an output (normally the root, with the aggregate).
+    Decide {
+        /// The round of the decision.
+        round: Round,
+        /// The deciding node.
+        node: NodeId,
+        /// The decided value.
+        value: u64,
+    },
 }
 
 impl Event {
     /// The round the event belongs to.
     pub fn round(&self) -> Round {
         match self {
-            Event::Send { round, .. } | Event::Crash { round, .. } => *round,
+            Event::Send { round, .. }
+            | Event::Deliver { round, .. }
+            | Event::Crash { round, .. }
+            | Event::PhaseEnter { round, .. }
+            | Event::PhaseExit { round, .. }
+            | Event::Decide { round, .. } => *round,
         }
     }
 
-    /// The node the event concerns.
-    pub fn node(&self) -> NodeId {
+    /// The node the event concerns, if any (phase markers are global).
+    pub fn node(&self) -> Option<NodeId> {
         match self {
-            Event::Send { node, .. } | Event::Crash { node, .. } => *node,
+            Event::Send { node, .. }
+            | Event::Deliver { node, .. }
+            | Event::Crash { node, .. }
+            | Event::Decide { node, .. } => Some(*node),
+            Event::PhaseEnter { .. } | Event::PhaseExit { .. } => None,
         }
     }
+
+    /// Stable lowercase tag naming the event kind (the JSONL `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Send { .. } => "send",
+            Event::Deliver { .. } => "deliver",
+            Event::Crash { .. } => "crash",
+            Event::PhaseEnter { .. } => "phase_enter",
+            Event::PhaseExit { .. } => "phase_exit",
+            Event::Decide { .. } => "decide",
+        }
+    }
+
+    /// The canonical JSONL encoding of this event (one line, no newline).
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            Event::Send { round, node, bits, logical } => format!(
+                "{{\"ev\":\"send\",\"r\":{round},\"n\":{},\"bits\":{bits},\"logical\":{logical}}}",
+                node.0
+            ),
+            Event::Deliver { round, node, from, bits } => format!(
+                "{{\"ev\":\"deliver\",\"r\":{round},\"n\":{},\"from\":{},\"bits\":{bits}}}",
+                node.0, from.0
+            ),
+            Event::Crash { round, node } => {
+                format!("{{\"ev\":\"crash\",\"r\":{round},\"n\":{}}}", node.0)
+            }
+            Event::PhaseEnter { round, label } => format!(
+                "{{\"ev\":\"phase_enter\",\"r\":{round},\"label\":\"{}\"}}",
+                escape_json(label)
+            ),
+            Event::PhaseExit { round, label } => format!(
+                "{{\"ev\":\"phase_exit\",\"r\":{round},\"label\":\"{}\"}}",
+                escape_json(label)
+            ),
+            Event::Decide { round, node, value } => {
+                format!("{{\"ev\":\"decide\",\"r\":{round},\"n\":{},\"value\":{value}}}", node.0)
+            }
+        }
+    }
+
+    /// Parses one JSONL event line (the inverse of [`Event::to_jsonl`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_jsonl(line: &str) -> Result<Event, String> {
+        let ev = json_str(line, "ev").ok_or_else(|| format!("missing \"ev\" in {line:?}"))?;
+        let round = json_u64(line, "r")?;
+        let node = |key: &str| -> Result<NodeId, String> {
+            Ok(NodeId(u32::try_from(json_u64(line, key)?).map_err(|_| "node id overflow")?))
+        };
+        match ev.as_str() {
+            "send" => Ok(Event::Send {
+                round,
+                node: node("n")?,
+                bits: json_u64(line, "bits")?,
+                logical: json_u64(line, "logical")?,
+            }),
+            "deliver" => Ok(Event::Deliver {
+                round,
+                node: node("n")?,
+                from: node("from")?,
+                bits: json_u64(line, "bits")?,
+            }),
+            "crash" => Ok(Event::Crash { round, node: node("n")? }),
+            "phase_enter" => Ok(Event::PhaseEnter {
+                round,
+                label: json_str(line, "label").ok_or("missing \"label\"")?,
+            }),
+            "phase_exit" => Ok(Event::PhaseExit {
+                round,
+                label: json_str(line, "label").ok_or("missing \"label\"")?,
+            }),
+            "decide" => {
+                Ok(Event::Decide { round, node: node("n")?, value: json_u64(line, "value")? })
+            }
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(c);
+                    }
+                }
+                Some(c) => out.push(c),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts the raw text of `"key":<value>` from a single-line JSON object.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // A string value: scan to the closing unescaped quote.
+        let mut prev_backslash = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !prev_backslash => prev_backslash = true,
+                '"' if !prev_backslash => return Some(&stripped[..i]),
+                _ => prev_backslash = false,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim())
+    }
+}
+
+fn json_u64(line: &str, key: &str) -> Result<u64, String> {
+    json_raw(line, key)
+        .ok_or_else(|| format!("missing \"{key}\" in {line:?}"))?
+        .parse()
+        .map_err(|_| format!("bad \"{key}\" in {line:?}"))
+}
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    json_raw(line, key).map(unescape_json)
+}
+
+/// A consumer of engine events. The engine holds at most one sink and pays
+/// a single branch per event site when no sink is installed; everything a
+/// sink does is invisible to the execution it observes.
+pub trait TraceSink: Any {
+    /// Receives one event. Events arrive in non-decreasing round order.
+    fn record(&mut self, e: &Event);
+
+    /// Upcast for downcasting a boxed sink back to its concrete type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 /// An append-only event log ordered by round.
@@ -62,8 +293,16 @@ impl Trace {
         Trace::default()
     }
 
-    /// Appends an event (engine-internal).
+    /// Appends an event (engine-internal). Events must arrive in
+    /// non-decreasing round order — the engine guarantees it, and
+    /// [`Trace::in_round`] relies on it to binary-search.
     pub fn push(&mut self, e: Event) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.round() <= e.round()),
+            "events must be appended in round order ({} after {})",
+            e.round(),
+            self.events.last().map_or(0, Event::round),
+        );
         self.events.push(e);
     }
 
@@ -72,14 +311,17 @@ impl Trace {
         &self.events
     }
 
-    /// Events of one round.
+    /// Events of one round, located by binary search over the round-ordered
+    /// event vec (O(log |events| + answer), not a full scan).
     pub fn in_round(&self, round: Round) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.round() == round)
+        let lo = self.events.partition_point(|e| e.round() < round);
+        let hi = self.events[lo..].partition_point(|e| e.round() <= round) + lo;
+        self.events[lo..hi].iter()
     }
 
     /// Events concerning one node.
     pub fn of_node(&self, node: NodeId) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.node() == node)
+        self.events.iter().filter(move |e| e.node() == Some(node))
     }
 
     /// Rounds in which `node` broadcast anything, ascending.
@@ -95,7 +337,71 @@ impl Trace {
 
     /// The last round with any event, if non-empty.
     pub fn last_round(&self) -> Option<Round> {
-        self.events.iter().map(Event::round).max()
+        // Events are round-ordered, so the maximum is the last one.
+        self.events.last().map(Event::round)
+    }
+
+    /// Reconstructs the communication [`crate::metrics::Metrics`] this
+    /// trace implies: per-node and per-round counters from `Send` events,
+    /// phase spans from the phase markers. The node-count is inferred from
+    /// the largest id mentioned. Offline reports use this to analyze a
+    /// saved JSONL trace exactly as if the run were live.
+    pub fn replay_metrics(&self) -> crate::metrics::Metrics {
+        let n =
+            self.events.iter().filter_map(|e| e.node()).map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut m = crate::metrics::Metrics::new(n);
+        for e in &self.events {
+            m.note_round(e.round());
+            match e {
+                Event::Send { round, node, bits, logical } => {
+                    m.record_send(*node, *round, *bits, *logical);
+                }
+                Event::PhaseEnter { round, label } => m.enter_phase_at(label, *round),
+                Event::PhaseExit { round, .. } => {
+                    let _ = m.exit_phase_at(*round);
+                }
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// Parses a JSONL trace (as written by [`JsonlSink`]), validating the
+    /// schema header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure, a missing/mismatched schema
+    /// header, or a malformed event line.
+    pub fn from_jsonl(reader: impl BufRead) -> Result<Trace, String> {
+        let mut trace = Trace::new();
+        let mut saw_header = false;
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !saw_header {
+                let schema = json_str(&line, "schema")
+                    .ok_or_else(|| format!("line 1 is not a schema header: {line:?}"))?;
+                if schema != "ftagg-trace" {
+                    return Err(format!("unknown schema '{schema}'"));
+                }
+                let v = json_u64(&line, "v")?;
+                if v != u64::from(TRACE_SCHEMA_VERSION) {
+                    return Err(format!(
+                        "trace schema v{v} unsupported (reader speaks v{TRACE_SCHEMA_VERSION})"
+                    ));
+                }
+                saw_header = true;
+                continue;
+            }
+            trace.push(Event::from_jsonl(&line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        if !saw_header {
+            return Err("empty trace file (no schema header)".into());
+        }
+        Ok(trace)
     }
 
     /// Renders a human-readable per-round summary (for harness output).
@@ -112,12 +418,163 @@ impl Trace {
                 Event::Send { node, bits, logical, .. } => {
                     let _ = writeln!(out, "  {node:?} sends {logical} msg(s), {bits} bits");
                 }
+                Event::Deliver { node, from, bits, .. } => {
+                    let _ = writeln!(out, "  {node:?} <- {from:?} ({bits} bits)");
+                }
                 Event::Crash { node, .. } => {
                     let _ = writeln!(out, "  {node:?} CRASHED");
+                }
+                Event::PhaseEnter { label, .. } => {
+                    let _ = writeln!(out, "  == phase {label} begins ==");
+                }
+                Event::PhaseExit { label, .. } => {
+                    let _ = writeln!(out, "  == phase {label} ends ==");
+                }
+                Event::Decide { node, value, .. } => {
+                    let _ = writeln!(out, "  {node:?} DECIDES {value}");
                 }
             }
         }
         out
+    }
+}
+
+impl TraceSink for Trace {
+    fn record(&mut self, e: &Event) {
+        self.push(e.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A bounded ring-buffer sink: keeps the most recent `capacity` events and
+/// counts the rest, for long executions where holding the full log would
+/// dominate memory.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (capacity 0 keeps none and
+    /// only counts).
+    pub fn new(capacity: usize) -> Self {
+        RingSink { capacity, events: VecDeque::with_capacity(capacity.min(1024)), dropped: 0 }
+    }
+
+    /// The retained (most recent) events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted to honor the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events observed (retained + dropped).
+    pub fn seen(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
+    /// The retained tail as a queryable [`Trace`].
+    pub fn to_trace(&self) -> Trace {
+        let mut t = Trace::new();
+        for e in &self.events {
+            t.push(e.clone());
+        }
+        t
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, e: &Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A line-delimited JSON sink for offline analysis. The first line is a
+/// schema header (`{"schema":"ftagg-trace","v":1}`); every following line
+/// is one [`Event`] (see [`Event::to_jsonl`]). Read back with
+/// [`Trace::from_jsonl`].
+///
+/// I/O errors are latched: the first failure stops further writes and is
+/// surfaced by [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + 'static> {
+    writer: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + 'static> JsonlSink<W> {
+    /// Wraps `writer`, emitting the schema header immediately.
+    pub fn new(mut writer: W) -> Self {
+        let error =
+            writeln!(writer, "{{\"schema\":\"ftagg-trace\",\"v\":{TRACE_SCHEMA_VERSION}}}").err();
+        JsonlSink { writer, lines: 1, error }
+    }
+
+    /// Event lines written so far, including the header.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any write hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write + 'static> TraceSink for JsonlSink<W> {
+    fn record(&mut self, e: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        match writeln!(self.writer, "{}", e.to_jsonl()) {
+            Ok(()) => self.lines += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -147,10 +604,114 @@ mod tests {
     }
 
     #[test]
+    fn in_round_binary_search_matches_scan_on_multiround_trace() {
+        // A multi-round trace with empty rounds, duplicate rounds, and all
+        // event kinds; binary search must agree with a linear scan at every
+        // round, including absent ones.
+        let mut t = Trace::new();
+        t.push(Event::PhaseEnter { round: 1, label: "warm".into() });
+        t.push(Event::Send { round: 1, node: NodeId(0), bits: 3, logical: 1 });
+        t.push(Event::Deliver { round: 2, node: NodeId(1), from: NodeId(0), bits: 3 });
+        t.push(Event::Send { round: 2, node: NodeId(1), bits: 5, logical: 1 });
+        t.push(Event::Crash { round: 4, node: NodeId(2) });
+        t.push(Event::PhaseExit { round: 4, label: "warm".into() });
+        t.push(Event::Send { round: 7, node: NodeId(0), bits: 1, logical: 1 });
+        t.push(Event::Decide { round: 7, node: NodeId(0), value: 9 });
+        for round in 0..10 {
+            let fast: Vec<&Event> = t.in_round(round).collect();
+            let slow: Vec<&Event> = t.events().iter().filter(|e| e.round() == round).collect();
+            assert_eq!(fast, slow, "round {round}");
+        }
+        assert_eq!(t.in_round(2).count(), 2);
+        assert_eq!(t.in_round(3).count(), 0);
+        assert_eq!(t.in_round(7).count(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "round order")]
+    fn push_rejects_out_of_order_rounds_in_debug() {
+        let mut t = Trace::new();
+        t.push(Event::Send { round: 5, node: NodeId(0), bits: 1, logical: 1 });
+        t.push(Event::Send { round: 4, node: NodeId(0), bits: 1, logical: 1 });
+    }
+
+    #[test]
     fn render_mentions_rounds_and_crashes() {
         let out = sample().render();
         assert!(out.contains("-- round 1 --"));
         assert!(out.contains("n3 CRASHED"));
         assert!(out.contains("n1 sends 2 msg(s), 4 bits"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail() {
+        let mut ring = RingSink::new(2);
+        for r in 1..=5 {
+            ring.record(&Event::Send { round: r, node: NodeId(0), bits: r, logical: 1 });
+        }
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.seen(), 5);
+        let rounds: Vec<Round> = ring.events().map(Event::round).collect();
+        assert_eq!(rounds, vec![4, 5]);
+        assert_eq!(ring.to_trace().last_round(), Some(5));
+        // Capacity 0 only counts.
+        let mut zero = RingSink::new(0);
+        zero.record(&Event::Crash { round: 1, node: NodeId(0) });
+        assert_eq!(zero.seen(), 1);
+        assert_eq!(zero.events().count(), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_event_kind() {
+        let events = vec![
+            Event::PhaseEnter { round: 1, label: "AGG \"q\"\\x".into() },
+            Event::Send { round: 1, node: NodeId(0), bits: 8, logical: 2 },
+            Event::Deliver { round: 2, node: NodeId(1), from: NodeId(0), bits: 8 },
+            Event::Crash { round: 3, node: NodeId(7) },
+            Event::PhaseExit { round: 4, label: "AGG \"q\"\\x".into() },
+            Event::Decide { round: 5, node: NodeId(0), value: u64::MAX },
+        ];
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.record(e);
+        }
+        assert_eq!(sink.lines(), 1 + events.len() as u64);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("{\"schema\":\"ftagg-trace\",\"v\":1}\n"));
+        let back = Trace::from_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back.events(), events.as_slice());
+    }
+
+    #[test]
+    fn from_jsonl_rejects_bad_input() {
+        assert!(Trace::from_jsonl("".as_bytes()).is_err());
+        assert!(Trace::from_jsonl("{\"ev\":\"send\"}\n".as_bytes()).is_err());
+        let wrong_version = "{\"schema\":\"ftagg-trace\",\"v\":999}\n";
+        assert!(Trace::from_jsonl(wrong_version.as_bytes()).unwrap_err().contains("v999"));
+        let bad_line = "{\"schema\":\"ftagg-trace\",\"v\":1}\n{\"ev\":\"warp\",\"r\":1}\n";
+        assert!(Trace::from_jsonl(bad_line.as_bytes()).unwrap_err().contains("warp"));
+        let missing_field = "{\"schema\":\"ftagg-trace\",\"v\":1}\n{\"ev\":\"send\",\"r\":1}\n";
+        assert!(Trace::from_jsonl(missing_field.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn replay_metrics_reconstructs_counters_and_phases() {
+        let mut t = Trace::new();
+        t.push(Event::PhaseEnter { round: 1, label: "AGG".into() });
+        t.push(Event::Send { round: 1, node: NodeId(0), bits: 10, logical: 1 });
+        t.push(Event::Send { round: 2, node: NodeId(2), bits: 4, logical: 2 });
+        t.push(Event::PhaseExit { round: 3, label: "AGG".into() });
+        let m = t.replay_metrics();
+        assert_eq!(m.bits_of(NodeId(0)), 10);
+        assert_eq!(m.bits_of(NodeId(2)), 4);
+        assert_eq!(m.max_bits(), 10);
+        assert_eq!(m.total_bits(), 14);
+        let phases = m.phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].label, "AGG");
+        assert_eq!((phases[0].start, phases[0].end), (1, 3));
+        assert_eq!(phases[0].bits, 14);
     }
 }

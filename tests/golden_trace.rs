@@ -21,7 +21,7 @@ use caaf::Sum;
 use ftagg::msg::Envelope;
 use ftagg::pair::{PairNode, PairParams, Tweaks};
 use ftagg::{Instance, Model};
-use netsim::{topology, Engine, FailureSchedule, NodeId};
+use netsim::{topology, Engine, Event, FailureSchedule, JsonlSink, NodeId, Trace};
 
 fn run_traced() -> Engine<Envelope, PairNode<Sum>> {
     let g = topology::path(4);
@@ -80,6 +80,80 @@ fn send_rounds_match_the_pseudocode_schedule() {
     // forward flood 18, forward determination 24, forward V1 29, beacon 33.
     let r3 = t.send_rounds(NodeId(3));
     assert_eq!(r3, vec![6, 7, 8, 18, 24, 29, 33], "node 3 schedule");
+}
+
+/// Golden snapshot of the JSONL trace format on the same instance, with
+/// AGG/VERI annotated as phases and the root's decision recorded.
+///
+/// The first line is the schema header; this test asserts on its version
+/// field (`"v":1` = `netsim::TRACE_SCHEMA_VERSION`). **If you change the
+/// on-disk format, bump `TRACE_SCHEMA_VERSION` and re-pin these lines** —
+/// saved traces in the old format must be rejected loudly by
+/// `Trace::from_jsonl`, never reinterpreted silently.
+#[test]
+fn jsonl_trace_format_snapshot() {
+    let g = topology::path(4);
+    let inst = Instance::new(g, NodeId(0), vec![1, 2, 3, 4], FailureSchedule::none(), 4).unwrap();
+    let params = PairParams {
+        model: Model { n: 4, root: NodeId(0), d: 3, c: 1, max_input: 4 },
+        t: 1,
+        run_veri: true,
+        tweaks: Tweaks::default(),
+    };
+    let inputs = inst.inputs.clone();
+    let mut eng: Engine<Envelope, PairNode<Sum>> =
+        Engine::new(inst.graph.clone(), FailureSchedule::none(), |v| {
+            PairNode::new(params, Sum, v, inputs[v.index()])
+        });
+    eng.set_sink(Box::new(JsonlSink::new(Vec::<u8>::new())));
+    eng.enter_phase("AGG");
+    eng.run(params.agg_rounds());
+    eng.exit_phase();
+    eng.enter_phase("VERI");
+    eng.run(params.total_rounds());
+    eng.exit_phase();
+    if let ftagg::AggOutcome::Result(v) = eng.node(NodeId(0)).agg_outcome() {
+        eng.annotate(Event::Decide { round: eng.round(), node: NodeId(0), value: v });
+    }
+    let sink = eng.take_sink().expect("sink installed");
+    let sink: Box<JsonlSink<Vec<u8>>> =
+        (sink as Box<dyn std::any::Any>).downcast().expect("the sink we installed");
+    let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // The pinned on-disk format: schema header + the execution's opening
+    // events, byte for byte.
+    assert_eq!(
+        &lines[..7],
+        &[
+            r#"{"schema":"ftagg-trace","v":1}"#,
+            r#"{"ev":"phase_enter","r":1,"label":"AGG"}"#,
+            r#"{"ev":"send","r":1,"n":0,"bits":7,"logical":1}"#,
+            r#"{"ev":"deliver","r":2,"n":1,"from":0,"bits":7}"#,
+            r#"{"ev":"send","r":2,"n":1,"bits":6,"logical":1}"#,
+            r#"{"ev":"deliver","r":3,"n":0,"from":1,"bits":6}"#,
+            r#"{"ev":"send","r":3,"n":1,"bits":9,"logical":1}"#,
+        ],
+        "JSONL opening lines drifted — bump TRACE_SCHEMA_VERSION if intentional"
+    );
+    // The phase boundary and closing events (cd = 3: AGG ends at 7·3+4 = 25).
+    assert_eq!(lines[50], r#"{"ev":"phase_exit","r":25,"label":"AGG"}"#);
+    assert_eq!(lines[51], r#"{"ev":"phase_enter","r":26,"label":"VERI"}"#);
+    assert_eq!(lines[72], r#"{"ev":"phase_exit","r":43,"label":"VERI"}"#);
+    assert_eq!(lines[73], r#"{"ev":"decide","r":43,"n":0,"value":10}"#);
+    assert_eq!(lines.len(), 74, "event count drifted");
+
+    // The format round-trips: parsing the file reproduces the events and
+    // the replayed metrics agree with the quiet-run accounting.
+    let back = Trace::from_jsonl(text.as_bytes()).unwrap();
+    assert_eq!(back.events().len(), 73);
+    assert_eq!(back.send_rounds(NodeId(1)), vec![2, 3, 10, 16, 22, 27, 35]);
+    let replayed = back.replay_metrics();
+    let phases = replayed.phases();
+    assert_eq!(phases.len(), 2);
+    assert_eq!((phases[0].label.as_str(), phases[0].start, phases[0].end), ("AGG", 1, 25));
+    assert_eq!((phases[1].label.as_str(), phases[1].start, phases[1].end), ("VERI", 26, 43));
+    assert_eq!(phases[0].bits + phases[1].bits, replayed.total_bits());
 }
 
 #[test]

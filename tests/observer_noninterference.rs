@@ -1,0 +1,260 @@
+//! The observability layer's one inviolable contract: observing an
+//! execution may never perturb it. For a grid of seeded scenarios each
+//! execution is run three ways — tracing off, with the in-memory
+//! [`Trace`] sink, and with the streaming [`JsonlSink`] — and everything
+//! observable without a sink (delivered messages, node activations,
+//! [`PairReport`] outcomes, every [`Metrics`] counter) must be
+//! byte-identical across the three.
+
+use std::any::Any;
+
+use caaf::Sum;
+use ftagg::{run_pair, run_pair_with_sink, Instance, PairReport};
+use netsim::{
+    adversary::schedules, topology, Engine, FailureSchedule, Graph, JsonlSink, Message, Metrics,
+    NodeId, NodeLogic, PhaseStats, Received, Round, RoundCtx, Trace, TraceSink,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything a [`Metrics`] exposes, collected into one comparable value.
+#[derive(Debug, PartialEq, Eq)]
+struct MetricsFingerprint {
+    bits_per_node: Vec<u64>,
+    per_round: Vec<(Round, u64)>,
+    max_bits: u64,
+    total_bits: u64,
+    bottleneck: Option<NodeId>,
+    last_send_round: Option<Round>,
+    phases: Vec<PhaseStats>,
+}
+
+fn fingerprint(m: &Metrics) -> MetricsFingerprint {
+    MetricsFingerprint {
+        bits_per_node: m.bits_per_node().to_vec(),
+        per_round: m.per_round_bits().collect(),
+        max_bits: m.max_bits(),
+        total_bits: m.total_bits(),
+        bottleneck: m.bottleneck(),
+        last_send_round: m.last_send_round(),
+        phases: m.phases(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 1: raw engine with probe nodes that record their own deliveries.
+// The probes observe the execution from the inside, so "delivered
+// messages are identical" is checked without relying on any sink.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Ping {
+    from: NodeId,
+    sent_round: Round,
+}
+
+impl Message for Ping {
+    fn bit_len(&self) -> u64 {
+        32
+    }
+}
+
+/// Deterministic per-(node, round) send decision (cheap mix).
+fn sends_in(seed: u64, v: NodeId, r: Round) -> bool {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(v.0).wrapping_mul(0x517c_c1b7_2722_0a95))
+        .wrapping_add(r.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    x ^= x >> 31;
+    x % 2 == 0
+}
+
+struct Probe {
+    me: NodeId,
+    seed: u64,
+    active_rounds: Vec<Round>,
+    received: Vec<(NodeId, Round, Round)>,
+}
+
+impl NodeLogic<Ping> for Probe {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Ping>) {
+        let r = ctx.round();
+        self.active_rounds.push(r);
+        for m in ctx.inbox() {
+            let Received { from, msg } = m;
+            self.received.push((*from, msg.sent_round, r));
+        }
+        if sends_in(self.seed, self.me, r) {
+            ctx.send(Ping { from: self.me, sent_round: r });
+        }
+    }
+}
+
+fn probe_setup(seed: u64) -> (Graph, FailureSchedule, Round) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 6 + (seed % 10) as usize;
+    let g = if seed.is_multiple_of(2) {
+        topology::connected_gnp(n, 0.3, &mut rng)
+    } else {
+        topology::random_tree(n, &mut rng)
+    };
+    let horizon = 12;
+    let mut s = FailureSchedule::none();
+    for _ in 0..(seed % 3) {
+        s.crash(NodeId(rng.gen_range(1..n as u32)), rng.gen_range(1..=horizon));
+    }
+    (g, s, horizon)
+}
+
+/// What one probe run exposes without any sink.
+type ProbeObservation = (Vec<(Vec<Round>, Vec<(NodeId, Round, Round)>)>, MetricsFingerprint);
+
+fn run_probes(
+    seed: u64,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (ProbeObservation, Engine<Ping, Probe>) {
+    let (g, s, horizon) = probe_setup(seed);
+    let mut eng = Engine::new(g, s, |v| Probe {
+        me: v,
+        seed,
+        active_rounds: Vec::new(),
+        received: Vec::new(),
+    });
+    if let Some(sink) = sink {
+        eng.set_sink(sink);
+    }
+    eng.run(horizon);
+    let per_node = eng
+        .graph()
+        .nodes()
+        .map(|v| {
+            let p = eng.node(v);
+            (p.active_rounds.clone(), p.received.clone())
+        })
+        .collect();
+    let fp = fingerprint(eng.metrics());
+    ((per_node, fp), eng)
+}
+
+#[test]
+fn engine_observers_do_not_perturb_deliveries_or_metrics() {
+    for seed in 0..12u64 {
+        let (quiet, _) = run_probes(seed, None);
+        let (with_trace, mut eng_t) = run_probes(seed, Some(Box::new(Trace::new())));
+        let (with_jsonl, mut eng_j) =
+            run_probes(seed, Some(Box::new(JsonlSink::new(Vec::<u8>::new()))));
+        assert_eq!(with_trace, quiet, "in-memory Trace sink perturbed seed {seed}");
+        assert_eq!(with_jsonl, quiet, "JsonlSink perturbed seed {seed}");
+
+        // The two sinks also saw the *same* event stream: the JSONL file
+        // parses back into exactly the in-memory trace.
+        let trace =
+            eng_t.take_sink().map(|s| *(s as Box<dyn Any>).downcast::<Trace>().unwrap()).unwrap();
+        let jsonl = eng_j
+            .take_sink()
+            .map(|s| *(s as Box<dyn Any>).downcast::<JsonlSink<Vec<u8>>>().unwrap())
+            .unwrap();
+        let bytes = jsonl.finish().unwrap();
+        let parsed = Trace::from_jsonl(&bytes[..]).unwrap();
+        assert_eq!(parsed.events(), trace.events(), "sinks diverged on seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 2: the full AGG+VERI pair protocol through the public drivers.
+// ---------------------------------------------------------------------
+
+/// The comparable surface of a [`PairReport`].
+fn report_fingerprint(r: &PairReport) -> (Option<u64>, Option<bool>, Round, Option<bool>, bool) {
+    (r.result(), r.verdict, r.rounds, r.correct, r.accepted())
+}
+
+fn pair_scenario(seed: u64) -> (Instance, u32, u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = 2u32;
+    let n = 8 + (seed % 8) as usize;
+    let g = match seed % 3 {
+        0 => topology::connected_gnp(n, 0.3, &mut rng),
+        1 => topology::random_tree(n, &mut rng),
+        _ => topology::grid(3, n / 3),
+    };
+    let n = g.len();
+    let horizon = 40 * u64::from(g.diameter().max(1));
+    let s = {
+        let mut best = FailureSchedule::none();
+        for _ in 0..50 {
+            let cand = schedules::random(&g, NodeId(0), (seed % 3) as usize, horizon, &mut rng);
+            if cand.stretch_factor(&g, NodeId(0)) <= f64::from(c) {
+                best = cand;
+                break;
+            }
+        }
+        best
+    };
+    let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..32)).collect();
+    let t = 1 + (seed % 2) as u32;
+    (Instance::new(g, NodeId(0), inputs, s, 31).unwrap(), c, t)
+}
+
+#[test]
+fn pair_reports_and_metrics_are_identical_across_sinks() {
+    for seed in 0..10u64 {
+        let (inst, c, t) = pair_scenario(seed);
+        let quiet = run_pair(&Sum, &inst, c, t, true);
+        let (traced, sink_t) = run_pair_with_sink(
+            &Sum,
+            &inst,
+            inst.schedule.clone(),
+            c,
+            t,
+            true,
+            0,
+            Box::new(Trace::new()),
+        );
+        let (streamed, sink_j) = run_pair_with_sink(
+            &Sum,
+            &inst,
+            inst.schedule.clone(),
+            c,
+            t,
+            true,
+            0,
+            Box::new(JsonlSink::new(Vec::<u8>::new())),
+        );
+
+        assert_eq!(
+            report_fingerprint(&traced),
+            report_fingerprint(&quiet),
+            "Trace sink perturbed the pair outcome on seed {seed}"
+        );
+        assert_eq!(
+            report_fingerprint(&streamed),
+            report_fingerprint(&quiet),
+            "JsonlSink perturbed the pair outcome on seed {seed}"
+        );
+        assert_eq!(
+            fingerprint(&traced.metrics),
+            fingerprint(&quiet.metrics),
+            "Trace sink perturbed the metrics on seed {seed}"
+        );
+        assert_eq!(
+            fingerprint(&streamed.metrics),
+            fingerprint(&quiet.metrics),
+            "JsonlSink perturbed the metrics on seed {seed}"
+        );
+
+        // And the two observers agree with each other event for event.
+        let trace = *(sink_t as Box<dyn Any>).downcast::<Trace>().unwrap();
+        let jsonl = *(sink_j as Box<dyn Any>).downcast::<JsonlSink<Vec<u8>>>().unwrap();
+        let parsed = Trace::from_jsonl(&jsonl.finish().unwrap()[..]).unwrap();
+        assert_eq!(parsed.events(), trace.events(), "pair sinks diverged on seed {seed}");
+
+        // The trace is a faithful ledger: replaying it reproduces the
+        // quiet run's send accounting and AGG/VERI phase windows.
+        let replayed = fingerprint(&trace.replay_metrics());
+        let reference = fingerprint(&quiet.metrics);
+        assert_eq!(replayed.bits_per_node, reference.bits_per_node, "seed {seed}");
+        assert_eq!(replayed.per_round, reference.per_round, "seed {seed}");
+        assert_eq!(replayed.phases, reference.phases, "seed {seed}");
+    }
+}

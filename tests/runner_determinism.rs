@@ -95,6 +95,7 @@ fn trial_summaries_are_identical_across_thread_counts() {
                 max_bits: r.max_bits,
                 total_bits: r.total_bits,
                 bottleneck: None,
+                phases: vec![],
             }
         });
         stats.iter().collect()
