@@ -1,41 +1,23 @@
 //! Criterion bench: raw substrate throughput — the synchronous engine's
 //! cost per round under flooding load, isolating the simulator from the
-//! protocols built on it.
+//! protocols built on it — plus the watchdog's observation overhead.
+//!
+//! The flood workload ([`Token`]/[`Flooder`]) is shared with the
+//! machine-readable snapshot collector (`ftagg_bench::snapshot`), so the
+//! numbers printed here and the `perf.*` entries in `BENCH_*.json` measure
+//! the same thing.
+//!
+//! Monitored-vs-off overhead is measured **interleaved A/B**: the plain
+//! and watchdog-sink variants alternate rep by rep (A B A B …) inside one
+//! timing loop, so CPU frequency drift, cache warmth, and neighboring load
+//! hit both sides equally instead of biasing whichever variant happens to
+//! run last. The printed ratio is what EXPERIMENTS.md quotes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use netsim::{topology, Engine, FailureSchedule, FloodState, Message, NodeId, NodeLogic, RoundCtx};
+use ftagg_bench::snapshot::{flood_grid, Flooder};
+use netsim::{topology, Engine, FailureSchedule};
 use std::hint::black_box;
-
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct Token(u32);
-
-impl Message for Token {
-    fn bit_len(&self) -> u64 {
-        32
-    }
-}
-
-/// Every node originates one token in round 1; everyone floods everything.
-struct Flooder {
-    me: NodeId,
-    flood: FloodState<Token>,
-}
-
-impl NodeLogic<Token> for Flooder {
-    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Token>) {
-        if ctx.round() == 1 {
-            let t = Token(self.me.0);
-            self.flood.mark_seen(t.clone());
-            ctx.send(t);
-        }
-        let inbox: Vec<Token> = ctx.inbox().iter().map(|m| (*m.msg).clone()).collect();
-        for t in inbox {
-            if self.flood.first_sighting(t.clone()) {
-                ctx.send(t);
-            }
-        }
-    }
-}
+use std::time::{Duration, Instant};
 
 fn bench_flood_all(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("engine_flood_all");
@@ -46,10 +28,7 @@ fn bench_flood_all(crit: &mut Criterion) {
             b.iter(|| {
                 let g = topology::grid(side, side);
                 let d = g.diameter() as u64;
-                let mut eng = Engine::new(g, FailureSchedule::none(), |v| Flooder {
-                    me: v,
-                    flood: FloodState::new(),
-                });
+                let mut eng = Engine::new(g, FailureSchedule::none(), Flooder::new);
                 eng.run(2 * d + 2);
                 black_box(eng.metrics().total_bits())
             })
@@ -58,5 +37,52 @@ fn bench_flood_all(crit: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flood_all);
+/// Per-variant timings (sequential, like any criterion group) so each
+/// absolute number is visible on its own.
+fn bench_monitor_variants(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("engine_monitor");
+    group.sample_size(10);
+    for (label, monitored) in [("off", false), ("watchdog", true)] {
+        group.bench_with_input(BenchmarkId::new("flood_12x12", label), &monitored, |b, &m| {
+            b.iter(|| black_box(flood_grid(12, m)))
+        });
+    }
+    group.finish();
+}
+
+/// Interleaved A/B overhead measurement: alternate plain / monitored reps
+/// in one loop and report the per-variant best plus the off/watchdog
+/// throughput ratio. Not a criterion group on purpose — criterion times
+/// each bench in its own block, which is exactly the sequential bias this
+/// avoids.
+fn monitor_overhead_interleaved() {
+    const REPS: usize = 9;
+    let side = 12usize;
+    // Warm both paths once before timing anything.
+    black_box(flood_grid(side, false));
+    black_box(flood_grid(side, true));
+    let mut plain = Duration::MAX;
+    let mut monitored = Duration::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(flood_grid(side, false));
+        plain = plain.min(t.elapsed());
+        let t = Instant::now();
+        black_box(flood_grid(side, true));
+        monitored = monitored.min(t.elapsed());
+    }
+    let ratio = plain.as_secs_f64() / monitored.as_secs_f64();
+    println!(
+        "engine_monitor/interleaved_ab/flood_{side}x{side}   off: {:.2?}  watchdog: {:.2?}  \
+         off/watchdog throughput ratio: {ratio:.3}",
+        plain, monitored
+    );
+}
+
+fn bench_monitor_overhead(crit: &mut Criterion) {
+    bench_monitor_variants(crit);
+    monitor_overhead_interleaved();
+}
+
+criterion_group!(benches, bench_flood_all, bench_monitor_overhead);
 criterion_main!(benches);

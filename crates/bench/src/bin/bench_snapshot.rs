@@ -1,0 +1,46 @@
+//! `bench_snapshot` — collect a machine-readable `BENCH_<date>.json`
+//! benchmark snapshot (see `ftagg_bench::snapshot` for the schema and
+//! `ftagg-cli bench compare` for the diff side).
+//!
+//! ```text
+//! bench_snapshot [--out PATH] [--quick]
+//! ```
+//!
+//! With no `--out`, writes `BENCH_<today>.json` in the current directory.
+//! `--quick` shrinks the workloads for CI; quick and full snapshots are
+//! not comparable to each other.
+
+use ftagg_bench::snapshot::{default_snapshot_name, Snapshot};
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("usage: bench_snapshot [--out PATH] [--quick]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = out_path.unwrap_or_else(default_snapshot_name);
+    eprintln!(
+        "collecting {} snapshot (engine flood, monitored overhead, tradeoff sweep, runner scaling)...",
+        if quick { "quick" } else { "full" }
+    );
+    let snap = Snapshot::collect(quick);
+    let json = snap.to_json();
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write '{path}': {e}");
+        std::process::exit(2);
+    }
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

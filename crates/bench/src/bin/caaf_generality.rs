@@ -9,7 +9,7 @@ use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
 use ftagg::Instance;
 use ftagg_bench::{Env, Table};
 
-fn run_op<C: Caaf>(op: &C, env: &Env, t: &mut Table) {
+fn run_op<C: Caaf + 'static>(op: &C, env: &Env, t: &mut Table) {
     let cap = op.max_allowed_input().min(env.max_input);
     let inputs: Vec<u64> = env.inputs.iter().map(|&v| v.min(cap)).collect();
     let inst =

@@ -63,9 +63,8 @@ fn main() {
             // Per-stage attribution: the top-level "stage k"/"fallback"
             // spans partition the run's traffic exactly.
             let phases = r.metrics.phases();
-            let top_total: u64 = phases.iter().filter(|p| p.depth == 0).map(|p| p.bits).sum();
             assert_eq!(
-                top_total,
+                r.metrics.top_level_phase_bits(),
                 r.metrics.total_bits(),
                 "stage spans must account for every bit (φ = {phi}, trial = {trial})"
             );

@@ -17,7 +17,7 @@
 use caaf::Sum;
 use ftagg::baselines::{run_brute, run_folklore};
 use ftagg::bounds;
-use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg::tradeoff::{run_tradeoff_monitored, TradeoffConfig};
 use ftagg_bench::chart::BarChart;
 use ftagg_bench::{f, geomean, threads_from_args, Env, Table};
 use netsim::Runner;
@@ -55,8 +55,11 @@ fn main() {
             let env = Env::caterpillar(1000 * b + trial, 60, f_bound, b, c);
             let inst = env.instance();
             let cfg = TradeoffConfig { b, c, f: f_bound, seed: trial };
-            let r = run_tradeoff(&Sum, &inst, &cfg);
+            // Strict watchdog: Theorem 3/6 budgets, crash silence,
+            // causality, phases, and the CAAF envelope checked live.
+            let (r, monitor) = run_tradeoff_monitored(&Sum, &inst, &cfg, true);
             assert!(r.correct, "b = {b}, trial {trial}: incorrect result");
+            assert!(monitor.is_clean(), "b = {b}, trial {trial}: {}", monitor.render());
             (r.metrics.max_bits() as f64, r.pairs_run, r.used_fallback)
         });
         let mut ccs = Vec::new();

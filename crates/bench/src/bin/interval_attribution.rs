@@ -14,6 +14,7 @@
 use caaf::Sum;
 use ftagg::msg::{agg_bit_budget, veri_bit_budget};
 use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+use ftagg_bench::chart::indent_label;
 use ftagg_bench::{Env, Table};
 
 fn main() {
@@ -52,7 +53,7 @@ fn main() {
             "phase '{}' disagrees with the raw window query",
             ph.label
         );
-        let label = format!("{}{}", "  ".repeat(ph.depth), ph.label);
+        let label = indent_label(ph.depth, &ph.label);
         let is_interval = ph.depth == 0 && ph.label.starts_with("interval");
         if is_interval {
             // The span is the interval's full 19c-flooding-round window.
@@ -81,6 +82,11 @@ fn main() {
         interval_total + fallback_bits,
         r.metrics.total_bits(),
         "intervals + fallback must account for every bit"
+    );
+    assert_eq!(
+        r.metrics.top_level_phase_bits(),
+        r.metrics.total_bits(),
+        "top-level spans must partition the run's traffic"
     );
     println!(
         "\n{} of {} intervals carried traffic (pairs run: {}); all within the per-pair cap;",

@@ -1,14 +1,17 @@
 //! E2 — regenerates **Table 2**: the guarantee matrix of AGG and VERI.
 //!
-//! Runs hundreds of randomized pair executions, classifies each into its
-//! Table 2 scenario with the white-box oracle, and tabulates what AGG and
-//! VERI actually did. The paper's guarantees (✓ cells) must hold with
-//! zero violations; the "no guarantee" cells report the observed mix.
+//! Runs hundreds of randomized pair executions — each under the strict
+//! invariant watchdog ([`ftagg::monitored`]), so a single budget,
+//! crash-silence, causality, or phase violation aborts the regeneration —
+//! classifies each into its Table 2 scenario with the white-box oracle,
+//! and tabulates what AGG and VERI actually did. The paper's guarantees
+//! (✓ cells) must hold with zero violations; the "no guarantee" cells
+//! report the observed mix.
 
 use caaf::Sum;
 use ftagg::analysis::{classify, Scenario};
+use ftagg::monitored::run_pair_engine_monitored;
 use ftagg::pair::AggOutcome;
-use ftagg::run::run_pair_engine;
 use ftagg::Instance;
 use ftagg_bench::{threads_from_args, Table};
 use netsim::{adversary::schedules, topology, FailureSchedule, NodeId, Runner};
@@ -69,7 +72,9 @@ fn run_trial(trial: u64, c: u32) -> Observation {
         return None;
     }
     let t = rng.gen_range(0..5);
-    let (eng, params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), c, t, true);
+    let (eng, params, monitor) =
+        run_pair_engine_monitored(&Sum, &inst, inst.schedule.clone(), c, t, true, true);
+    assert!(monitor.is_clean(), "trial {trial}: {}", monitor.render());
     let (scenario, _) = classify(&inst, &inst.schedule, &eng, &params);
     let root = eng.node(inst.root);
     let iv = inst.correct_interval(&Sum, params.total_rounds());

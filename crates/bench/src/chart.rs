@@ -1,9 +1,68 @@
-//! Terminal bar charts for the experiment harness.
+//! Terminal bar charts and shared report renderers for the harness.
 //!
 //! The figure bins print their series as log-scale horizontal bars next to
 //! the numeric tables, so the *shape* claims of EXPERIMENTS.md (curves
 //! falling like `f/b`, crossovers, floors) are visible at a glance in the
 //! harness output itself.
+//!
+//! The phase-table and histogram renderers here are the single source of
+//! the ASCII layouts shared by `ftagg-cli report` and the experiment bins
+//! (previously copied in each).
+
+use crate::Table;
+use netsim::{Histogram, PhaseAgg, PhaseStats};
+
+/// A phase label indented two spaces per nesting depth, as every phase
+/// table prints it.
+pub fn indent_label(depth: usize, label: &str) -> String {
+    format!("{}{}", "  ".repeat(depth), label)
+}
+
+/// The standard per-run phase table ([`netsim::Metrics::phases`] rows):
+/// label (indented by depth), rounds, global window, bits, sends, depth.
+pub fn phase_stats_table(phases: &[PhaseStats]) -> Table {
+    let mut t = Table::new(vec!["label", "rounds", "window", "bits", "sends", "depth"]);
+    for ph in phases {
+        t.row(vec![
+            indent_label(ph.depth, &ph.label),
+            ph.rounds.to_string(),
+            format!("{}..{}", ph.start, ph.end),
+            ph.bits.to_string(),
+            ph.sends.to_string(),
+            ph.depth.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The standard cross-trial phase table ([`PhaseAgg`] rows): label, span
+/// count, mean/worst bits, summed/worst rounds.
+pub fn phase_agg_table(aggs: &[PhaseAgg]) -> Table {
+    let mut t =
+        Table::new(vec!["label", "spans", "mean bits", "worst bits", "sum rounds", "worst"]);
+    for agg in aggs {
+        t.row(vec![
+            agg.label.clone(),
+            agg.spans.to_string(),
+            format!("{:.0}", agg.mean_bits()),
+            agg.worst_bits.to_string(),
+            agg.sum_rounds.to_string(),
+            agg.worst_rounds.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A [`Histogram`] rendered as `[lo, hi]  ###` bucket lines (one `#` per
+/// sample), as the CLI report prints CC/round distributions.
+pub fn histogram_lines(hist: &Histogram) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (lo, hi, count) in hist.bars() {
+        let _ = writeln!(out, "  [{lo:>8}, {hi:>8}]  {}", "#".repeat(count as usize));
+    }
+    out
+}
 
 /// A labeled series rendered as horizontal bars.
 #[derive(Clone, Debug, Default)]
@@ -109,6 +168,43 @@ mod tests {
     #[test]
     fn empty_chart_says_so() {
         assert!(BarChart::new("x").render().contains("no data"));
+    }
+
+    #[test]
+    fn phase_tables_and_histograms_render() {
+        let phases = vec![PhaseStats {
+            label: "AGG".into(),
+            start: 1,
+            end: 4,
+            rounds: 4,
+            bits: 96,
+            sends: 3,
+            depth: 1,
+        }];
+        let out = phase_stats_table(&phases).render();
+        assert!(out.contains("  AGG"), "{out}");
+        assert!(out.contains("1..4"), "{out}");
+        assert!(out.contains("96"), "{out}");
+
+        let aggs = vec![PhaseAgg {
+            label: "interval 0".into(),
+            spans: 2,
+            sum_bits: 10,
+            worst_bits: 7,
+            sum_sends: 2,
+            sum_rounds: 8,
+            worst_rounds: 5,
+        }];
+        let out = phase_agg_table(&aggs).render();
+        assert!(out.contains("interval 0"), "{out}");
+        assert!(out.contains("worst bits"), "{out}");
+
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        let lines = histogram_lines(&h);
+        assert!(lines.contains("##"), "{lines}");
+        assert_eq!(indent_label(2, "x"), "    x");
     }
 
     #[test]

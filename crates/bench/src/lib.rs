@@ -22,6 +22,7 @@
 
 pub mod chart;
 pub mod search;
+pub mod snapshot;
 
 use netsim::{adversary::schedules, FailureSchedule, Graph, NodeId, Round};
 use rand::rngs::StdRng;

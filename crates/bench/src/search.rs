@@ -39,7 +39,7 @@ pub struct SearchResult {
     pub history: Vec<f64>,
 }
 
-fn evaluate<C: Caaf>(
+fn evaluate<C: Caaf + 'static>(
     op: &C,
     graph: &Graph,
     inputs: &[u64],
@@ -143,7 +143,7 @@ fn mutate<R: Rng>(
 
 /// Hill-climbs to a locally-worst oblivious schedule for Algorithm 1 on
 /// the given instance data.
-pub fn worst_case_search<C: Caaf>(
+pub fn worst_case_search<C: Caaf + 'static>(
     op: &C,
     graph: &Graph,
     inputs: &[u64],

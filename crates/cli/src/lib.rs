@@ -34,8 +34,11 @@ use std::collections::BTreeMap;
 /// (repeatable keys accumulate).
 #[derive(Clone, Debug, Default)]
 pub struct Args {
-    /// The subcommand (`run`, `topo`, `trace`, `sweep`, `bounds`).
+    /// The subcommand (`run`, `topo`, `trace`, `sweep`, `bounds`, ...).
     pub command: String,
+    /// The sub-action, for commands that take one (`bench snapshot`,
+    /// `bench compare`).
+    pub sub: Option<String>,
     opts: BTreeMap<String, Vec<String>>,
 }
 
@@ -47,9 +50,12 @@ impl Args {
     /// Returns a message on a missing subcommand, an option without a
     /// value, or a stray positional argument.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
-        let mut it = raw.into_iter();
-        let command =
-            it.next().ok_or("missing subcommand (run | topo | trace | sweep | bounds)")?;
+        let mut it = raw.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or("missing subcommand (run | topo | trace | sweep | report | bench | bounds)")?;
+        // `bench` takes one sub-action positional (snapshot | compare).
+        let sub = if command == "bench" { it.next_if(|a| !a.starts_with("--")) } else { None };
         let mut opts: BTreeMap<String, Vec<String>> = BTreeMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
@@ -58,7 +64,7 @@ impl Args {
             let value = it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
             opts.entry(name.to_string()).or_default().push(value);
         }
-        Ok(Args { command, opts })
+        Ok(Args { command, sub, opts })
     }
 
     /// Last value of `--key`, if given.
@@ -96,6 +102,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "trace" => cmd_trace(args),
         "sweep" => cmd_sweep(args),
         "report" => cmd_report(args),
+        "bench" => cmd_bench(args),
         "bounds" => cmd_bounds(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
@@ -121,8 +128,12 @@ commands:
           --threads T (parallel trial runner; 0 = auto, same output any T)
   report  render a run report: phase table, CC/round histograms, top-k nodes
           live:  --topology SPEC --trials K --b B --c C --f F --seed S
-                 --threads T --top K
+                 --threads T --top K --monitor yes (run under the watchdog)
           file:  --input TRACE.jsonl [--render yes] --top K
+  bench   machine-readable benchmark snapshots (BENCH_<date>.json)
+          bench snapshot [--out PATH] [--quick yes]
+          bench compare --baseline A.json --candidate B.json
+                [--tolerance 0.25] [--enforce-perf yes]
   bounds  print the paper's bound curves       --n N --f F --b B
 ";
 
@@ -165,7 +176,7 @@ fn cmd_run(args: &Args) -> Result<String, String> {
     }
 }
 
-fn run_protocol<C: Caaf>(
+fn run_protocol<C: Caaf + 'static>(
     protocol: &str,
     op: &C,
     inst: &Instance,
@@ -294,14 +305,36 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// Renders one row of the phase table.
-fn phase_row(out: &mut String, cols: [&str; 6]) {
-    use std::fmt::Write as _;
-    let _ = writeln!(
-        out,
-        "  {:<14} {:>7} {:>12} {:>12} {:>10} {:>6}",
-        cols[0], cols[1], cols[2], cols[3], cols[4], cols[5]
-    );
+/// `bench snapshot | compare` — collect or diff machine-readable
+/// `BENCH_*.json` snapshots (see `ftagg_bench::snapshot`).
+fn cmd_bench(args: &Args) -> Result<String, String> {
+    use ftagg_bench::snapshot::{compare, default_snapshot_name, Snapshot};
+    match args.sub.as_deref() {
+        Some("snapshot") => {
+            let quick = args.get("quick").is_some();
+            let path = args.get("out").map(str::to_string).unwrap_or_else(default_snapshot_name);
+            let snap = Snapshot::collect(quick);
+            let json = snap.to_json();
+            std::fs::write(&path, &json)
+                .map_err(|e| format!("cannot write snapshot '{path}': {e}"))?;
+            Ok(format!("{json}wrote {path}\n"))
+        }
+        Some("compare") => {
+            let base_path = args.get("baseline").ok_or("bench compare needs --baseline")?;
+            let cand_path = args.get("candidate").ok_or("bench compare needs --candidate")?;
+            let tolerance: f64 = args.num("tolerance", 0.25)?;
+            let enforce = args.get("enforce-perf").is_some();
+            let load = |p: &str| -> Result<Snapshot, String> {
+                let text = std::fs::read_to_string(p)
+                    .map_err(|e| format!("cannot read snapshot '{p}': {e}"))?;
+                Snapshot::from_json(&text).map_err(|e| format!("parsing '{p}': {e}"))
+            };
+            compare(&load(base_path)?, &load(cand_path)?, tolerance, enforce)
+        }
+        other => {
+            Err(format!("bench needs a sub-action: snapshot | compare (got {other:?})\n{USAGE}"))
+        }
+    }
 }
 
 fn cmd_report(args: &Args) -> Result<String, String> {
@@ -322,6 +355,34 @@ fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<String, Stri
         std::fs::File::open(path).map_err(|e| format!("cannot open --input '{path}': {e}"))?;
     let trace = netsim::Trace::from_jsonl(std::io::BufReader::new(file))
         .map_err(|e| format!("parsing '{path}': {e}"))?;
+    // Replay allocates per-node and per-round ledgers sized by the largest
+    // id/round the trace mentions; refuse corrupt traces claiming absurd
+    // dimensions instead of attempting multi-gigabyte allocations.
+    const MAX_REPLAY_NODES: u32 = 1_000_000;
+    const MAX_REPLAY_ROUND: netsim::Round = 50_000_000;
+    let max_id = trace
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            Event::Send { node, .. } => Some(node.0),
+            Event::Deliver { node, from, .. } => Some(node.0.max(from.0)),
+            Event::Crash { node, .. } | Event::Decide { node, .. } => Some(node.0),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    if max_id >= MAX_REPLAY_NODES {
+        return Err(format!(
+            "'{path}' looks corrupt: node id {max_id} is over the replay limit ({MAX_REPLAY_NODES} nodes)"
+        ));
+    }
+    if let Some(last) = trace.last_round() {
+        if last > MAX_REPLAY_ROUND {
+            return Err(format!(
+                "'{path}' looks corrupt: round {last} is over the replay limit ({MAX_REPLAY_ROUND})"
+            ));
+        }
+    }
     let metrics = trace.replay_metrics();
 
     let mut out = String::new();
@@ -363,21 +424,7 @@ fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<String, Stri
     let phases = metrics.phases();
     if !phases.is_empty() {
         out.push_str("\nphase table:\n");
-        phase_row(&mut out, ["label", "rounds", "window", "bits", "sends", "depth"]);
-        for ph in &phases {
-            let indented = format!("{}{}", "  ".repeat(ph.depth), ph.label);
-            phase_row(
-                &mut out,
-                [
-                    &indented,
-                    &ph.rounds.to_string(),
-                    &format!("{}..{}", ph.start, ph.end),
-                    &ph.bits.to_string(),
-                    &ph.sends.to_string(),
-                    &ph.depth.to_string(),
-                ],
-            );
-        }
+        out.push_str(&ftagg_bench::chart::phase_stats_table(&phases).render());
     }
 
     let mut per_node: Vec<(usize, u64)> =
@@ -400,12 +447,13 @@ fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<String, Stri
 /// order, for any `--threads`).
 fn report_live(args: &Args, top: usize) -> Result<String, String> {
     use caaf::Sum;
-    use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
+    use ftagg::tradeoff::{run_tradeoff, run_tradeoff_monitored, TradeoffConfig};
     use netsim::{Runner, TrialStats, TrialSummary};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::fmt::Write as _;
 
+    let monitor = args.get("monitor").is_some();
     let seed: u64 = args.num("seed", 0)?;
     let topo_spec = args.get("topology").unwrap_or("grid:5x5").to_string();
     let graph = spec::parse_topology(&topo_spec, seed)?;
@@ -443,8 +491,14 @@ fn report_live(args: &Args, top: usize) -> Result<String, String> {
         let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
         let inst = Instance::new(graph.clone(), NodeId(0), inputs, schedule, 100)
             .expect("topology and inputs are valid by construction");
-        let r = run_tradeoff(&Sum, &inst, &TradeoffConfig { b, c, f, seed: s });
-        let stats = TrialStats::from_metrics(s, r.rounds, &r.metrics);
+        let cfg = TradeoffConfig { b, c, f, seed: s };
+        let (r, violations) = if monitor {
+            let (r, m) = run_tradeoff_monitored(&Sum, &inst, &cfg, false);
+            (r, m.total)
+        } else {
+            (run_tradeoff(&Sum, &inst, &cfg), 0)
+        };
+        let stats = TrialStats::from_metrics(s, r.rounds, &r.metrics).with_violations(violations);
         (stats, r.metrics.bits_per_node().to_vec(), r.correct)
     });
 
@@ -469,6 +523,13 @@ fn report_live(args: &Args, top: usize) -> Result<String, String> {
         "run report: {trials} tradeoff trials over {topo_spec} (N = {n}, b = {b}, c = {c}, f = {f})"
     );
     let _ = writeln!(out, "all correct = {all_correct}");
+    if monitor {
+        let _ = writeln!(
+            out,
+            "watchdog violations = {} in {}/{trials} trials (budgets, crash silence, causality, phases, envelope)",
+            summary.sum_violations, summary.violation_trials
+        );
+    }
     let _ = writeln!(
         out,
         "CC     p50 = {:>8}  p90 = {:>8}  max = {:>8}  mean = {:.1}  (worst seed {})",
@@ -488,25 +549,10 @@ fn report_live(args: &Args, top: usize) -> Result<String, String> {
     );
 
     out.push_str("\nphase table (aggregated over trials):\n");
-    phase_row(&mut out, ["label", "spans", "mean bits", "worst bits", "sum rounds", "worst"]);
-    for agg in &summary.phases {
-        phase_row(
-            &mut out,
-            [
-                &agg.label,
-                &agg.spans.to_string(),
-                &format!("{:.0}", agg.mean_bits()),
-                &agg.worst_bits.to_string(),
-                &agg.sum_rounds.to_string(),
-                &agg.worst_rounds.to_string(),
-            ],
-        );
-    }
+    out.push_str(&ftagg_bench::chart::phase_agg_table(&summary.phases).render());
 
     out.push_str("\nCC histogram (bits at bottleneck node, per trial):\n");
-    for (lo, hi, count) in summary.hist_max_bits.bars() {
-        let _ = writeln!(out, "  [{lo:>8}, {hi:>8}]  {}", "#".repeat(count as usize));
-    }
+    out.push_str(&ftagg_bench::chart::histogram_lines(&summary.hist_max_bits));
 
     let mut per_node: Vec<(usize, u64)> = node_bits.iter().copied().enumerate().collect();
     per_node.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -843,6 +889,82 @@ mod tests {
         // The replayed CC equals the trace's own send accounting.
         std::fs::remove_file(path).ok();
         assert!(dispatch(&args(&["report", "--input", "/nonexistent/x.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn report_live_monitored_reports_zero_violations() {
+        let out = dispatch(&args(&[
+            "report",
+            "--topology",
+            "grid:4x4",
+            "--trials",
+            "3",
+            "--b",
+            "42",
+            "--f",
+            "3",
+            "--monitor",
+            "yes",
+        ]))
+        .unwrap();
+        assert!(out.contains("watchdog violations = 0 in 0/3 trials"), "{out}");
+    }
+
+    #[test]
+    fn report_rejects_corrupt_jsonl_with_one_line_errors() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let check = |name: &str, content: &str, needle: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            let err = dispatch(&args(&["report", "--input", path.to_str().unwrap()])).unwrap_err();
+            assert!(!err.contains('\n'), "error must be one line: {err:?}");
+            assert!(err.contains(needle), "{name}: {err}");
+            std::fs::remove_file(&path).ok();
+        };
+        let header = "{\"schema\":\"ftagg-trace\",\"v\":1}\n";
+        check("empty.jsonl", "", "empty");
+        check("badver.jsonl", "{\"schema\":\"ftagg-trace\",\"v\":9}\n", "v9 unsupported");
+        check(
+            "truncated.jsonl",
+            &format!("{header}{{\"ev\":\"send\",\"r\":1,\"n\":0,"),
+            "truncated.jsonl",
+        );
+        // A syntactically valid trace claiming an absurd node id must be
+        // refused before replay tries to allocate its ledgers.
+        check(
+            "hugenode.jsonl",
+            &format!(
+                "{header}{{\"ev\":\"send\",\"r\":1,\"n\":4000000000,\"bits\":8,\"logical\":1}}\n"
+            ),
+            "replay limit",
+        );
+        check(
+            "hugeround.jsonl",
+            &format!(
+                "{header}{{\"ev\":\"send\",\"r\":999999999999,\"n\":0,\"bits\":8,\"logical\":1}}\n"
+            ),
+            "replay limit",
+        );
+    }
+
+    #[test]
+    fn bench_snapshot_and_compare_round_trip() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_cli_snapshot.json");
+        let path = path.to_str().unwrap();
+        let out = dispatch(&args(&["bench", "snapshot", "--out", path, "--quick", "yes"])).unwrap();
+        assert!(out.contains("\"schema\": \"ftagg-bench\""), "{out}");
+        assert!(out.contains("exact.sweep.sum_cc"), "{out}");
+        // A snapshot always passes a self-comparison.
+        let cmp = dispatch(&args(&["bench", "compare", "--baseline", path, "--candidate", path]))
+            .unwrap();
+        assert!(cmp.contains("no regressions"), "{cmp}");
+        std::fs::remove_file(path).ok();
+        assert!(dispatch(&args(&["bench"])).is_err());
+        assert!(dispatch(&args(&["bench", "mystery"])).is_err());
+        assert!(dispatch(&args(&["bench", "compare", "--baseline", "/nonexistent.json"])).is_err());
     }
 
     #[test]

@@ -51,11 +51,16 @@ pub mod bounds;
 pub mod config;
 pub mod doubling;
 pub mod interval;
+pub mod monitored;
 pub mod msg;
 pub mod pair;
 pub mod run;
 pub mod tradeoff;
 
 pub use config::{Instance, Model};
+pub use monitored::{
+    decide_envelope, pair_monitor_config, run_pair_engine_monitored, run_pair_monitored,
+    MonitoredPair,
+};
 pub use pair::{AggOutcome, NodeSnapshot, PairNode, PairParams};
 pub use run::{run_pair, run_pair_with_schedule, run_pair_with_sink, PairReport};

@@ -293,6 +293,25 @@ pub fn veri_bit_budget(n: usize, t: u32) -> u64 {
     (5 * u64::from(t) + 7) * (3 * u64::from(wire::id_bits(n)) + 10)
 }
 
+/// The hard per-node *wire* ceiling of the AGG window, for watchdogs.
+///
+/// [`agg_bit_budget`] bounds the bits a node charges against its budget,
+/// but the tag-only `AggAbort` signal is deliberately exempt from the
+/// tracked budget (Theorem 3's accounting treats the abort flood as part
+/// of the budget-check mechanism itself). Flood deduplication sends it at
+/// most once per node, so what any node can physically put on the wire
+/// during AGG is the budget plus one 4-bit tag.
+pub fn agg_wire_ceiling(n: usize, t: u32) -> u64 {
+    agg_bit_budget(n, t) + u64::from(TAG_BITS)
+}
+
+/// The hard per-node wire ceiling of the VERI window (see
+/// [`agg_wire_ceiling`]): [`veri_bit_budget`] plus one tag-only
+/// `VeriOverflow`, which each node floods at most once.
+pub fn veri_wire_ceiling(n: usize, t: u32) -> u64 {
+    veri_bit_budget(n, t) + u64::from(TAG_BITS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +378,8 @@ mod tests {
         assert_eq!(agg_bit_budget(100, 3), (33 + 14) * 12);
         assert_eq!(veri_bit_budget(100, 0), 7 * 31);
         assert_eq!(veri_bit_budget(100, 2), 17 * 31);
+        assert_eq!(agg_wire_ceiling(100, 3), agg_bit_budget(100, 3) + 4);
+        assert_eq!(veri_wire_ceiling(100, 2), veri_bit_budget(100, 2) + 4);
     }
 
     #[test]

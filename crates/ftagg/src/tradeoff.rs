@@ -17,9 +17,10 @@
 use crate::baselines::brute::run_brute;
 use crate::config::Instance;
 use crate::interval::IntervalLayout;
+use crate::monitored::run_pair_monitored;
 use crate::run::run_pair_with_schedule;
 use caaf::Caaf;
-use netsim::{Metrics, Round};
+use netsim::{Metrics, MonitorReport, Round};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,7 +84,42 @@ pub struct TradeoffReport {
 ///
 /// Panics if `cfg.b < 21 * c` (the theorem's precondition) or the instance
 /// and config disagree structurally.
-pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> TradeoffReport {
+pub fn run_tradeoff<C: Caaf + 'static>(
+    op: &C,
+    inst: &Instance,
+    cfg: &TradeoffConfig,
+) -> TradeoffReport {
+    run_tradeoff_core(op, inst, cfg, None).0
+}
+
+/// [`run_tradeoff`] with every AGG+VERI pair running under a live
+/// [`netsim::Watchdog`] (Theorem 3/6 budgets, the per-interval Theorem 1
+/// budget, crash silence, delivery causality, phase discipline, and the
+/// CAAF envelope at each decision). The per-pair verdicts are merged into
+/// one [`MonitorReport`] with violation rounds shifted into the global
+/// timeline. The brute-force fallback (the paper's unbudgeted last `2c`
+/// flooding rounds) runs outside the budget model and is not monitored.
+///
+/// The watchdog is passive: the returned [`TradeoffReport`] is identical
+/// to [`run_tradeoff`]'s for the same inputs.
+pub fn run_tradeoff_monitored<C: Caaf + 'static>(
+    op: &C,
+    inst: &Instance,
+    cfg: &TradeoffConfig,
+    strict: bool,
+) -> (TradeoffReport, MonitorReport) {
+    let (report, monitor) = run_tradeoff_core(op, inst, cfg, Some(strict));
+    (report, monitor.expect("monitoring was requested"))
+}
+
+/// The shared Algorithm 1 driver; `monitor` is `Some(strict)` to run every
+/// pair under a watchdog, `None` for the plain execution.
+fn run_tradeoff_core<C: Caaf + 'static>(
+    op: &C,
+    inst: &Instance,
+    cfg: &TradeoffConfig,
+    monitor: Option<bool>,
+) -> (TradeoffReport, Option<MonitorReport>) {
     let model = inst.model(cfg.c);
     let layout = IntervalLayout::new(cfg.b, cfg.c, model.d).unwrap_or_else(|e| panic!("{e}"));
     let x = layout.x();
@@ -96,12 +132,21 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
     ys.dedup(); // Line 2's "i = 1 or y_i != y_{i-1}" skip.
 
     let mut metrics = Metrics::new(inst.n());
+    let mut watch = monitor.map(|_| MonitorReport::default());
     let mut pairs_run = 0;
     for &y in &ys {
         // Line 3: the pair starts at flooding round (y-1)·19c + 1.
         let offset: Round = layout.pair_offset(y);
         let shifted = inst.schedule.shifted(offset);
-        let rep = run_pair_with_schedule(op, inst, shifted, cfg.c, t, true, offset);
+        let rep = match monitor {
+            None => run_pair_with_schedule(op, inst, shifted, cfg.c, t, true, offset),
+            Some(strict) => {
+                let m = run_pair_monitored(op, inst, shifted, cfg.c, t, true, offset, strict);
+                // Place the pair watchdog's findings in the global timeline.
+                watch.as_mut().expect("monitoring on").absorb_shifted(&m.monitor, offset);
+                m.report
+            }
+        };
         // Attribute the interval's full 19c-flooding-round window as a
         // phase; the pair's own AGG/VERI spans nest inside it when the
         // sub-metrics are absorbed below.
@@ -113,7 +158,7 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
             // Line 4: output AGG's result and terminate.
             let result = rep.result().expect("accepted implies a result");
             let rounds = offset + rep.rounds;
-            return TradeoffReport {
+            let report = TradeoffReport {
                 result,
                 correct: inst.correct_interval(op, rounds).contains(result),
                 rounds,
@@ -124,6 +169,7 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
                 x,
                 t,
             };
+            return (report, watch);
         }
     }
 
@@ -134,7 +180,7 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
     let rounds = offset + rep.rounds;
     metrics.push_span("fallback", offset + 1, rounds);
     metrics.absorb_shifted(&rep.metrics, offset);
-    TradeoffReport {
+    let report = TradeoffReport {
         result: rep.result,
         correct: rep.correct,
         rounds,
@@ -144,7 +190,8 @@ pub fn run_tradeoff<C: Caaf>(op: &C, inst: &Instance, cfg: &TradeoffConfig) -> T
         used_fallback: true,
         x,
         t,
-    }
+    };
+    (report, watch)
 }
 
 #[cfg(test)]
@@ -212,6 +259,31 @@ mod tests {
                 r.result, r.pairs_run, r.used_fallback
             );
             assert!(r.flooding_rounds <= cfg.b, "TC budget exceeded");
+        }
+    }
+
+    #[test]
+    fn monitored_runs_are_clean_and_identical_to_plain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..8 {
+            let g = topology::connected_gnp(20, 0.15, &mut rng);
+            let cfg = TradeoffConfig { b: 42, c: 2, f: 8, seed: trial };
+            let horizon = cfg.b * u64::from(g.diameter().max(1));
+            let s = schedules::random(&g, NodeId(0), 5, horizon, &mut rng);
+            if s.stretch_factor(&g, NodeId(0)) > 2.0 {
+                continue;
+            }
+            let inputs: Vec<u64> = (0..20).map(|_| rng.gen_range(0..9)).collect();
+            let i = inst(g, inputs, s);
+            let plain = run_tradeoff(&Sum, &i, &cfg);
+            let (rep, watch) = run_tradeoff_monitored(&Sum, &i, &cfg, true);
+            assert!(watch.is_clean(), "trial {trial}: {}", watch.render());
+            assert!(watch.sends > 0, "watchdog saw no traffic");
+            // The watchdog is passive: same execution, same numbers.
+            assert_eq!(rep.result, plain.result);
+            assert_eq!(rep.rounds, plain.rounds);
+            assert_eq!(rep.pairs_run, plain.pairs_run);
+            assert_eq!(rep.metrics.max_bits(), plain.metrics.max_bits());
         }
     }
 

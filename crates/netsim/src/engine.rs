@@ -19,6 +19,7 @@ use crate::metrics::Metrics;
 use crate::trace::{Event, Trace, TraceSink};
 use std::fmt;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// A protocol message that knows its encoded size in bits.
 ///
@@ -125,6 +126,53 @@ pub struct RunReport {
     pub cause: StopCause,
 }
 
+/// Host-side performance counters of one engine.
+///
+/// Everything here is *about* the execution, never *part of* it: the
+/// counters are pure observations (steps, deliveries, queue peaks) plus
+/// wall-clock time, and nothing in the simulation reads them — so the
+/// simulated outcome stays bit-identical whether anyone looks or not.
+/// Wall-clock numbers are inherently machine- and load-dependent; keep
+/// them out of deterministic assertions.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Rounds stepped.
+    pub rounds: u64,
+    /// Logical message deliveries enqueued (one per recipient per logical
+    /// message).
+    pub deliveries: u64,
+    /// Peak number of deliveries queued for a single round — the
+    /// simulation's live-message high-water mark.
+    pub peak_inflight: u64,
+    /// Wall-clock time spent inside [`Engine::run`].
+    pub busy: Duration,
+    /// Wall-clock time per closed phase, in exit order (one entry per
+    /// [`Engine::exit_phase`]).
+    pub phase_wall: Vec<(String, Duration)>,
+}
+
+impl Telemetry {
+    /// Rounds per second of busy time (0 if no busy time was recorded).
+    pub fn rounds_per_sec(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s > 0.0 {
+            self.rounds as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Deliveries per second of busy time (0 if no busy time was recorded).
+    pub fn deliveries_per_sec(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s > 0.0 {
+            self.deliveries as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The synchronous network simulator.
 ///
 /// # Examples
@@ -190,6 +238,9 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     /// hot path at a single branch per event site.
     sink: Option<Box<dyn TraceSink>>,
     crash_logged: Vec<bool>,
+    telemetry: Telemetry,
+    /// Wall-clock starts of currently open phases (innermost last).
+    phase_started: Vec<(String, Instant)>,
 }
 
 impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
@@ -231,6 +282,8 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             stop_requested: false,
             sink: None,
             crash_logged: vec![false; n],
+            telemetry: Telemetry::default(),
+            phase_started: Vec::new(),
         }
     }
 
@@ -280,6 +333,7 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
     /// [`Event::PhaseEnter`]. Returns the phase's start round.
     pub fn enter_phase(&mut self, label: &str) -> Round {
         let start = self.metrics.enter_phase(label);
+        self.phase_started.push((label.to_string(), Instant::now()));
         self.annotate(Event::PhaseEnter { round: start, label: label.to_string() });
         start
     }
@@ -290,8 +344,16 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
     pub fn exit_phase(&mut self) -> Option<(String, Round)> {
         let round = self.round;
         let (label, end) = self.metrics.exit_phase_at(round)?;
+        if let Some((started_label, t0)) = self.phase_started.pop() {
+            self.telemetry.phase_wall.push((started_label, t0.elapsed()));
+        }
         self.annotate(Event::PhaseExit { round: end, label: label.clone() });
         Some((label, end))
+    }
+
+    /// Host-side performance counters accumulated so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The topology.
@@ -355,9 +417,12 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             metrics,
             sink,
             crash_logged,
+            telemetry,
             ..
         } = self;
         metrics.note_round(r);
+        telemetry.rounds += 1;
+        let mut enqueued: u64 = 0;
         for i in 0..n {
             let me = NodeId(i as u32);
             if r >= crash_round[i] {
@@ -426,8 +491,11 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                 for &w in receivers.iter() {
                     next_inboxes[w.index()].push(Received { from: me, msg: Rc::clone(&shared) });
                 }
+                enqueued += receivers.len() as u64;
             }
         }
+        telemetry.deliveries += enqueued;
+        telemetry.peak_inflight = telemetry.peak_inflight.max(enqueued);
         self.round = r;
         if stop {
             self.stop_requested = true;
@@ -437,13 +505,18 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
 
     /// Runs until a stop is requested or `max_rounds` rounds have executed.
     pub fn run(&mut self, max_rounds: Round) -> RunReport {
-        while self.round < max_rounds {
+        let t0 = Instant::now();
+        let report = loop {
+            if self.round >= max_rounds {
+                break RunReport { rounds: self.round, cause: StopCause::RoundLimit };
+            }
             self.step();
             if self.stop_requested {
-                return RunReport { rounds: self.round, cause: StopCause::Requested };
+                break RunReport { rounds: self.round, cause: StopCause::Requested };
             }
-        }
-        RunReport { rounds: self.round, cause: StopCause::RoundLimit }
+        };
+        self.telemetry.busy += t0.elapsed();
+        report
     }
 
     /// Nodes that are alive at round `round` *and* connected to `root` in
@@ -615,6 +688,33 @@ mod tests {
         );
         // After the crash, 2 and 3 are partitioned from the root.
         assert_eq!(eng.alive_connected(NodeId(0), 3), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn telemetry_counts_rounds_deliveries_and_peaks() {
+        // A 3-path where everyone talks for 2 rounds: round 2 and round 3
+        // each enqueue deliveries; the middle node doubles the fan-out.
+        let g = topology::path(3);
+        let mut eng = Engine::new(g, FailureSchedule::none(), |_| Chatter {
+            sizes: vec![1, 1],
+            heard: vec![],
+            stop_at: None,
+        });
+        eng.enter_phase("talk");
+        eng.run(4);
+        eng.exit_phase();
+        let t = eng.telemetry().clone();
+        assert_eq!(t.rounds, 4);
+        // Rounds 1 and 2: ends reach 1 neighbor each, middle reaches 2 → 4
+        // deliveries enqueued per talking round.
+        assert_eq!(t.deliveries, 8);
+        assert_eq!(t.peak_inflight, 4);
+        assert_eq!(t.phase_wall.len(), 1);
+        assert_eq!(t.phase_wall[0].0, "talk");
+        // Wall-clock figures exist but are never asserted for magnitude.
+        assert!(t.busy >= std::time::Duration::ZERO);
+        let _ = (t.rounds_per_sec(), t.deliveries_per_sec());
+        assert_eq!(Telemetry::default().rounds_per_sec(), 0.0);
     }
 
     #[test]

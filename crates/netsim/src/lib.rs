@@ -52,14 +52,18 @@ pub mod engine;
 pub mod flood;
 pub mod graph;
 pub mod metrics;
+pub mod monitor;
 pub mod runner;
 pub mod topology;
 pub mod trace;
 
 pub use adversary::{CrashEvent, FailureSchedule, Round};
-pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause};
+pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause, Telemetry};
 pub use flood::FloodState;
 pub use graph::{Edge, Graph, GraphError, NodeId};
 pub use metrics::{Metrics, PhaseSpan, PhaseStats};
-pub use runner::{Histogram, Runner, TrialStats, TrialSummary};
+pub use monitor::{
+    BudgetRule, DecideCheck, MonitorConfig, MonitorReport, Violation, ViolationKind, Watchdog,
+};
+pub use runner::{Histogram, PhaseAgg, Runner, TrialStats, TrialSummary};
 pub use trace::{Event, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_VERSION};

@@ -286,6 +286,13 @@ impl Metrics {
             .collect()
     }
 
+    /// Sum of bits over the top-level (depth-0) phases — when phases
+    /// partition the run, this equals [`Metrics::total_bits`], which is
+    /// exactly what the attribution harnesses assert.
+    pub fn top_level_phase_bits(&self) -> u64 {
+        self.phases().iter().filter(|p| p.depth == 0).map(|p| p.bits).sum()
+    }
+
     /// Iterator over `(round, bits)` for every round with traffic, in
     /// ascending round order.
     pub fn per_round_bits(&self) -> impl Iterator<Item = (Round, u64)> + '_ {
@@ -455,6 +462,7 @@ mod tests {
         // Phase bits agree with the window query and sum to the run total.
         assert_eq!(ph[0].bits, m.bits_in_rounds(1..=3));
         assert_eq!(ph[0].bits + ph[1].bits, m.total_bits());
+        assert_eq!(m.top_level_phase_bits(), m.total_bits());
     }
 
     #[test]

@@ -246,11 +246,16 @@ pub struct TrialStats {
     /// Per-phase breakdown of this trial (empty if the protocol recorded
     /// no phases).
     pub phases: Vec<PhaseStats>,
+    /// Invariant violations the watchdog counted for this trial (0 when
+    /// the trial ran unmonitored).
+    pub violations: u64,
 }
 
 impl TrialStats {
     /// Extracts the stats of a finished execution, including its phase
-    /// attribution.
+    /// attribution. Violations start at 0; a monitored driver sets them
+    /// from its [`crate::monitor::MonitorReport`] (or uses
+    /// [`TrialStats::with_violations`]).
     pub fn from_metrics(seed: u64, rounds: Round, metrics: &Metrics) -> Self {
         TrialStats {
             seed,
@@ -259,7 +264,15 @@ impl TrialStats {
             total_bits: metrics.total_bits(),
             bottleneck: metrics.bottleneck(),
             phases: metrics.phases(),
+            violations: 0,
         }
+    }
+
+    /// The same stats with the watchdog's violation count attached.
+    #[must_use]
+    pub fn with_violations(mut self, violations: u64) -> Self {
+        self.violations = violations;
+        self
     }
 }
 
@@ -322,12 +335,18 @@ pub struct TrialSummary {
     /// Per-phase aggregates, keyed by label in first-encountered order
     /// (deterministic because trials are absorbed in seed order).
     pub phases: Vec<PhaseAgg>,
+    /// Sum of watchdog violations over all trials.
+    pub sum_violations: u64,
+    /// Number of trials with at least one violation.
+    pub violation_trials: usize,
 }
 
 impl TrialSummary {
     /// Folds one trial into the aggregate.
     pub fn absorb(&mut self, t: &TrialStats) {
         self.trials += 1;
+        self.sum_violations += t.violations;
+        self.violation_trials += usize::from(t.violations > 0);
         if t.max_bits > self.worst_max_bits || self.worst_seed.is_none() {
             self.worst_max_bits = t.max_bits;
             self.worst_seed = Some(t.seed);
@@ -465,9 +484,13 @@ mod tests {
             total_bits: 2,
             bottleneck: None,
             phases: vec![],
-        };
+            violations: 0,
+        }
+        .with_violations(3);
         let s: TrialSummary = [&a, &b].into_iter().collect();
         assert_eq!(s.trials, 2);
+        assert_eq!(s.sum_violations, 3);
+        assert_eq!(s.violation_trials, 1);
         assert_eq!(s.worst_max_bits, 10);
         assert_eq!(s.worst_seed, Some(5));
         assert_eq!(s.max_rounds, 9);
@@ -533,6 +556,7 @@ mod tests {
             total_bits: 9,
             bottleneck: None,
             phases: vec![ph("AGG", 6, 4), ph("VERI", 3, 6)],
+            violations: 0,
         };
         let b = TrialStats {
             seed: 1,
@@ -541,6 +565,7 @@ mod tests {
             total_bits: 11,
             bottleneck: None,
             phases: vec![ph("AGG", 8, 5)],
+            violations: 0,
         };
         let s: TrialSummary = [&a, &b].into_iter().collect();
         assert_eq!(s.phases.len(), 2);

@@ -16,7 +16,7 @@ use netsim::{topology, FailureSchedule, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn run_one<C: Caaf>(op: &C, inst: &Instance, seed: u64) {
+fn run_one<C: Caaf + 'static>(op: &C, inst: &Instance, seed: u64) {
     let cfg = TradeoffConfig { b: 63, c: 2, f: 8, seed };
     let r = run_tradeoff(op, inst, &cfg);
     println!(

@@ -29,7 +29,7 @@ fn make(seed: u64, max_input: u64) -> Option<(Instance, TradeoffConfig)> {
     Some((inst, cfg))
 }
 
-fn check_operator<C2: Caaf>(op: &C2, max_input: u64) {
+fn check_operator<C2: Caaf + 'static>(op: &C2, max_input: u64) {
     let mut checked = 0;
     for seed in 0..20u64 {
         let Some((inst, cfg)) = make(seed, max_input.min(op.max_allowed_input())) else {

@@ -96,6 +96,7 @@ fn trial_summaries_are_identical_across_thread_counts() {
                 total_bits: r.total_bits,
                 bottleneck: None,
                 phases: vec![],
+                violations: 0,
             }
         });
         stats.iter().collect()

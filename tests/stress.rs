@@ -1,4 +1,6 @@
-//! Randomized stress over the zero-error guarantee and budget invariants.
+//! Randomized stress over the zero-error guarantee and budget invariants,
+//! with every pair execution running under the strict invariant watchdog
+//! ([`ftagg::monitored`]).
 //!
 //! The fast slice (~50 trials on small instances) runs in the default
 //! suite; the heavy sweeps (thousands of trials, larger N) stay behind
@@ -9,9 +11,9 @@
 
 use caaf::Sum;
 use ftagg::analysis::{classify, Scenario};
+use ftagg::monitored::run_pair_engine_monitored;
 use ftagg::msg::{agg_bit_budget, veri_bit_budget};
 use ftagg::pair::AggOutcome;
-use ftagg::run::run_pair_engine;
 use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
 use ftagg::Instance;
 use netsim::{adversary::schedules, topology, NodeId, Runner};
@@ -43,7 +45,11 @@ fn pair_trial(seed: u64) -> Option<usize> {
     let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
     let t = rng.gen_range(0..6);
     let inst = Instance::new(g, NodeId(0), inputs, s, 63).unwrap();
-    let (eng, params) = run_pair_engine(&Sum, &inst, inst.schedule.clone(), C, t, true);
+    // Strict watchdog: any budget / crash-silence / causality / phase
+    // violation panics the trial on the spot.
+    let (eng, params, monitor) =
+        run_pair_engine_monitored(&Sum, &inst, inst.schedule.clone(), C, t, true, true);
+    assert!(monitor.is_clean(), "seed {seed}: {}", monitor.render());
     let (scenario, _) = classify(&inst, &inst.schedule, &eng, &params);
     let root = eng.node(inst.root);
     let iv = inst.correct_interval(&Sum, params.total_rounds());
