@@ -10,7 +10,7 @@
 //! (previously copied in each).
 
 use crate::Table;
-use netsim::{Histogram, PhaseAgg, PhaseStats};
+use netsim::{Blame, CriticalPath, Histogram, NodeId, PhaseAgg, PhaseStats};
 
 /// A phase label indented two spaces per nesting depth, as every phase
 /// table prints it.
@@ -50,6 +50,57 @@ pub fn phase_agg_table(aggs: &[PhaseAgg]) -> Table {
             agg.worst_rounds.to_string(),
         ]);
     }
+    t
+}
+
+/// The per-node, per-message-kind CC blame table ([`netsim::Blame`]):
+/// one row per node that sent anything, one column per kind, the node
+/// total last, and a final `all` row of per-kind totals. Because blame
+/// partitions `Metrics::bits_of`, each row's kinds sum to its total.
+pub fn blame_table(blame: &Blame) -> Table {
+    let kinds = blame.kinds();
+    let mut headers: Vec<String> = vec!["node".into()];
+    headers.extend(kinds.iter().cloned());
+    headers.push("total".into());
+    let mut t = Table::new(headers);
+    for v in (0..blame.n() as u32).map(NodeId) {
+        if blame.node_total(v) == 0 {
+            continue;
+        }
+        let mut cells = vec![format!("n{}", v.0)];
+        cells.extend(kinds.iter().map(|k| blame.bits(v, k).to_string()));
+        cells.push(blame.node_total(v).to_string());
+        t.row(cells);
+    }
+    let mut all = vec!["all".to_string()];
+    all.extend(kinds.iter().map(|k| blame.kind_total(k).to_string()));
+    all.push(kinds.iter().map(|k| blame.kind_total(k)).sum::<u64>().to_string());
+    t.row(all);
+    t
+}
+
+/// The critical-path table ([`netsim::CriticalPath`] hops): one row per
+/// broadcast on the decisive causal chain, ending in the decision row.
+pub fn critical_path_table(cp: &CriticalPath) -> Table {
+    let mut t = Table::new(vec!["hop", "node", "round", "kind", "bits", "slack"]);
+    for (i, h) in cp.hops.iter().enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            format!("n{}", h.node.0),
+            h.round.to_string(),
+            h.kind.clone(),
+            h.bits.to_string(),
+            h.slack.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "·".to_string(),
+        format!("n{}", cp.decide_node.0),
+        cp.decide_round.to_string(),
+        "decide".to_string(),
+        String::new(),
+        String::new(),
+    ]);
     t
 }
 

@@ -1,9 +1,16 @@
 //! Binary shim: parse argv, dispatch, print (logic lives in the library).
+//!
+//! Exit codes: 0 = success, 1 = the command ran but found violations
+//! (`report --monitor`, failed `explain` cross-checks), 2 = usage or IO
+//! error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match ftagg_cli::Args::parse(args).and_then(|a| ftagg_cli::dispatch(&a)) {
-        Ok(out) => print!("{out}"),
+    match ftagg_cli::Args::parse(args).and_then(|a| ftagg_cli::dispatch_full(&a)) {
+        Ok(out) => {
+            print!("{}", out.text);
+            std::process::exit(out.code);
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);

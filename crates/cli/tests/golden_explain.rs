@@ -1,0 +1,57 @@
+//! Golden snapshot of `ftagg-cli explain` on a pinned seed: the full
+//! causal-provenance report — critical-path table, CC blame table,
+//! coverage audit, CAAF cross-checks, folded stacks — byte for byte.
+//!
+//! Any drift here means the provenance layer (event ids, kind tagging,
+//! lineage declarations, DAG fallback, table layouts) changed observably.
+//! If the change is intentional, regenerate the fixture:
+//!
+//! ```text
+//! cargo run -p ftagg-cli -- explain --topology grid:4x4 --b 42 --c 2 \
+//!     --f 3 --seed 5 --folded yes > crates/cli/tests/fixtures/explain_grid4x4_seed5.txt
+//! ```
+
+use ftagg_cli::{dispatch_full, Args};
+
+const GOLDEN: &str = include_str!("fixtures/explain_grid4x4_seed5.txt");
+
+#[test]
+fn explain_output_matches_the_pinned_fixture() {
+    let args = Args::parse(
+        [
+            "explain",
+            "--topology",
+            "grid:4x4",
+            "--b",
+            "42",
+            "--c",
+            "2",
+            "--f",
+            "3",
+            "--seed",
+            "5",
+            "--folded",
+            "yes",
+        ]
+        .into_iter()
+        .map(String::from),
+    )
+    .unwrap();
+    let out = dispatch_full(&args).unwrap();
+    assert_eq!(out.code, 0);
+    assert_eq!(
+        out.text, GOLDEN,
+        "explain output drifted from the golden fixture — if intentional, \
+         regenerate it (see this file's header)"
+    );
+}
+
+#[test]
+fn golden_fixture_passes_its_own_invariants() {
+    // The fixture itself must show every cross-check passing; a committed
+    // fixture with a CHECK FAILED line would pin a broken invariant.
+    assert!(GOLDEN.contains("blame partition check: OK"));
+    assert!(GOLDEN.contains("CAAF cross-check: all"));
+    assert!(GOLDEN.contains("inside = true"));
+    assert!(!GOLDEN.contains("CHECK FAILED"));
+}

@@ -12,7 +12,8 @@
 use crate::config::Instance;
 use caaf::Caaf;
 use netsim::{
-    Engine, FailureSchedule, FloodState, Message, Metrics, NodeId, NodeLogic, Round, RoundCtx,
+    Engine, EventId, FailureSchedule, FloodState, Message, Metrics, NodeId, NodeLogic, Round,
+    RoundCtx, TraceSink,
 };
 use std::collections::BTreeMap;
 
@@ -54,6 +55,12 @@ impl Message for BruteEnvelope {
     fn bit_len(&self) -> u64 {
         self.bits
     }
+
+    fn kind(&self) -> &'static str {
+        // Algorithm 1 only reaches the brute force as its Line 6 fallback;
+        // the blame analysis files every brute bit under that stage.
+        "fallback"
+    }
 }
 
 /// Per-node logic of the brute-force protocol.
@@ -66,6 +73,11 @@ pub struct BruteNode {
     started: bool,
     flood: FloodState<BruteMsg>,
     reports: BTreeMap<NodeId, u64>,
+    /// Every delivery event id this node has ever received, declared as
+    /// the causes of each outgoing flood batch (a forwarded report depends
+    /// on the delivery that carried it; the conservative union is sound
+    /// for a flood protocol whose state mixes everything heard).
+    heard_ids: Vec<EventId>,
 }
 
 impl BruteNode {
@@ -80,6 +92,7 @@ impl BruteNode {
             started: false,
             flood: FloodState::new(),
             reports: BTreeMap::new(),
+            heard_ids: Vec::new(),
         }
     }
 
@@ -114,6 +127,12 @@ impl NodeLogic<BruteEnvelope> for BruteNode {
             self.start(&mut out);
         }
         let inbox: Vec<BruteMsg> = ctx.inbox().iter().map(|m| m.msg.msg.clone()).collect();
+        for i in 0..inbox.len() {
+            let id = ctx.delivery_id(i);
+            if id.is_some() {
+                self.heard_ids.push(id);
+            }
+        }
         for msg in inbox {
             if self.flood.first_sighting(msg.clone()) {
                 if let BruteMsg::Report { id, value } = msg {
@@ -124,6 +143,9 @@ impl NodeLogic<BruteEnvelope> for BruteNode {
             if matches!(msg, BruteMsg::Start) && !self.started {
                 self.start(&mut out);
             }
+        }
+        if !out.is_empty() {
+            ctx.send_caused_by(&self.heard_ids);
         }
         for m in out {
             ctx.send(BruteEnvelope::new(m, self.id_bits, self.value_bits));
@@ -171,6 +193,35 @@ pub fn run_brute<C: Caaf>(
     c: u32,
     global_offset: Round,
 ) -> BruteReport {
+    run_brute_core(op, inst, schedule, c, global_offset, None).0
+}
+
+/// [`run_brute`] with an in-memory [`netsim::Trace`] capturing the causal
+/// event log (every message carries kind `"fallback"`). Used by the traced
+/// tradeoff driver and `ftagg-cli explain`.
+pub fn run_brute_traced<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    global_offset: Round,
+) -> (BruteReport, netsim::Trace) {
+    let (report, sink) =
+        run_brute_core(op, inst, schedule, c, global_offset, Some(Box::new(netsim::Trace::new())));
+    let sink = sink.expect("engine returns the sink it was given");
+    let trace =
+        sink.as_any().downcast_ref::<netsim::Trace>().expect("we installed a Trace").clone();
+    (report, trace)
+}
+
+fn run_brute_core<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    global_offset: Round,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (BruteReport, Option<Box<dyn TraceSink>>) {
     let model = inst.model(c);
     let id_bits = model.id_bits();
     let value_bits = op.value_bits(model.n, model.max_input);
@@ -180,13 +231,18 @@ pub fn run_brute<C: Caaf>(
         Engine::new(inst.graph.clone(), schedule, |v| {
             BruteNode::new(v, root, inputs[v.index()], id_bits, value_bits)
         });
+    if let Some(sink) = sink {
+        eng.set_sink(sink);
+    }
     // Start bit spreads in ≤ cd rounds; the farthest report needs ≤ cd
     // more, arriving in round 2cd + 1; +1 slack for the boundary.
     let horizon = 2 * model.cd() + 2;
     let run = eng.run(horizon);
     let result = eng.node(root).result(op);
     let correct = inst.correct_interval(op, global_offset + run.rounds).contains(result);
-    BruteReport { result, rounds: run.rounds, metrics: eng.metrics().clone(), correct }
+    let report =
+        BruteReport { result, rounds: run.rounds, metrics: eng.metrics().clone(), correct };
+    (report, eng.take_sink())
 }
 
 #[cfg(test)]

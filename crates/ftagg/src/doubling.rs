@@ -13,11 +13,12 @@
 //! failures the adversary still has left to spend, the stage must accept.
 //! A final brute-force fallback keeps the worst case bounded.
 
-use crate::baselines::brute::run_brute;
+use crate::baselines::brute::{run_brute, run_brute_traced};
 use crate::config::Instance;
-use crate::run::run_pair_with_schedule;
+use crate::pair::Tweaks;
+use crate::run::{run_pair_traced, run_pair_with_schedule};
 use caaf::Caaf;
-use netsim::{Metrics, Round};
+use netsim::{Event, Metrics, Round, Trace};
 
 /// Configuration for the doubling wrapper.
 #[derive(Clone, Copy, Debug)]
@@ -108,6 +109,74 @@ pub fn run_doubling<C: Caaf>(op: &C, inst: &Instance, cfg: &DoublingConfig) -> D
     }
 }
 
+/// [`run_doubling`] with every stage traced into one merged causal event
+/// log on the global timeline. Each stage's messages are re-tagged with the
+/// blanket kind `"doubling-stage"` (via [`Tweaks::kind_override`]) so the
+/// blame analysis attributes the wrapper's CC as a whole; stage windows
+/// appear as `PhaseEnter`/`PhaseExit` markers and rejected stages'
+/// `Decide` events are stripped, leaving exactly one decision.
+///
+/// Tracing is passive: the returned [`DoublingReport`] is identical to
+/// [`run_doubling`]'s for the same inputs.
+pub fn run_doubling_traced<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    cfg: &DoublingConfig,
+) -> (DoublingReport, Trace) {
+    let tweaks = Tweaks { kind_override: Some("doubling-stage"), ..Tweaks::default() };
+    let mut metrics = Metrics::new(inst.n());
+    let mut trace = Trace::new();
+    let mut offset: Round = 0;
+    for k in 0..cfg.max_stages {
+        let guess: u64 = 1 << k;
+        let t = guess.min(u32::MAX as u64) as u32;
+        let shifted = inst.schedule.shifted(offset);
+        let (rep, mut stage_trace) =
+            run_pair_traced(op, inst, shifted, cfg.c, t, true, offset, tweaks);
+        if !rep.accepted() {
+            stage_trace.retain(|e| !matches!(e, Event::Decide { .. }));
+        }
+        metrics.push_span(format!("stage {k}"), offset + 1, offset + rep.rounds);
+        metrics.absorb_shifted(&rep.metrics, offset);
+        trace.push(Event::PhaseEnter { round: offset + 1, label: format!("stage {k}") });
+        trace.absorb_shifted(&stage_trace, offset);
+        trace.push(Event::PhaseExit { round: offset + rep.rounds, label: format!("stage {k}") });
+        offset += rep.rounds;
+        if rep.accepted() {
+            let result = rep.result().expect("accepted implies a result");
+            let report = DoublingReport {
+                result,
+                correct: inst.correct_interval(op, offset).contains(result),
+                stages: k + 1,
+                final_guess: guess,
+                rounds: offset,
+                metrics,
+                used_fallback: false,
+            };
+            return (report, trace);
+        }
+    }
+    let shifted = inst.schedule.shifted(offset);
+    let (rep, brute_trace) = run_brute_traced(op, inst, shifted, cfg.c, offset);
+    metrics.push_span("fallback", offset + 1, offset + rep.rounds);
+    metrics.absorb_shifted(&rep.metrics, offset);
+    trace.push(Event::PhaseEnter { round: offset + 1, label: "fallback".into() });
+    trace.absorb_shifted(&brute_trace, offset);
+    trace.push(Event::PhaseExit { round: offset + rep.rounds, label: "fallback".into() });
+    offset += rep.rounds;
+    trace.push(Event::Decide { round: offset, node: inst.root, value: rep.result });
+    let report = DoublingReport {
+        result: rep.result,
+        correct: rep.correct,
+        stages: cfg.max_stages,
+        final_guess: 0,
+        rounds: offset,
+        metrics,
+        used_fallback: true,
+    };
+    (report, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +216,38 @@ mod tests {
         assert!(r.correct, "doubling must stay correct, got {}", r.result);
         assert!(!r.used_fallback);
         assert!(r.stages >= 2, "the stage-1 failure must be noticed");
+    }
+
+    #[test]
+    fn traced_doubling_tags_everything_as_doubling_stage() {
+        // A failure inside stage 1's window forces a second stage; the
+        // merged trace must still carry one decision, and every send must
+        // wear the wrapper's blanket kind.
+        let g = topology::cycle(6);
+        let cd = 2 * g.diameter() as u64;
+        let action_of_1 = (2 * cd + 1) + (cd - 1 + 1);
+        let mut s = FailureSchedule::none();
+        s.crash(NodeId(1), action_of_1);
+        let i = inst(g, vec![1; 6], s);
+        let cfg = DoublingConfig { c: 2, max_stages: 8 };
+        let plain = run_doubling(&Sum, &i, &cfg);
+        let (rep, trace) = run_doubling_traced(&Sum, &i, &cfg);
+        assert_eq!(rep.result, plain.result);
+        assert_eq!(rep.rounds, plain.rounds);
+        assert_eq!(rep.stages, plain.stages);
+        assert_eq!(rep.metrics.max_bits(), plain.metrics.max_bits());
+        let mut sends = 0;
+        for e in trace.events() {
+            if let Event::Send { kind, .. } = e {
+                assert_eq!(kind, "doubling-stage");
+                sends += 1;
+            }
+        }
+        assert!(sends > 0, "traced run saw no sends");
+        let decides = trace.events().iter().filter(|e| matches!(e, Event::Decide { .. })).count();
+        assert_eq!(decides, 1);
+        let blame = netsim::Blame::from_trace(&trace);
+        assert_eq!(blame.kinds(), vec!["doubling-stage".to_string()]);
     }
 
     #[test]

@@ -63,4 +63,4 @@ pub use monitored::{
     MonitoredPair,
 };
 pub use pair::{AggOutcome, NodeSnapshot, PairNode, PairParams};
-pub use run::{run_pair, run_pair_with_schedule, run_pair_with_sink, PairReport};
+pub use run::{run_pair, run_pair_traced, run_pair_with_schedule, run_pair_with_sink, PairReport};

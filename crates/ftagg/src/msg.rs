@@ -158,6 +158,28 @@ impl AggMsg {
         }
     }
 
+    /// The communication-blame kind of this message, for the tracer's
+    /// per-kind bit attribution (`netsim::causal::Blame`): which stage of
+    /// the paper's AGG+VERI pair the bits belong to. The grouping follows
+    /// the pseudocode — the tree wave (Algorithm 2 lines 1–9), AGG's
+    /// convergecast/abort traffic, VERI's failure-detection dialogue, and
+    /// the interval-sampling floods of Algorithm 1.
+    pub fn blame_kind(&self) -> &'static str {
+        match self {
+            AggMsg::TreeConstruct { .. } | AggMsg::Ack { .. } => "tree-construct",
+            AggMsg::Aggregation { .. } | AggMsg::CriticalFailure { .. } | AggMsg::AggAbort => {
+                "aggregate"
+            }
+            AggMsg::FloodedPsum { .. } | AggMsg::Determination { .. } => "interval-sample",
+            AggMsg::DetectFailedParent
+            | AggMsg::FailedParent { .. }
+            | AggMsg::DetectFailedChild
+            | AggMsg::FailedChild { .. }
+            | AggMsg::LfcVerdict { .. }
+            | AggMsg::VeriOverflow => "veri",
+        }
+    }
+
     /// Writes the canonical encoding (exactly [`AggMsg::bit_len`] bits).
     ///
     /// # Panics
@@ -267,19 +289,36 @@ pub struct Envelope {
     /// The payload.
     pub msg: AggMsg,
     bits: u64,
+    /// Blame kind the tracer attributes this message to (defaults to
+    /// [`AggMsg::blame_kind`]; drivers may override, e.g. the doubling
+    /// baseline tags everything "doubling-stage").
+    kind: &'static str,
 }
 
 impl Envelope {
-    /// Seals `msg` under `ctx`, caching its exact encoded size.
+    /// Seals `msg` under `ctx`, caching its exact encoded size and default
+    /// blame kind.
     pub fn new(msg: AggMsg, ctx: &WireCtx) -> Self {
         let bits = msg.bit_len(ctx);
-        Envelope { msg, bits }
+        let kind = msg.blame_kind();
+        Envelope { msg, bits, kind }
+    }
+
+    /// Like [`Envelope::new`] but attributing the bits to `kind` instead
+    /// of the message's default blame kind.
+    pub fn with_kind(msg: AggMsg, ctx: &WireCtx, kind: &'static str) -> Self {
+        let bits = msg.bit_len(ctx);
+        Envelope { msg, bits, kind }
     }
 }
 
 impl netsim::Message for Envelope {
     fn bit_len(&self) -> u64 {
         self.bits
+    }
+
+    fn kind(&self) -> &'static str {
+        self.kind
     }
 }
 

@@ -56,11 +56,17 @@ pub struct Tweaks {
     /// (paper: yes). With `false`, any critical failure silently discards
     /// its subtree's live inputs — the O(1)-TC recovery disappears.
     pub speculative_flooding: bool,
+    /// Overrides the per-message blame kind every envelope is tagged with
+    /// (default: each message's own [`AggMsg::blame_kind`]). Purely
+    /// observational — tags only affect trace attribution, never bits or
+    /// behavior. Used by drivers that reattribute a whole pair execution,
+    /// e.g. the doubling baseline tagging its stages "doubling-stage".
+    pub kind_override: Option<&'static str>,
 }
 
 impl Default for Tweaks {
     fn default() -> Self {
-        Tweaks { ancestor_factor: 2, speculative_flooding: true }
+        Tweaks { ancestor_factor: 2, speculative_flooding: true, kind_override: None }
     }
 }
 
@@ -177,6 +183,13 @@ pub struct PairNode<C: Caaf> {
     veri_bits: u64,
     aborted: bool,
     veri_overflow: bool,
+
+    // Causal lineage: ids of every delivery consumed so far, declared as
+    // the causes of each broadcast. The protocol's floods mix all received
+    // state, so the sound annotation is the cumulative set (equal to the
+    // tracer's conservative closure, but recorded explicitly end-to-end).
+    // Empty while tracing is off — zero cost on untraced runs.
+    heard_ids: Vec<netsim::EventId>,
 }
 
 impl<C: Caaf> PairNode<C> {
@@ -216,6 +229,7 @@ impl<C: Caaf> PairNode<C> {
             veri_bits: 0,
             aborted: false,
             veri_overflow: false,
+            heard_ids: Vec::new(),
         }
     }
 
@@ -557,8 +571,15 @@ impl<C: Caaf> PairNode<C> {
                 .map(|m| m.bit_len(&self.wire))
                 .sum::<u64>();
         }
+        if !out.is_empty() {
+            ctx.send_caused_by(&self.heard_ids);
+        }
         for m in out {
-            ctx.send(Envelope::new(m, &self.wire));
+            let env = match self.params.tweaks.kind_override {
+                Some(kind) => Envelope::with_kind(m, &self.wire, kind),
+                None => Envelope::new(m, &self.wire),
+            };
+            ctx.send(env);
         }
     }
 
@@ -656,6 +677,14 @@ impl<C: Caaf> NodeLogic<Envelope> for PairNode<C> {
             return;
         }
         let senders: BTreeSet<NodeId> = ctx.inbox().iter().map(|m| m.from).collect();
+        // Remember this round's delivery ids for causal declarations (the
+        // ids are NONE — and skipped — when tracing is off).
+        for i in 0..ctx.inbox().len() {
+            let id = ctx.delivery_id(i);
+            if id.is_some() {
+                self.heard_ids.push(id);
+            }
+        }
         let mut out = Vec::new();
         // Borrow dance: inbox is borrowed from ctx, so copy what actions need.
         let inbox: Vec<Received<Envelope>> = ctx.inbox().to_vec();

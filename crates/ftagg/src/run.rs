@@ -125,6 +125,39 @@ pub fn run_pair_with_sink<C: Caaf>(
     (report, sink.expect("engine returns the sink it was given"))
 }
 
+/// [`run_pair_with_sink`] specialized to an in-memory [`netsim::Trace`]
+/// with explicit ablation [`Tweaks`]: returns the report plus the full
+/// causal event log (schema v2 — ids, kinds, lineage), ready for
+/// [`netsim::CausalDag`]. The tradeoff/doubling traced drivers and
+/// `ftagg-cli explain` build on this.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_traced<C: Caaf>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+    global_offset: Round,
+    tweaks: Tweaks,
+) -> (PairReport, netsim::Trace) {
+    let (report, sink) = run_pair_core(
+        op,
+        inst,
+        schedule,
+        c,
+        t,
+        run_veri,
+        global_offset,
+        tweaks,
+        Some(Box::new(netsim::Trace::new())),
+    );
+    let sink = sink.expect("engine returns the sink it was given");
+    let trace =
+        sink.as_any().downcast_ref::<netsim::Trace>().expect("we installed a Trace").clone();
+    (report, trace)
+}
+
 /// The one driver all `run_pair*` fronts share: builds the engine,
 /// attributes the AGG and VERI round windows as metrics phases (mirrored
 /// to the sink when one is installed), runs to the pair's round budget,

@@ -14,13 +14,14 @@
 //! `min(x, f + 1, log N)` pairs run, each costing `O((t + 1) log N)` bits,
 //! plus an `O(log N)` expected contribution from the rare fallback.
 
-use crate::baselines::brute::run_brute;
+use crate::baselines::brute::{run_brute, run_brute_traced};
 use crate::config::Instance;
 use crate::interval::IntervalLayout;
 use crate::monitored::run_pair_monitored;
-use crate::run::run_pair_with_schedule;
+use crate::pair::Tweaks;
+use crate::run::{run_pair_traced, run_pair_with_schedule};
 use caaf::Caaf;
-use netsim::{Metrics, MonitorReport, Round};
+use netsim::{Event, Metrics, MonitorReport, Round, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,6 +111,96 @@ pub fn run_tradeoff_monitored<C: Caaf + 'static>(
 ) -> (TradeoffReport, MonitorReport) {
     let (report, monitor) = run_tradeoff_core(op, inst, cfg, Some(strict));
     (report, monitor.expect("monitoring was requested"))
+}
+
+/// [`run_tradeoff`] with every sub-execution traced into one merged causal
+/// event log on the global timeline (schema v2: event ids, message kinds,
+/// lineage). Interval windows appear as `PhaseEnter`/`PhaseExit` markers
+/// mirroring the metrics spans; a rejected pair's `Decide` event (AGG
+/// produced a value but VERI said no) is stripped so the merged trace
+/// carries exactly one decision — the run's actual output, at the run's
+/// actual termination round. Feed the trace to [`netsim::CausalDag`] or
+/// `ftagg-cli explain`.
+///
+/// Tracing is passive: the returned [`TradeoffReport`] is identical to
+/// [`run_tradeoff`]'s for the same inputs.
+pub fn run_tradeoff_traced<C: Caaf + 'static>(
+    op: &C,
+    inst: &Instance,
+    cfg: &TradeoffConfig,
+) -> (TradeoffReport, Trace) {
+    let model = inst.model(cfg.c);
+    let layout = IntervalLayout::new(cfg.b, cfg.c, model.d).unwrap_or_else(|e| panic!("{e}"));
+    let x = layout.x();
+    let t = layout.t(cfg.f);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let draws = u64::from(model.id_bits()).max(1);
+    let mut ys: Vec<u64> = (0..draws).map(|_| rng.gen_range(1..=x)).collect();
+    ys.sort_unstable();
+    ys.dedup();
+
+    let mut metrics = Metrics::new(inst.n());
+    let mut trace = Trace::new();
+    let mut pairs_run = 0;
+    for &y in &ys {
+        let offset: Round = layout.pair_offset(y);
+        let shifted = inst.schedule.shifted(offset);
+        let (rep, mut pair_trace) =
+            run_pair_traced(op, inst, shifted, cfg.c, t, true, offset, Tweaks::default());
+        if !rep.accepted() {
+            // AGG may have produced a value that VERI then rejected; that
+            // is not the run's decision, so it must not read as one.
+            pair_trace.retain(|e| !matches!(e, Event::Decide { .. }));
+        }
+        let (win_lo, win_hi) = layout.interval_window(y);
+        metrics.push_span(format!("interval {y}"), win_lo, win_hi);
+        metrics.absorb_shifted(&rep.metrics, offset);
+        trace.push(Event::PhaseEnter { round: win_lo, label: format!("interval {y}") });
+        trace.absorb_shifted(&pair_trace, offset);
+        trace.push(Event::PhaseExit { round: win_hi, label: format!("interval {y}") });
+        pairs_run += 1;
+        if rep.accepted() {
+            let result = rep.result().expect("accepted implies a result");
+            let rounds = offset + rep.rounds;
+            let report = TradeoffReport {
+                result,
+                correct: inst.correct_interval(op, rounds).contains(result),
+                rounds,
+                flooding_rounds: model.to_flooding_rounds(rounds),
+                metrics,
+                pairs_run,
+                used_fallback: false,
+                x,
+                t,
+            };
+            return (report, trace);
+        }
+    }
+
+    let offset: Round = layout.fallback_start() - 1;
+    let shifted = inst.schedule.shifted(offset);
+    let (rep, brute_trace) = run_brute_traced(op, inst, shifted, cfg.c, offset);
+    let rounds = offset + rep.rounds;
+    metrics.push_span("fallback", offset + 1, rounds);
+    metrics.absorb_shifted(&rep.metrics, offset);
+    trace.push(Event::PhaseEnter { round: offset + 1, label: "fallback".into() });
+    trace.absorb_shifted(&brute_trace, offset);
+    trace.push(Event::PhaseExit { round: rounds, label: "fallback".into() });
+    // The brute protocol has no in-protocol decide; the driver reads the
+    // root's aggregate at the horizon. Record that as the run's decision.
+    trace.push(Event::Decide { round: rounds, node: inst.root, value: rep.result });
+    let report = TradeoffReport {
+        result: rep.result,
+        correct: rep.correct,
+        rounds,
+        flooding_rounds: model.to_flooding_rounds(rounds),
+        metrics,
+        pairs_run,
+        used_fallback: true,
+        x,
+        t,
+    };
+    (report, trace)
 }
 
 /// The shared Algorithm 1 driver; `monitor` is `Some(strict)` to run every
@@ -284,6 +375,31 @@ mod tests {
             assert_eq!(rep.rounds, plain.rounds);
             assert_eq!(rep.pairs_run, plain.pairs_run);
             assert_eq!(rep.metrics.max_bits(), plain.metrics.max_bits());
+        }
+    }
+
+    #[test]
+    fn traced_runs_match_plain_and_carry_one_decision() {
+        let i = inst(topology::grid(3, 3), (1..=9).collect(), FailureSchedule::none());
+        let cfg = TradeoffConfig { b: 42, c: 1, f: 4, seed: 9 };
+        let plain = run_tradeoff(&Sum, &i, &cfg);
+        let (rep, trace) = run_tradeoff_traced(&Sum, &i, &cfg);
+        // Tracing is passive: same execution, same numbers.
+        assert_eq!(rep.result, plain.result);
+        assert_eq!(rep.rounds, plain.rounds);
+        assert_eq!(rep.metrics.max_bits(), plain.metrics.max_bits());
+        // Exactly one decision — the run's output at its termination round.
+        let decides: Vec<&Event> =
+            trace.events().iter().filter(|e| matches!(e, Event::Decide { .. })).collect();
+        assert_eq!(decides.len(), 1);
+        assert_eq!(
+            *decides[0],
+            Event::Decide { round: rep.rounds, node: i.root, value: rep.result }
+        );
+        // The merged trace replays to the run's per-node bit meters.
+        let replay = trace.replay_metrics();
+        for v in i.graph.nodes() {
+            assert_eq!(replay.bits_of(v), rep.metrics.bits_of(v), "node {v:?}");
         }
     }
 

@@ -1,0 +1,635 @@
+//! Causal provenance: the message-lineage DAG behind a traced execution,
+//! and the three analyses the `explain` tooling builds on it.
+//!
+//! A schema-v2 trace carries enough lineage to reconstruct *why* the run
+//! ended when it did and *where* the bits went:
+//!
+//! - every `Send`/`Deliver` has an engine-assigned [`EventId`];
+//! - every `Deliver` points at the producing `Send` (`src`);
+//! - a `Send` may declare the deliveries it depended on (`causes`, via
+//!   `RoundCtx::send_caused_by`); when it declares nothing, this module
+//!   falls back to the conservative closure — *all* deliveries the node
+//!   had received by that round — which over-approximates but never
+//!   misses a dependency.
+//!
+//! The DAG's vertices are `Send` events (plus the terminal `Decide`);
+//! deliveries are the edges. Because a message broadcast in round `r` is
+//! consumed in round `r + 1` at the earliest, every edge points from a
+//! strictly earlier round to a later one — the DAG is acyclic by
+//! construction (`tests/prop_causal.rs` pins it).
+//!
+//! Three analyses:
+//!
+//! 1. **Critical path** ([`CausalDag::critical_path`]) — the causal chain
+//!    into the decision that explains the most latency (earliest start,
+//!    then fewest idle rounds), attributing TC to concrete
+//!    node/round/kind hops with per-hop slack.
+//! 2. **CC blame** ([`Blame`]) — per-node, per-message-kind bit
+//!    attribution; because the engine emits one `Send` event per kind
+//!    with bits summed per kind, blame *partitions*
+//!    `Metrics::bits_of` exactly for every node.
+//! 3. **Coverage audit** ([`CausalDag::coverage`]) — walks the DAG
+//!    backward from the decision to report which nodes' broadcasts are
+//!    provably included in the output versus unreachable (crashed or
+//!    partitioned), cross-checkable against the paper's surviving set
+//!    `s1`.
+//!
+//! v1 traces (no lineage) still work: with every `src`/`causes` absent,
+//! the conservative fallback reconstructs the full "could have
+//! influenced" DAG from rounds alone.
+
+use crate::adversary::Round;
+use crate::graph::NodeId;
+use crate::trace::{Event, EventId, Trace};
+use std::collections::{BTreeMap, HashMap};
+
+/// Blame bucket for `Send` events with an empty kind tag.
+pub const UNTAGGED: &str = "(untagged)";
+
+/// One broadcast on the critical path (or the terminal decision's
+/// predecessor chain).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// The broadcasting node.
+    pub node: NodeId,
+    /// The round of the broadcast.
+    pub round: Round,
+    /// The message kind ([`UNTAGGED`] if the send was untagged).
+    pub kind: String,
+    /// Bits of the broadcast (of this kind).
+    pub bits: u64,
+    /// Idle rounds between this broadcast and the next hop consuming it:
+    /// `next.round - round - 1` (0 = the chain advanced every round).
+    pub slack: Round,
+}
+
+/// The longest causal chain terminating at the decision: the run's
+/// termination-time explanation.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// The chain's broadcasts in causal order; the last hop's message is
+    /// what the deciding node consumed.
+    pub hops: Vec<Hop>,
+    /// The deciding node (the root in the paper's protocols).
+    pub decide_node: NodeId,
+    /// The decision round — by definition the path's length in rounds,
+    /// counted from the execution's first round.
+    pub decide_round: Round,
+    /// The decided value.
+    pub decide_value: u64,
+}
+
+impl CriticalPath {
+    /// The path's length in rounds — the decision round itself, since the
+    /// chain (plus any schedule wait before its first hop) spans the whole
+    /// execution from round 1 to the decision.
+    pub fn length_rounds(&self) -> Round {
+        self.decide_round
+    }
+
+    /// Rounds before the chain's first broadcast (schedule wait: non-zero
+    /// when the decisive work started in a later Algorithm 1 interval).
+    pub fn lead_in(&self) -> Round {
+        self.hops.first().map_or(self.decide_round.saturating_sub(1), |h| h.round - 1)
+    }
+
+    /// Total idle rounds along the chain (sum of hop slack, including the
+    /// final wait before the decision).
+    pub fn total_slack(&self) -> Round {
+        self.hops.iter().map(|h| h.slack).sum()
+    }
+}
+
+/// Per-node, per-message-kind communication attribution. Built from the
+/// per-kind `Send` events of a trace, so for every node the kinds sum to
+/// exactly that node's `Metrics::bits_of`.
+#[derive(Clone, Debug, Default)]
+pub struct Blame {
+    per_node: Vec<BTreeMap<String, u64>>,
+}
+
+impl Blame {
+    /// Builds blame tables from a trace's `Send` events.
+    pub fn from_trace(trace: &Trace) -> Blame {
+        let n =
+            trace.events().iter().filter_map(Event::node).map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut per_node = vec![BTreeMap::new(); n];
+        for e in trace.events() {
+            if let Event::Send { node, bits, kind, .. } = e {
+                let key = if kind.is_empty() { UNTAGGED } else { kind.as_str() };
+                *per_node[node.index()].entry(key.to_string()).or_insert(0) += bits;
+            }
+        }
+        Blame { per_node }
+    }
+
+    /// Number of nodes covered (largest node index mentioned + 1).
+    pub fn n(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// All kinds appearing anywhere, sorted.
+    pub fn kinds(&self) -> Vec<String> {
+        let mut all: Vec<String> = self.per_node.iter().flat_map(|m| m.keys().cloned()).collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    /// Bits node `v` spent on `kind` (0 if none).
+    pub fn bits(&self, v: NodeId, kind: &str) -> u64 {
+        self.per_node.get(v.index()).and_then(|m| m.get(kind)).copied().unwrap_or(0)
+    }
+
+    /// Node `v`'s total over all kinds — must equal `Metrics::bits_of(v)`
+    /// for a complete trace (the partition property).
+    pub fn node_total(&self, v: NodeId) -> u64 {
+        self.per_node.get(v.index()).map_or(0, |m| m.values().sum())
+    }
+
+    /// Total bits of one kind across all nodes.
+    pub fn kind_total(&self, kind: &str) -> u64 {
+        self.per_node.iter().filter_map(|m| m.get(kind)).sum()
+    }
+}
+
+/// Result of the coverage audit: which nodes' broadcasts are provably on
+/// a causal path into the decision.
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    /// Nodes with at least one broadcast backward-reachable from the
+    /// decision (the deciding node always included), sorted.
+    pub included: Vec<NodeId>,
+    /// The rest of the nodes, sorted — crashed, partitioned, or simply
+    /// causally irrelevant to the decision.
+    pub excluded: Vec<NodeId>,
+    /// Nodes with a `Crash` event, sorted by node id.
+    pub crashed: Vec<NodeId>,
+    /// The decision this audit is anchored at, if the trace has one.
+    pub decide: Option<(NodeId, Round)>,
+}
+
+/// One `Send` vertex of the provenance DAG.
+#[derive(Clone, Debug)]
+struct SendRec {
+    node: NodeId,
+    round: Round,
+    bits: u64,
+    kind: String,
+}
+
+/// The message-lineage DAG of one traced execution. Vertices are `Send`
+/// events in trace (= round) order; edges go from a producing send to
+/// each send that consumed one of its deliveries. The terminal `Decide`
+/// (the **last** decide event — merged Algorithm 1 traces keep only the
+/// accepted interval's) hangs off the sends its node had consumed.
+#[derive(Clone, Debug)]
+pub struct CausalDag {
+    n: usize,
+    sends: Vec<SendRec>,
+    /// `parents[i]`: indices of sends that causally precede send `i`
+    /// (sorted, deduplicated; always strictly earlier rounds).
+    parents: Vec<Vec<usize>>,
+    decide: Option<(NodeId, Round, u64)>,
+    decide_parents: Vec<usize>,
+    crashed: Vec<(NodeId, Round)>,
+    truncated: bool,
+}
+
+impl CausalDag {
+    /// Builds the DAG from a trace, applying the conservative fallback
+    /// wherever explicit lineage is absent (v1 traces, protocols that
+    /// never call `send_caused_by`, ring-truncated streams).
+    pub fn from_trace(trace: &Trace) -> CausalDag {
+        let n =
+            trace.events().iter().filter_map(Event::node).map(|v| v.index() + 1).max().unwrap_or(0);
+
+        // Pass 1: collect vertices and delivery records.
+        struct DeliverRec {
+            round: Round,
+            from: NodeId,
+            src: EventId,
+        }
+        let mut sends: Vec<SendRec> = Vec::new();
+        let mut send_by_id: HashMap<u64, usize> = HashMap::new();
+        // Producing-send lookup for deliveries without a resolvable `src`.
+        let mut sends_at: HashMap<(NodeId, Round), Vec<usize>> = HashMap::new();
+        let mut delivers: Vec<DeliverRec> = Vec::new();
+        let mut deliver_by_id: HashMap<u64, usize> = HashMap::new();
+        // Per node, delivery indices in round order (trace order).
+        let mut delivers_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut send_causes: Vec<Vec<EventId>> = Vec::new();
+        let mut decide = None;
+        let mut crashed: Vec<(NodeId, Round)> = Vec::new();
+        for e in trace.events() {
+            match e {
+                Event::Send { round, node, bits, kind, id, causes, .. } => {
+                    let idx = sends.len();
+                    sends.push(SendRec {
+                        node: *node,
+                        round: *round,
+                        bits: *bits,
+                        kind: kind.clone(),
+                    });
+                    send_causes.push(causes.clone());
+                    if id.is_some() {
+                        send_by_id.insert(id.0, idx);
+                    }
+                    sends_at.entry((*node, *round)).or_default().push(idx);
+                }
+                Event::Deliver { round, node, from, id, src, .. } => {
+                    let idx = delivers.len();
+                    delivers.push(DeliverRec { round: *round, from: *from, src: *src });
+                    if id.is_some() {
+                        deliver_by_id.insert(id.0, idx);
+                    }
+                    delivers_of[node.index()].push(idx);
+                }
+                Event::Decide { round, node, value } => {
+                    decide = Some((*node, *round, *value));
+                }
+                Event::Crash { round, node } => crashed.push((*node, *round)),
+                _ => {}
+            }
+        }
+
+        // A delivery's producing sends: its `src` when resolvable, else
+        // every send by `from` in the previous round.
+        let producers = |d: &DeliverRec, out: &mut Vec<usize>| {
+            if let Some(&si) = send_by_id.get(&d.src.0) {
+                if d.src.is_some() {
+                    out.push(si);
+                    return;
+                }
+            }
+            if d.round > 0 {
+                if let Some(v) = sends_at.get(&(d.from, d.round - 1)) {
+                    out.extend_from_slice(v);
+                }
+            }
+        };
+
+        // Pass 2: resolve each send's parents.
+        let mut parents: Vec<Vec<usize>> = Vec::with_capacity(sends.len());
+        let mut scratch: Vec<usize> = Vec::new();
+        for (si, s) in sends.iter().enumerate() {
+            scratch.clear();
+            let explicit = &send_causes[si];
+            if explicit.is_empty() {
+                // Conservative closure: every delivery this node had
+                // consumed by the broadcast's round.
+                for &di in &delivers_of[s.node.index()] {
+                    let d = &delivers[di];
+                    if d.round <= s.round {
+                        producers(d, &mut scratch);
+                    } else {
+                        break; // round-ordered: nothing earlier follows
+                    }
+                }
+            } else {
+                for c in explicit {
+                    if let Some(&di) = deliver_by_id.get(&c.0) {
+                        producers(&delivers[di], &mut scratch);
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            // Lineage can only point backward; drop anything that does not
+            // (defensive — ring-truncated or hand-edited traces).
+            scratch.retain(|&p| sends[p].round < s.round);
+            parents.push(scratch.clone());
+        }
+
+        // The decision depends on everything its node had consumed.
+        let mut decide_parents = Vec::new();
+        if let Some((node, round, _)) = decide {
+            scratch.clear();
+            for &di in &delivers_of[node.index()] {
+                let d = &delivers[di];
+                if d.round <= round {
+                    producers(d, &mut scratch);
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            scratch.retain(|&p| sends[p].round < round || sends[p].node == node);
+            decide_parents = scratch.clone();
+        }
+
+        crashed.sort_unstable_by_key(|&(v, _)| v);
+        CausalDag {
+            n,
+            sends,
+            parents,
+            decide,
+            decide_parents,
+            crashed,
+            truncated: trace.truncated(),
+        }
+    }
+
+    /// Number of `Send` vertices.
+    pub fn send_count(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Number of nodes mentioned anywhere in the trace.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the underlying trace was marked truncated.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The (node, round, kind, bits) of send vertex `i` (trace order).
+    pub fn send_info(&self, i: usize) -> (NodeId, Round, &str, u64) {
+        let s = &self.sends[i];
+        (s.node, s.round, &s.kind, s.bits)
+    }
+
+    /// The parent vertices (causal predecessors) of send `i`.
+    pub fn parents_of(&self, i: usize) -> &[usize] {
+        &self.parents[i]
+    }
+
+    /// The terminal decision, if the trace has one.
+    pub fn decide(&self) -> Option<(NodeId, Round, u64)> {
+        self.decide
+    }
+
+    /// All edges `(parent, child)` over send vertices.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.parents.iter().enumerate().flat_map(|(child, ps)| ps.iter().map(move |&p| (p, child)))
+    }
+
+    /// The longest causal chain terminating at the decision: among chains
+    /// into the `Decide`, the one starting earliest (explaining the most
+    /// latency — by telescoping, a chain from round `r0` explains
+    /// `decide_round - r0` rounds), tie-broken toward more hops (least
+    /// slack). `None` if the trace has no decision.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let (decide_node, decide_round, decide_value) = self.decide?;
+        // DP in vertex order (parents strictly precede children):
+        // (earliest chain start, hop count, best parent).
+        let mut best: Vec<(Round, u64, Option<usize>)> = Vec::with_capacity(self.sends.len());
+        for (i, s) in self.sends.iter().enumerate() {
+            let mut b = (s.round, 0u64, None);
+            for &p in &self.parents[i] {
+                let cand = (best[p].0, best[p].1 + 1, Some(p));
+                if cand.0 < b.0 || (cand.0 == b.0 && cand.1 > b.1) {
+                    b = cand;
+                }
+            }
+            best.push(b);
+        }
+        let last = self
+            .decide_parents
+            .iter()
+            .copied()
+            .min_by(|&a, &b| best[a].0.cmp(&best[b].0).then(best[b].1.cmp(&best[a].1)));
+        // Reconstruct the chain backward, then reverse.
+        let mut chain = Vec::new();
+        let mut cur = last;
+        while let Some(i) = cur {
+            chain.push(i);
+            cur = best[i].2;
+        }
+        chain.reverse();
+        let mut hops = Vec::with_capacity(chain.len());
+        for (k, &i) in chain.iter().enumerate() {
+            let s = &self.sends[i];
+            let next_round = chain.get(k + 1).map_or(decide_round, |&j| self.sends[j].round);
+            let kind = if s.kind.is_empty() { UNTAGGED.to_string() } else { s.kind.clone() };
+            hops.push(Hop {
+                node: s.node,
+                round: s.round,
+                kind,
+                bits: s.bits,
+                slack: next_round.saturating_sub(s.round + 1),
+            });
+        }
+        Some(CriticalPath { hops, decide_node, decide_round, decide_value })
+    }
+
+    /// Walks the DAG backward from the decision: nodes with a broadcast on
+    /// some causal path into the output are *provably included*; the rest
+    /// were lost to crashes, partitions, or never contributed.
+    pub fn coverage(&self) -> Coverage {
+        let mut reach = vec![false; self.sends.len()];
+        let mut stack: Vec<usize> = self.decide_parents.clone();
+        for &i in &stack {
+            reach[i] = true;
+        }
+        while let Some(i) = stack.pop() {
+            for &p in &self.parents[i] {
+                if !reach[p] {
+                    reach[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let mut included = vec![false; self.n];
+        if let Some((node, _, _)) = self.decide {
+            included[node.index()] = true;
+        }
+        for (i, s) in self.sends.iter().enumerate() {
+            if reach[i] {
+                included[s.node.index()] = true;
+            }
+        }
+        let inc: Vec<NodeId> =
+            (0..self.n as u32).map(NodeId).filter(|v| included[v.index()]).collect();
+        let exc: Vec<NodeId> =
+            (0..self.n as u32).map(NodeId).filter(|v| !included[v.index()]).collect();
+        Coverage {
+            included: inc,
+            excluded: exc,
+            crashed: self.crashed.iter().map(|&(v, _)| v).collect(),
+            decide: self.decide.map(|(v, r, _)| (v, r)),
+        }
+    }
+}
+
+/// Folded stacks (speedscope/inferno `a;b;c weight` lines) of a trace's
+/// communication: frames are the open phases at the send's round, then the
+/// node, then the message kind; weights are bits. Sorted by stack, merged.
+pub fn folded_stacks(trace: &Trace) -> Vec<(String, u64)> {
+    let mut open: Vec<&str> = Vec::new();
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for e in trace.events() {
+        match e {
+            Event::PhaseEnter { label, .. } => open.push(label),
+            Event::PhaseExit { .. } => {
+                open.pop();
+            }
+            Event::Send { node, bits, kind, .. } => {
+                let mut key = String::new();
+                for p in &open {
+                    key.push_str(p);
+                    key.push(';');
+                }
+                key.push_str(&format!("n{}", node.0));
+                key.push(';');
+                key.push_str(if kind.is_empty() { UNTAGGED } else { kind });
+                *agg.entry(key).or_insert(0) += bits;
+            }
+            _ => {}
+        }
+    }
+    agg.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(round: Round, node: u32, bits: u64, id: u64, kind: &str, causes: &[u64]) -> Event {
+        Event::Send {
+            round,
+            node: NodeId(node),
+            bits,
+            logical: 1,
+            id: EventId(id),
+            kind: kind.into(),
+            causes: causes.iter().map(|&c| EventId(c)).collect(),
+        }
+    }
+
+    fn deliver(round: Round, node: u32, from: u32, id: u64, src: u64) -> Event {
+        Event::Deliver {
+            round,
+            node: NodeId(node),
+            from: NodeId(from),
+            bits: 1,
+            id: EventId(id),
+            src: EventId(src),
+        }
+    }
+
+    /// A 3-node relay: n2 sends (r1) -> n1 delivers+forwards (r2) ->
+    /// n0 delivers (r3) and decides (r5).
+    fn relay() -> Trace {
+        let mut t = Trace::new();
+        t.push(send(1, 2, 10, 1, "tree-construct", &[]));
+        t.push(deliver(2, 1, 2, 2, 1));
+        t.push(send(2, 1, 7, 3, "aggregate", &[2]));
+        t.push(deliver(3, 0, 1, 4, 3));
+        t.push(Event::Decide { round: 5, node: NodeId(0), value: 42 });
+        t
+    }
+
+    #[test]
+    fn explicit_lineage_builds_the_relay_chain() {
+        let dag = CausalDag::from_trace(&relay());
+        assert_eq!(dag.send_count(), 2);
+        assert_eq!(dag.parents_of(0), &[] as &[usize]);
+        assert_eq!(dag.parents_of(1), &[0]);
+        let cp = dag.critical_path().unwrap();
+        assert_eq!(cp.length_rounds(), 5);
+        assert_eq!(cp.hops.len(), 2);
+        assert_eq!((cp.hops[0].node, cp.hops[0].round), (NodeId(2), 1));
+        assert_eq!(cp.hops[0].slack, 0);
+        // Final hop: sent r2, decision r5 -> 2 idle rounds.
+        assert_eq!(cp.hops[1].slack, 2);
+        assert_eq!(cp.total_slack(), 2);
+        assert_eq!(cp.lead_in(), 0);
+    }
+
+    #[test]
+    fn v1_trace_falls_back_to_conservative_lineage() {
+        // Same relay, but stripped of all ids/causes (as a v1 trace).
+        let mut t = Trace::new();
+        t.push(Event::send(1, NodeId(2), 10, 1));
+        t.push(Event::deliver(2, NodeId(1), NodeId(2), 1));
+        t.push(Event::send(2, NodeId(1), 7, 1));
+        t.push(Event::deliver(3, NodeId(0), NodeId(1), 7));
+        t.push(Event::Decide { round: 5, node: NodeId(0), value: 42 });
+        let dag = CausalDag::from_trace(&t);
+        assert_eq!(dag.parents_of(1), &[0]);
+        let cp = dag.critical_path().unwrap();
+        assert_eq!(cp.length_rounds(), 5);
+        assert_eq!(cp.hops.len(), 2);
+    }
+
+    #[test]
+    fn edges_point_to_strictly_earlier_rounds() {
+        let dag = CausalDag::from_trace(&relay());
+        for (p, c) in dag.edges() {
+            assert!(dag.send_info(p).1 < dag.send_info(c).1);
+        }
+    }
+
+    #[test]
+    fn blame_partitions_bits_per_node_and_kind() {
+        let mut t = relay();
+        // A second kind at n1 in the same round.
+        t.retain(|e| !matches!(e, Event::Decide { .. }));
+        t.push(send(4, 1, 3, 9, "veri", &[]));
+        t.push(send(4, 1, 2, 10, "", &[]));
+        let b = Blame::from_trace(&t);
+        assert_eq!(b.bits(NodeId(2), "tree-construct"), 10);
+        assert_eq!(b.bits(NodeId(1), "aggregate"), 7);
+        assert_eq!(b.bits(NodeId(1), "veri"), 3);
+        assert_eq!(b.bits(NodeId(1), UNTAGGED), 2);
+        assert_eq!(b.node_total(NodeId(1)), 12);
+        assert_eq!(b.kind_total("tree-construct"), 10);
+        assert_eq!(b.kinds(), vec!["(untagged)", "aggregate", "tree-construct", "veri"]);
+        let m = t.replay_metrics();
+        for v in 0..b.n() as u32 {
+            assert_eq!(b.node_total(NodeId(v)), m.bits_of(NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn coverage_includes_the_chain_and_excludes_bystanders() {
+        let mut t = relay();
+        // n3 sends but nothing of its ever reaches the root's decision.
+        t.retain(|e| !matches!(e, Event::Decide { .. }));
+        let mut t2 = Trace::new();
+        for e in t.events() {
+            t2.push(e.clone());
+        }
+        t2.push(send(3, 3, 5, 20, "", &[]));
+        t2.push(Event::Crash { round: 4, node: NodeId(3) });
+        t2.push(Event::Decide { round: 5, node: NodeId(0), value: 42 });
+        let cov = CausalDag::from_trace(&t2).coverage();
+        assert_eq!(cov.included, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(cov.excluded, vec![NodeId(3)]);
+        assert_eq!(cov.crashed, vec![NodeId(3)]);
+        assert_eq!(cov.decide, Some((NodeId(0), 5)));
+    }
+
+    #[test]
+    fn no_decide_means_no_critical_path() {
+        let mut t = Trace::new();
+        t.push(send(1, 0, 4, 1, "", &[]));
+        let dag = CausalDag::from_trace(&t);
+        assert!(dag.critical_path().is_none());
+        let cov = dag.coverage();
+        assert!(cov.decide.is_none());
+        assert_eq!(cov.included, vec![]);
+    }
+
+    #[test]
+    fn folded_stacks_nest_phases_nodes_and_kinds() {
+        let mut t = Trace::new();
+        t.push(Event::PhaseEnter { round: 1, label: "AGG".into() });
+        t.push(send(1, 0, 5, 1, "tree-construct", &[]));
+        t.push(send(1, 0, 3, 2, "tree-construct", &[]));
+        t.push(send(2, 1, 2, 3, "", &[]));
+        t.push(Event::PhaseExit { round: 3, label: "AGG".into() });
+        t.push(send(4, 0, 1, 4, "veri", &[]));
+        let folded = folded_stacks(&t);
+        assert_eq!(
+            folded,
+            vec![
+                ("AGG;n0;tree-construct".to_string(), 8),
+                ("AGG;n1;(untagged)".to_string(), 2),
+                ("n0;veri".to_string(), 1),
+            ]
+        );
+    }
+}

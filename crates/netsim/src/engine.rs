@@ -16,7 +16,7 @@
 use crate::adversary::{FailureSchedule, Round};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Metrics;
-use crate::trace::{Event, Trace, TraceSink};
+use crate::trace::{Event, EventId, Trace, TraceSink};
 use std::fmt;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -29,6 +29,14 @@ use std::time::{Duration, Instant};
 pub trait Message: Clone + fmt::Debug {
     /// Encoded size of this message in bits.
     fn bit_len(&self) -> u64;
+
+    /// Protocol-declared classification of this message ("tree-construct",
+    /// "veri", …), used by the tracer to attribute communication per kind.
+    /// The default, `""`, means "untagged"; the engine never interprets the
+    /// string beyond grouping equal tags.
+    fn kind(&self) -> &'static str {
+        ""
+    }
 }
 
 /// A message delivered to a node, tagged with its immediate sender.
@@ -58,6 +66,11 @@ pub struct RoundCtx<'a, M> {
     inbox: &'a [Received<M>],
     outbox: &'a mut Vec<M>,
     stop: &'a mut bool,
+    /// Trace ids of this round's `Deliver` events, parallel to `inbox`
+    /// (empty when tracing is off).
+    delivery_ids: &'a [EventId],
+    /// Causal dependencies declared for this round's broadcast.
+    causes: &'a mut Vec<EventId>,
 }
 
 impl<'a, M> RoundCtx<'a, M> {
@@ -88,6 +101,24 @@ impl<'a, M> RoundCtx<'a, M> {
     /// charged to this node.
     pub fn send(&mut self, msg: M) {
         self.outbox.push(msg);
+    }
+
+    /// Trace id of the `Deliver` event for `self.inbox()[idx]`, or
+    /// [`EventId::NONE`] when tracing is off. Protocol code passes these to
+    /// [`RoundCtx::send_caused_by`] to declare causal lineage.
+    pub fn delivery_id(&self, idx: usize) -> EventId {
+        self.delivery_ids.get(idx).copied().unwrap_or(EventId::NONE)
+    }
+
+    /// Declares that whatever this node broadcasts *this round* causally
+    /// depends on the given delivery events (ids from
+    /// [`RoundCtx::delivery_id`], possibly remembered from earlier rounds).
+    /// Cumulative within the round; null ids are ignored. Purely
+    /// observational — without a sink this is a no-op, and a broadcast with
+    /// no declared causes falls back to the conservative closure ("all
+    /// deliveries this node received so far") in `netsim::causal`.
+    pub fn send_caused_by(&mut self, ids: &[EventId]) {
+        self.causes.extend(ids.iter().copied().filter(|id| id.is_some()));
     }
 
     /// Requests that the whole execution stop after this round. Used by the
@@ -221,6 +252,14 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     /// buffer. Swapped with `inboxes` at each round boundary and cleared in
     /// place, so per-round allocations amortize to zero.
     next_inboxes: Vec<Vec<Received<M>>>,
+    /// Producing-`Send` event ids, parallel to `inboxes` per node. Kept
+    /// out of [`Received`] so the untraced hot path moves 16-byte inbox
+    /// entries; only populated while a sink is installed (empty queues —
+    /// and [`EventId::NONE`] deliveries — otherwise).
+    src_ids: Vec<Vec<EventId>>,
+    /// Double-buffer counterpart of `src_ids`, swapped with it alongside
+    /// the inboxes.
+    next_src_ids: Vec<Vec<EventId>>,
     /// Reusable outbox scratch handed to each node's [`RoundCtx`].
     outbox: Vec<M>,
     /// Reusable scratch for the live receiver set of one broadcast.
@@ -241,6 +280,20 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     telemetry: Telemetry,
     /// Wall-clock starts of currently open phases (innermost last).
     phase_started: Vec<(String, Instant)>,
+    /// Last assigned [`EventId`]; only advances while a sink is installed,
+    /// so untraced runs pay nothing for provenance.
+    next_event_id: u64,
+    /// Scratch: trace ids of the current node's deliveries this round.
+    delivery_ids: Vec<EventId>,
+    /// Scratch: trace ids of the current node's outbox messages, parallel
+    /// to `outbox`.
+    send_ids: Vec<EventId>,
+    /// Scratch: causal dependencies declared via
+    /// [`RoundCtx::send_caused_by`] this round.
+    causes: Vec<EventId>,
+    /// Scratch: per-kind accumulation of one node's outbox
+    /// (kind, bits, logical, event id).
+    kind_acc: Vec<(&'static str, u64, u64, EventId)>,
 }
 
 impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
@@ -271,6 +324,8 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             metrics: Metrics::new(n),
             inboxes: vec![Vec::new(); n],
             next_inboxes: vec![Vec::new(); n],
+            src_ids: vec![Vec::new(); n],
+            next_src_ids: vec![Vec::new(); n],
             outbox: Vec::new(),
             receivers: Vec::new(),
             crash_round,
@@ -284,6 +339,11 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             crash_logged: vec![false; n],
             telemetry: Telemetry::default(),
             phase_started: Vec::new(),
+            next_event_id: 0,
+            delivery_ids: Vec::new(),
+            send_ids: Vec::new(),
+            causes: Vec::new(),
+            kind_acc: Vec::new(),
         }
     }
 
@@ -402,6 +462,10 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         for q in &mut self.next_inboxes {
             q.clear();
         }
+        std::mem::swap(&mut self.src_ids, &mut self.next_src_ids);
+        for q in &mut self.next_src_ids {
+            q.clear();
+        }
         let mut stop = false;
         // Split-borrow the engine so a node's inbox, its logic, and the
         // next-round buffers can be touched in one pass.
@@ -418,8 +482,16 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             sink,
             crash_logged,
             telemetry,
+            next_event_id,
+            delivery_ids,
+            send_ids,
+            causes,
+            kind_acc,
+            src_ids,
+            next_src_ids,
             ..
         } = self;
+        let tracing = sink.is_some();
         metrics.note_round(r);
         telemetry.rounds += 1;
         let mut enqueued: u64 = 0;
@@ -434,19 +506,29 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                 }
                 continue;
             }
+            delivery_ids.clear();
             if let Some(t) = sink.as_deref_mut() {
                 // Deliveries are logged when the node consumes its inbox
-                // (this round), keeping the event log round-ordered.
-                for rcv in &inboxes[i] {
+                // (this round), keeping the event log round-ordered. Each
+                // gets a fresh id and points back at the producing send.
+                for (j, rcv) in inboxes[i].iter().enumerate() {
+                    *next_event_id += 1;
+                    let id = EventId(*next_event_id);
+                    delivery_ids.push(id);
                     t.record(&Event::Deliver {
                         round: r,
                         node: me,
                         from: rcv.from,
                         bits: rcv.msg.bit_len(),
+                        id,
+                        // NONE for deliveries enqueued before the sink
+                        // was installed (src queue shorter than inbox).
+                        src: src_ids[i].get(j).copied().unwrap_or(EventId::NONE),
                     });
                 }
             }
             outbox.clear();
+            causes.clear();
             {
                 let mut ctx = RoundCtx {
                     me,
@@ -455,6 +537,8 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                     inbox: &inboxes[i],
                     outbox: &mut *outbox,
                     stop: &mut stop,
+                    delivery_ids: &*delivery_ids,
+                    causes: &mut *causes,
                 };
                 nodes[i].on_round(&mut ctx);
             }
@@ -463,8 +547,39 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             }
             let bits: u64 = outbox.iter().map(Message::bit_len).sum();
             metrics.record_send(me, r, bits, outbox.len() as u64);
+            send_ids.clear();
             if let Some(t) = sink.as_deref_mut() {
-                t.record(&Event::Send { round: r, node: me, bits, logical: outbox.len() as u64 });
+                // Group the outbox by message kind and emit one Send event
+                // per kind, so per-kind bits partition the node's round
+                // total exactly (the metrics above still see one combined
+                // broadcast). Outboxes hold a handful of kinds at most, so
+                // a linear scan beats hashing.
+                kind_acc.clear();
+                for m in outbox.iter() {
+                    let k = m.kind();
+                    let slot = match kind_acc.iter().position(|g| g.0 == k) {
+                        Some(p) => p,
+                        None => {
+                            *next_event_id += 1;
+                            kind_acc.push((k, 0, 0, EventId(*next_event_id)));
+                            kind_acc.len() - 1
+                        }
+                    };
+                    kind_acc[slot].1 += m.bit_len();
+                    kind_acc[slot].2 += 1;
+                    send_ids.push(kind_acc[slot].3);
+                }
+                for &(k, kind_bits, logical, id) in kind_acc.iter() {
+                    t.record(&Event::Send {
+                        round: r,
+                        node: me,
+                        bits: kind_bits,
+                        logical,
+                        id,
+                        kind: k.to_string(),
+                        causes: causes.clone(),
+                    });
+                }
             }
             // Deliveries for round r + 1. A sender crashing exactly at
             // r + 1 may have its final broadcast restricted to a subset.
@@ -486,10 +601,16 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                 continue;
             }
             // One allocation per logical message; every recipient shares it.
-            for msg in outbox.drain(..) {
+            for (mi, msg) in outbox.drain(..).enumerate() {
                 let shared = Rc::new(msg);
                 for &w in receivers.iter() {
                     next_inboxes[w.index()].push(Received { from: me, msg: Rc::clone(&shared) });
+                }
+                if tracing {
+                    let send_id = send_ids.get(mi).copied().unwrap_or(EventId::NONE);
+                    for &w in receivers.iter() {
+                        next_src_ids[w.index()].push(send_id);
+                    }
                 }
                 enqueued += receivers.len() as u64;
             }

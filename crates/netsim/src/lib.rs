@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod causal;
 pub mod engine;
 pub mod flood;
 pub mod graph;
@@ -58,6 +59,7 @@ pub mod topology;
 pub mod trace;
 
 pub use adversary::{CrashEvent, FailureSchedule, Round};
+pub use causal::{folded_stacks, Blame, CausalDag, Coverage, CriticalPath, Hop, UNTAGGED};
 pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause, Telemetry};
 pub use flood::FloodState;
 pub use graph::{Edge, Graph, GraphError, NodeId};
@@ -66,4 +68,7 @@ pub use monitor::{
     BudgetRule, DecideCheck, MonitorConfig, MonitorReport, Violation, ViolationKind, Watchdog,
 };
 pub use runner::{Histogram, PhaseAgg, Runner, TrialStats, TrialSummary};
-pub use trace::{Event, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_VERSION};
+pub use trace::{
+    Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,
+    TRACE_SCHEMA_VERSION,
+};

@@ -459,7 +459,7 @@ impl TraceSink for Watchdog {
                     }
                 }
             }
-            Event::Deliver { round, node, from, bits } => {
+            Event::Deliver { round, node, from, bits, .. } => {
                 self.report.delivers += 1;
                 self.check_alive(*round, *node, "deliver");
                 let sent = self.idx(*from).map_or(0, |i| self.sent_prev[i]);
@@ -531,11 +531,11 @@ mod tests {
     use super::*;
 
     fn send(round: Round, node: u32, bits: u64) -> Event {
-        Event::Send { round, node: NodeId(node), bits, logical: 1 }
+        Event::send(round, NodeId(node), bits, 1)
     }
 
     fn deliver(round: Round, node: u32, from: u32, bits: u64) -> Event {
-        Event::Deliver { round, node: NodeId(node), from: NodeId(from), bits }
+        Event::deliver(round, NodeId(node), NodeId(from), bits)
     }
 
     fn feed(w: &mut Watchdog, events: &[Event]) {

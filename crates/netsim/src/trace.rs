@@ -14,6 +14,12 @@
 //!   is versioned ([`TRACE_SCHEMA_VERSION`]) and read back by
 //!   [`Trace::from_jsonl`].
 //!
+//! Since schema v2 every `Send`/`Deliver` carries an [`EventId`] plus
+//! causal lineage (`Send.causes`: the delivery events the broadcast
+//! depended on; `Deliver.src`: the producing send), consumed by
+//! [`crate::causal`] to build a provenance DAG. v1 traces are still
+//! readable — absent causal fields parse as empty lineage.
+//!
 //! The observability layer is **passive**: sinks only observe the events
 //! the engine hands them and can never perturb an execution (pinned by
 //! `tests/observer_noninterference.rs`).
@@ -27,23 +33,58 @@ use std::io::{self, BufRead, Write};
 /// Version of the JSONL trace schema emitted by [`JsonlSink`] and asserted
 /// by [`Trace::from_jsonl`]. Bump when the line format changes; the golden
 /// snapshot test in `tests/golden_trace.rs` pins the on-disk format of the
-/// current version.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// current version. The reader also accepts the immediately previous
+/// version ([`TRACE_SCHEMA_COMPAT_MIN`]) with absent fields defaulted.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`Trace::from_jsonl`] still accepts. v1 traces
+/// (PR 2/3 era) lack event ids and causal lineage; they parse with
+/// [`EventId::NONE`] ids, empty `kind`s and empty `causes`.
+pub const TRACE_SCHEMA_COMPAT_MIN: u32 = 1;
+
+/// Identity of one traced `Send`/`Deliver` event, assigned by the engine
+/// in strictly increasing record order while a sink is installed. Id `0`
+/// ([`EventId::NONE`]) means "unknown / tracing was off when this was
+/// produced" and never names a real event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// The null id: no event. Real ids start at 1.
+    pub const NONE: EventId = EventId(0);
+
+    /// Whether this id names a real event.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
 
 /// One traced event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A node locally broadcast `logical` combined messages of `bits`
-    /// total bits in `round`.
+    /// total bits in `round`. When a sink is installed the engine groups
+    /// the outbox by message [`kind`](crate::engine::Message::kind) and
+    /// emits one `Send` event per kind, so per-kind `bits` partition the
+    /// node's round total exactly.
     Send {
         /// The round of the broadcast.
         round: Round,
         /// The broadcasting node.
         node: NodeId,
-        /// Total encoded bits.
+        /// Total encoded bits (of this kind, when kinds are in play).
         bits: u64,
         /// Number of logical messages combined.
         logical: u64,
+        /// Engine-assigned event id ([`EventId::NONE`] in v1 traces).
+        id: EventId,
+        /// Protocol-declared message kind (`""` = untagged).
+        kind: String,
+        /// Ids of the `Deliver` events this broadcast causally depends
+        /// on, as declared via `RoundCtx::send_caused_by`. Empty means
+        /// "unknown" — [`crate::causal`] then falls back to the
+        /// conservative closure (all earlier deliveries at this node).
+        causes: Vec<EventId>,
     },
     /// A live node received one logical message in `round` (broadcast by
     /// `from` in the previous round). Dead nodes receive nothing.
@@ -56,6 +97,11 @@ pub enum Event {
         from: NodeId,
         /// Encoded bits of the delivered message.
         bits: u64,
+        /// Engine-assigned event id ([`EventId::NONE`] in v1 traces).
+        id: EventId,
+        /// Id of the `Send` event that produced this delivery
+        /// ([`EventId::NONE`] in v1 traces).
+        src: EventId,
     },
     /// A node became dead at the start of `round` (first round it did not
     /// execute).
@@ -93,6 +139,26 @@ pub enum Event {
 }
 
 impl Event {
+    /// A `Send` event with no id/kind/lineage (v1-shaped) — convenience
+    /// for tests and hand-built traces.
+    pub fn send(round: Round, node: NodeId, bits: u64, logical: u64) -> Event {
+        Event::Send {
+            round,
+            node,
+            bits,
+            logical,
+            id: EventId::NONE,
+            kind: String::new(),
+            causes: Vec::new(),
+        }
+    }
+
+    /// A `Deliver` event with no id/src (v1-shaped) — convenience for
+    /// tests and hand-built traces.
+    pub fn deliver(round: Round, node: NodeId, from: NodeId, bits: u64) -> Event {
+        Event::Deliver { round, node, from, bits, id: EventId::NONE, src: EventId::NONE }
+    }
+
     /// The round the event belongs to.
     pub fn round(&self) -> Round {
         match self {
@@ -129,16 +195,42 @@ impl Event {
     }
 
     /// The canonical JSONL encoding of this event (one line, no newline).
+    /// Causal fields keep the stream compact: `id` is always present on
+    /// `send`/`deliver`, `kind`/`causes`/`src` only when non-empty.
     pub fn to_jsonl(&self) -> String {
         match self {
-            Event::Send { round, node, bits, logical } => format!(
-                "{{\"ev\":\"send\",\"r\":{round},\"n\":{},\"bits\":{bits},\"logical\":{logical}}}",
-                node.0
-            ),
-            Event::Deliver { round, node, from, bits } => format!(
-                "{{\"ev\":\"deliver\",\"r\":{round},\"n\":{},\"from\":{},\"bits\":{bits}}}",
-                node.0, from.0
-            ),
+            Event::Send { round, node, bits, logical, id, kind, causes } => {
+                let mut line = format!(
+                    "{{\"ev\":\"send\",\"r\":{round},\"n\":{},\"bits\":{bits},\"logical\":{logical},\"id\":{}",
+                    node.0, id.0
+                );
+                if !kind.is_empty() {
+                    line.push_str(&format!(",\"kind\":\"{}\"", escape_json(kind)));
+                }
+                if !causes.is_empty() {
+                    line.push_str(",\"causes\":[");
+                    for (i, c) in causes.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        line.push_str(&c.0.to_string());
+                    }
+                    line.push(']');
+                }
+                line.push('}');
+                line
+            }
+            Event::Deliver { round, node, from, bits, id, src } => {
+                let mut line = format!(
+                    "{{\"ev\":\"deliver\",\"r\":{round},\"n\":{},\"from\":{},\"bits\":{bits},\"id\":{}",
+                    node.0, from.0, id.0
+                );
+                if src.is_some() {
+                    line.push_str(&format!(",\"src\":{}", src.0));
+                }
+                line.push('}');
+                line
+            }
             Event::Crash { round, node } => {
                 format!("{{\"ev\":\"crash\",\"r\":{round},\"n\":{}}}", node.0)
             }
@@ -157,6 +249,8 @@ impl Event {
     }
 
     /// Parses one JSONL event line (the inverse of [`Event::to_jsonl`]).
+    /// Causal fields are optional, so v1 lines parse too (with
+    /// [`EventId::NONE`] ids and empty lineage).
     ///
     /// # Errors
     ///
@@ -173,12 +267,17 @@ impl Event {
                 node: node("n")?,
                 bits: json_u64(line, "bits")?,
                 logical: json_u64(line, "logical")?,
+                id: EventId(json_u64_opt(line, "id")?.unwrap_or(0)),
+                kind: json_str(line, "kind").unwrap_or_default(),
+                causes: json_id_array(line, "causes")?,
             }),
             "deliver" => Ok(Event::Deliver {
                 round,
                 node: node("n")?,
                 from: node("from")?,
                 bits: json_u64(line, "bits")?,
+                id: EventId(json_u64_opt(line, "id")?.unwrap_or(0)),
+                src: EventId(json_u64_opt(line, "src")?.unwrap_or(0)),
             }),
             "crash" => Ok(Event::Crash { round, node: node("n")? }),
             "phase_enter" => Ok(Event::PhaseEnter {
@@ -235,6 +334,8 @@ fn unescape_json(s: &str) -> String {
 }
 
 /// Extracts the raw text of `"key":<value>` from a single-line JSON object.
+/// Scalar values only — array values need [`json_id_array`], since the
+/// non-string branch stops at the first `,`.
 fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
@@ -263,6 +364,37 @@ fn json_u64(line: &str, key: &str) -> Result<u64, String> {
         .map_err(|_| format!("bad \"{key}\" in {line:?}"))
 }
 
+/// Like [`json_u64`] but absent keys are `Ok(None)` (malformed values are
+/// still errors) — for fields that older schema versions did not emit.
+fn json_u64_opt(line: &str, key: &str) -> Result<Option<u64>, String> {
+    match json_raw(line, key) {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| format!("bad \"{key}\" in {line:?}")),
+    }
+}
+
+/// Parses `"key":[1,2,3]` into event ids; absent key means an empty list.
+fn json_id_array(line: &str, key: &str) -> Result<Vec<EventId>, String> {
+    let pat = format!("\"{key}\":[");
+    let Some(start) = line.find(&pat) else {
+        return Ok(Vec::new());
+    };
+    let rest = &line[start + pat.len()..];
+    let end = rest.find(']').ok_or_else(|| format!("unterminated \"{key}\" in {line:?}"))?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map(EventId)
+                .map_err(|_| format!("bad \"{key}\" entry {s:?} in {line:?}"))
+        })
+        .collect()
+}
+
 fn json_str(line: &str, key: &str) -> Option<String> {
     json_raw(line, key).map(unescape_json)
 }
@@ -285,6 +417,12 @@ pub trait TraceSink: Any {
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     events: Vec<Event>,
+    /// Set when this trace is known to be missing events (e.g. it came
+    /// from a [`RingSink`] that dropped its head). Analyses must surface
+    /// this instead of silently reporting on a partial stream.
+    truncated: bool,
+    /// Largest [`EventId`] seen, for id-shifting merges.
+    max_id: u64,
 }
 
 impl Trace {
@@ -303,12 +441,84 @@ impl Trace {
             e.round(),
             self.events.last().map_or(0, Event::round),
         );
+        match &e {
+            Event::Send { id, .. } | Event::Deliver { id, .. } => {
+                self.max_id = self.max_id.max(id.0);
+            }
+            _ => {}
+        }
         self.events.push(e);
     }
 
     /// All events in append (= round) order.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Whether events are known to be missing from this log (ring-buffer
+    /// eviction). Reports built on a truncated trace must say so.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Marks the log as missing events (see [`Trace::truncated`]).
+    pub fn set_truncated(&mut self, truncated: bool) {
+        self.truncated = truncated;
+    }
+
+    /// The largest [`EventId`] appearing in the log.
+    pub fn max_event_id(&self) -> u64 {
+        self.max_id
+    }
+
+    /// Keeps only the events `keep` accepts (round order is preserved;
+    /// `max_id` stays a valid upper bound).
+    pub fn retain(&mut self, keep: impl FnMut(&Event) -> bool) {
+        self.events.retain(keep);
+    }
+
+    /// Merges a sub-execution's trace, shifting its rounds by `offset`
+    /// (local round `r` becomes `offset + r`) and its non-null event ids
+    /// past ours so lineage stays unambiguous — the trace-level analogue
+    /// of [`crate::metrics::Metrics::absorb_shifted`]. The caller must
+    /// absorb sub-traces in increasing window order (as Algorithm 1's
+    /// disjoint intervals are), or round order breaks.
+    pub fn absorb_shifted(&mut self, other: &Trace, offset: Round) {
+        let base = self.max_id;
+        let bump = |id: EventId| if id.is_some() { EventId(id.0 + base) } else { id };
+        for e in &other.events {
+            let shifted = match e {
+                Event::Send { round, node, bits, logical, id, kind, causes } => Event::Send {
+                    round: round + offset,
+                    node: *node,
+                    bits: *bits,
+                    logical: *logical,
+                    id: bump(*id),
+                    kind: kind.clone(),
+                    causes: causes.iter().map(|&c| bump(c)).collect(),
+                },
+                Event::Deliver { round, node, from, bits, id, src } => Event::Deliver {
+                    round: round + offset,
+                    node: *node,
+                    from: *from,
+                    bits: *bits,
+                    id: bump(*id),
+                    src: bump(*src),
+                },
+                Event::Crash { round, node } => Event::Crash { round: round + offset, node: *node },
+                Event::PhaseEnter { round, label } => {
+                    Event::PhaseEnter { round: round + offset, label: label.clone() }
+                }
+                Event::PhaseExit { round, label } => {
+                    Event::PhaseExit { round: round + offset, label: label.clone() }
+                }
+                Event::Decide { round, node, value } => {
+                    Event::Decide { round: round + offset, node: *node, value: *value }
+                }
+            };
+            self.push(shifted);
+        }
+        self.truncated |= other.truncated;
     }
 
     /// Events of one round, located by binary search over the round-ordered
@@ -324,15 +534,19 @@ impl Trace {
         self.events.iter().filter(move |e| e.node() == Some(node))
     }
 
-    /// Rounds in which `node` broadcast anything, ascending.
+    /// Rounds in which `node` broadcast anything, ascending (deduplicated:
+    /// per-kind `Send` events in the same round count once).
     pub fn send_rounds(&self, node: NodeId) -> Vec<Round> {
-        self.events
+        let mut rounds: Vec<Round> = self
+            .events
             .iter()
             .filter_map(|e| match e {
                 Event::Send { round, node: n, .. } if *n == node => Some(*round),
                 _ => None,
             })
-            .collect()
+            .collect();
+        rounds.dedup();
+        rounds
     }
 
     /// The last round with any event, if non-empty.
@@ -345,7 +559,8 @@ impl Trace {
     /// trace implies: per-node and per-round counters from `Send` events,
     /// phase spans from the phase markers. The node-count is inferred from
     /// the largest id mentioned. Offline reports use this to analyze a
-    /// saved JSONL trace exactly as if the run were live.
+    /// saved JSONL trace exactly as if the run were live. Per-kind `Send`
+    /// events accumulate, so the replayed totals equal the live ones.
     pub fn replay_metrics(&self) -> crate::metrics::Metrics {
         let n =
             self.events.iter().filter_map(|e| e.node()).map(|v| v.index() + 1).max().unwrap_or(0);
@@ -353,7 +568,7 @@ impl Trace {
         for e in &self.events {
             m.note_round(e.round());
             match e {
-                Event::Send { round, node, bits, logical } => {
+                Event::Send { round, node, bits, logical, .. } => {
                     m.record_send(*node, *round, *bits, *logical);
                 }
                 Event::PhaseEnter { round, label } => m.enter_phase_at(label, *round),
@@ -367,7 +582,9 @@ impl Trace {
     }
 
     /// Parses a JSONL trace (as written by [`JsonlSink`]), validating the
-    /// schema header.
+    /// schema header. Accepts the current schema and v1 (absent causal
+    /// fields parse as empty lineage); anything else is rejected loudly —
+    /// never reinterpreted silently.
     ///
     /// # Errors
     ///
@@ -388,9 +605,11 @@ impl Trace {
                     return Err(format!("unknown schema '{schema}'"));
                 }
                 let v = json_u64(&line, "v")?;
-                if v != u64::from(TRACE_SCHEMA_VERSION) {
+                let supported =
+                    u64::from(TRACE_SCHEMA_COMPAT_MIN)..=u64::from(TRACE_SCHEMA_VERSION);
+                if !supported.contains(&v) {
                     return Err(format!(
-                        "trace schema v{v} unsupported (reader speaks v{TRACE_SCHEMA_VERSION})"
+                        "trace schema v{v} unsupported (reader speaks v{TRACE_SCHEMA_COMPAT_MIN}..=v{TRACE_SCHEMA_VERSION})"
                     ));
                 }
                 saw_header = true;
@@ -415,8 +634,15 @@ impl Trace {
                 let _ = writeln!(out, "-- round {cur} --");
             }
             match e {
-                Event::Send { node, bits, logical, .. } => {
-                    let _ = writeln!(out, "  {node:?} sends {logical} msg(s), {bits} bits");
+                Event::Send { node, bits, logical, kind, .. } => {
+                    if kind.is_empty() {
+                        let _ = writeln!(out, "  {node:?} sends {logical} msg(s), {bits} bits");
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "  {node:?} sends {logical} msg(s), {bits} bits [{kind}]"
+                        );
+                    }
                 }
                 Event::Deliver { node, from, bits, .. } => {
                     let _ = writeln!(out, "  {node:?} <- {from:?} ({bits} bits)");
@@ -485,12 +711,15 @@ impl RingSink {
         self.dropped + self.events.len() as u64
     }
 
-    /// The retained tail as a queryable [`Trace`].
+    /// The retained tail as a queryable [`Trace`]. If any event was
+    /// evicted the result is marked [`Trace::truncated`], so downstream
+    /// analyses know they are looking at a partial stream.
     pub fn to_trace(&self) -> Trace {
         let mut t = Trace::new();
         for e in &self.events {
             t.push(e.clone());
         }
+        t.set_truncated(self.dropped > 0);
         t
     }
 }
@@ -518,7 +747,7 @@ impl TraceSink for RingSink {
 }
 
 /// A line-delimited JSON sink for offline analysis. The first line is a
-/// schema header (`{"schema":"ftagg-trace","v":1}`); every following line
+/// schema header (`{"schema":"ftagg-trace","v":2}`); every following line
 /// is one [`Event`] (see [`Event::to_jsonl`]). Read back with
 /// [`Trace::from_jsonl`].
 ///
@@ -584,10 +813,10 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new();
-        t.push(Event::Send { round: 1, node: NodeId(0), bits: 8, logical: 1 });
+        t.push(Event::send(1, NodeId(0), 8, 1));
         t.push(Event::Crash { round: 2, node: NodeId(3) });
-        t.push(Event::Send { round: 2, node: NodeId(1), bits: 4, logical: 2 });
-        t.push(Event::Send { round: 5, node: NodeId(0), bits: 2, logical: 1 });
+        t.push(Event::send(2, NodeId(1), 4, 2));
+        t.push(Event::send(5, NodeId(0), 2, 1));
         t
     }
 
@@ -601,6 +830,7 @@ mod tests {
         assert_eq!(t.send_rounds(NodeId(3)), Vec::<Round>::new());
         assert_eq!(t.last_round(), Some(5));
         assert_eq!(Trace::new().last_round(), None);
+        assert!(!t.truncated());
     }
 
     #[test]
@@ -610,12 +840,12 @@ mod tests {
         // round, including absent ones.
         let mut t = Trace::new();
         t.push(Event::PhaseEnter { round: 1, label: "warm".into() });
-        t.push(Event::Send { round: 1, node: NodeId(0), bits: 3, logical: 1 });
-        t.push(Event::Deliver { round: 2, node: NodeId(1), from: NodeId(0), bits: 3 });
-        t.push(Event::Send { round: 2, node: NodeId(1), bits: 5, logical: 1 });
+        t.push(Event::send(1, NodeId(0), 3, 1));
+        t.push(Event::deliver(2, NodeId(1), NodeId(0), 3));
+        t.push(Event::send(2, NodeId(1), 5, 1));
         t.push(Event::Crash { round: 4, node: NodeId(2) });
         t.push(Event::PhaseExit { round: 4, label: "warm".into() });
-        t.push(Event::Send { round: 7, node: NodeId(0), bits: 1, logical: 1 });
+        t.push(Event::send(7, NodeId(0), 1, 1));
         t.push(Event::Decide { round: 7, node: NodeId(0), value: 9 });
         for round in 0..10 {
             let fast: Vec<&Event> = t.in_round(round).collect();
@@ -632,8 +862,8 @@ mod tests {
     #[should_panic(expected = "round order")]
     fn push_rejects_out_of_order_rounds_in_debug() {
         let mut t = Trace::new();
-        t.push(Event::Send { round: 5, node: NodeId(0), bits: 1, logical: 1 });
-        t.push(Event::Send { round: 4, node: NodeId(0), bits: 1, logical: 1 });
+        t.push(Event::send(5, NodeId(0), 1, 1));
+        t.push(Event::send(4, NodeId(0), 1, 1));
     }
 
     #[test]
@@ -645,16 +875,37 @@ mod tests {
     }
 
     #[test]
+    fn render_shows_message_kinds() {
+        let mut t = Trace::new();
+        t.push(Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 7,
+            logical: 1,
+            id: EventId(1),
+            kind: "tree-construct".into(),
+            causes: Vec::new(),
+        });
+        assert!(t.render().contains("7 bits [tree-construct]"));
+    }
+
+    #[test]
     fn ring_sink_keeps_the_tail() {
         let mut ring = RingSink::new(2);
         for r in 1..=5 {
-            ring.record(&Event::Send { round: r, node: NodeId(0), bits: r, logical: 1 });
+            ring.record(&Event::send(r, NodeId(0), r, 1));
         }
         assert_eq!(ring.dropped(), 3);
         assert_eq!(ring.seen(), 5);
         let rounds: Vec<Round> = ring.events().map(Event::round).collect();
         assert_eq!(rounds, vec![4, 5]);
         assert_eq!(ring.to_trace().last_round(), Some(5));
+        // Eviction marks the extracted trace truncated; a ring that never
+        // dropped yields a clean trace.
+        assert!(ring.to_trace().truncated());
+        let mut small = RingSink::new(8);
+        small.record(&Event::send(1, NodeId(0), 1, 1));
+        assert!(!small.to_trace().truncated());
         // Capacity 0 only counts.
         let mut zero = RingSink::new(0);
         zero.record(&Event::Crash { round: 1, node: NodeId(0) });
@@ -666,8 +917,32 @@ mod tests {
     fn jsonl_roundtrips_every_event_kind() {
         let events = vec![
             Event::PhaseEnter { round: 1, label: "AGG \"q\"\\x".into() },
-            Event::Send { round: 1, node: NodeId(0), bits: 8, logical: 2 },
-            Event::Deliver { round: 2, node: NodeId(1), from: NodeId(0), bits: 8 },
+            Event::Send {
+                round: 1,
+                node: NodeId(0),
+                bits: 8,
+                logical: 2,
+                id: EventId(1),
+                kind: "tree-construct".into(),
+                causes: Vec::new(),
+            },
+            Event::Deliver {
+                round: 2,
+                node: NodeId(1),
+                from: NodeId(0),
+                bits: 8,
+                id: EventId(2),
+                src: EventId(1),
+            },
+            Event::Send {
+                round: 2,
+                node: NodeId(1),
+                bits: 4,
+                logical: 1,
+                id: EventId(3),
+                kind: String::new(),
+                causes: vec![EventId(2)],
+            },
             Event::Crash { round: 3, node: NodeId(7) },
             Event::PhaseExit { round: 4, label: "AGG \"q\"\\x".into() },
             Event::Decide { round: 5, node: NodeId(0), value: u64::MAX },
@@ -679,9 +954,35 @@ mod tests {
         assert_eq!(sink.lines(), 1 + events.len() as u64);
         let bytes = sink.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
-        assert!(text.starts_with("{\"schema\":\"ftagg-trace\",\"v\":1}\n"));
+        assert!(text.starts_with("{\"schema\":\"ftagg-trace\",\"v\":2}\n"));
         let back = Trace::from_jsonl(text.as_bytes()).unwrap();
         assert_eq!(back.events(), events.as_slice());
+        assert_eq!(back.max_event_id(), 3);
+    }
+
+    #[test]
+    fn from_jsonl_accepts_v1_with_empty_lineage() {
+        // A v1 trace (as PR 2/3 wrote them): no ids, kinds, or causes.
+        let v1 = "{\"schema\":\"ftagg-trace\",\"v\":1}\n\
+                  {\"ev\":\"send\",\"r\":1,\"n\":0,\"bits\":7,\"logical\":1}\n\
+                  {\"ev\":\"deliver\",\"r\":2,\"n\":1,\"from\":0,\"bits\":7}\n";
+        let t = Trace::from_jsonl(v1.as_bytes()).unwrap();
+        assert_eq!(t.events().len(), 2);
+        match &t.events()[0] {
+            Event::Send { id, kind, causes, .. } => {
+                assert_eq!(*id, EventId::NONE);
+                assert!(kind.is_empty());
+                assert!(causes.is_empty());
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+        match &t.events()[1] {
+            Event::Deliver { id, src, .. } => {
+                assert_eq!(*id, EventId::NONE);
+                assert_eq!(*src, EventId::NONE);
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
     }
 
     #[test]
@@ -690,18 +991,99 @@ mod tests {
         assert!(Trace::from_jsonl("{\"ev\":\"send\"}\n".as_bytes()).is_err());
         let wrong_version = "{\"schema\":\"ftagg-trace\",\"v\":999}\n";
         assert!(Trace::from_jsonl(wrong_version.as_bytes()).unwrap_err().contains("v999"));
-        let bad_line = "{\"schema\":\"ftagg-trace\",\"v\":1}\n{\"ev\":\"warp\",\"r\":1}\n";
+        let bad_line = "{\"schema\":\"ftagg-trace\",\"v\":2}\n{\"ev\":\"warp\",\"r\":1}\n";
         assert!(Trace::from_jsonl(bad_line.as_bytes()).unwrap_err().contains("warp"));
-        let missing_field = "{\"schema\":\"ftagg-trace\",\"v\":1}\n{\"ev\":\"send\",\"r\":1}\n";
+        let missing_field = "{\"schema\":\"ftagg-trace\",\"v\":2}\n{\"ev\":\"send\",\"r\":1}\n";
         assert!(Trace::from_jsonl(missing_field.as_bytes()).is_err());
+        let bad_causes = "{\"schema\":\"ftagg-trace\",\"v\":2}\n{\"ev\":\"send\",\"r\":1,\"n\":0,\"bits\":1,\"logical\":1,\"id\":1,\"causes\":[1,x]}\n";
+        assert!(Trace::from_jsonl(bad_causes.as_bytes()).unwrap_err().contains("causes"));
+    }
+
+    #[test]
+    fn causes_array_roundtrips_multiple_ids() {
+        // json_raw stops at the first comma; the dedicated array parser
+        // must not.
+        let e = Event::Send {
+            round: 3,
+            node: NodeId(2),
+            bits: 9,
+            logical: 1,
+            id: EventId(7),
+            kind: "veri".into(),
+            causes: vec![EventId(4), EventId(5), EventId(6)],
+        };
+        let line = e.to_jsonl();
+        assert!(line.contains("\"causes\":[4,5,6]"));
+        assert_eq!(Event::from_jsonl(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn absorb_shifted_offsets_rounds_and_ids() {
+        let mut base = Trace::new();
+        base.push(Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 2,
+            logical: 1,
+            id: EventId(1),
+            kind: String::new(),
+            causes: Vec::new(),
+        });
+        let mut sub = Trace::new();
+        sub.push(Event::Send {
+            round: 1,
+            node: NodeId(1),
+            bits: 3,
+            logical: 1,
+            id: EventId(1),
+            kind: String::new(),
+            causes: Vec::new(),
+        });
+        sub.push(Event::Deliver {
+            round: 2,
+            node: NodeId(0),
+            from: NodeId(1),
+            bits: 3,
+            id: EventId(2),
+            src: EventId(1),
+        });
+        sub.push(Event::Decide { round: 2, node: NodeId(0), value: 4 });
+        base.absorb_shifted(&sub, 10);
+        let ev = base.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[1].round(), 11);
+        match &ev[2] {
+            Event::Deliver { round, id, src, .. } => {
+                assert_eq!(*round, 12);
+                // Sub ids shifted past base's max id (1).
+                assert_eq!(*id, EventId(3));
+                assert_eq!(*src, EventId(2));
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
+        assert_eq!(ev[3].round(), 12);
+        assert_eq!(base.max_event_id(), 3);
+        // NONE ids stay NONE; truncation is sticky.
+        let mut dirty = Trace::new();
+        dirty.push(Event::deliver(1, NodeId(0), NodeId(1), 1));
+        dirty.set_truncated(true);
+        base.absorb_shifted(&dirty, 20);
+        assert!(base.truncated());
+        match base.events().last().unwrap() {
+            Event::Deliver { id, src, .. } => {
+                assert_eq!(*id, EventId::NONE);
+                assert_eq!(*src, EventId::NONE);
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
     }
 
     #[test]
     fn replay_metrics_reconstructs_counters_and_phases() {
         let mut t = Trace::new();
         t.push(Event::PhaseEnter { round: 1, label: "AGG".into() });
-        t.push(Event::Send { round: 1, node: NodeId(0), bits: 10, logical: 1 });
-        t.push(Event::Send { round: 2, node: NodeId(2), bits: 4, logical: 2 });
+        t.push(Event::send(1, NodeId(0), 10, 1));
+        t.push(Event::send(2, NodeId(2), 4, 2));
         t.push(Event::PhaseExit { round: 3, label: "AGG".into() });
         let m = t.replay_metrics();
         assert_eq!(m.bits_of(NodeId(0)), 10);
@@ -713,5 +1095,34 @@ mod tests {
         assert_eq!(phases[0].label, "AGG");
         assert_eq!((phases[0].start, phases[0].end), (1, 3));
         assert_eq!(phases[0].bits, 14);
+    }
+
+    #[test]
+    fn per_kind_sends_in_one_round_replay_to_the_same_totals() {
+        // The engine splits a node's round broadcast into one Send per
+        // kind; replayed metrics must still see the round total.
+        let mut t = Trace::new();
+        t.push(Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 5,
+            logical: 1,
+            id: EventId(1),
+            kind: "tree-construct".into(),
+            causes: Vec::new(),
+        });
+        t.push(Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 3,
+            logical: 2,
+            id: EventId(2),
+            kind: "aggregate".into(),
+            causes: Vec::new(),
+        });
+        let m = t.replay_metrics();
+        assert_eq!(m.bits_of(NodeId(0)), 8);
+        assert_eq!(m.sends_of(NodeId(0)), 3);
+        assert_eq!(t.send_rounds(NodeId(0)), vec![1]);
     }
 }

@@ -86,10 +86,12 @@ fn send_rounds_match_the_pseudocode_schedule() {
 /// AGG/VERI annotated as phases and the root's decision recorded.
 ///
 /// The first line is the schema header; this test asserts on its version
-/// field (`"v":1` = `netsim::TRACE_SCHEMA_VERSION`). **If you change the
+/// field (`"v":2` = `netsim::TRACE_SCHEMA_VERSION`). **If you change the
 /// on-disk format, bump `TRACE_SCHEMA_VERSION` and re-pin these lines** —
-/// saved traces in the old format must be rejected loudly by
-/// `Trace::from_jsonl`, never reinterpreted silently.
+/// saved traces in formats newer than the reader must be rejected loudly
+/// by `Trace::from_jsonl`, never reinterpreted silently (v1, the one
+/// compatible ancestor, parses with empty lineage — see
+/// `tests/schema_guard.rs`).
 #[test]
 fn jsonl_trace_format_snapshot() {
     let g = topology::path(4);
@@ -126,13 +128,13 @@ fn jsonl_trace_format_snapshot() {
     assert_eq!(
         &lines[..7],
         &[
-            r#"{"schema":"ftagg-trace","v":1}"#,
+            r#"{"schema":"ftagg-trace","v":2}"#,
             r#"{"ev":"phase_enter","r":1,"label":"AGG"}"#,
-            r#"{"ev":"send","r":1,"n":0,"bits":7,"logical":1}"#,
-            r#"{"ev":"deliver","r":2,"n":1,"from":0,"bits":7}"#,
-            r#"{"ev":"send","r":2,"n":1,"bits":6,"logical":1}"#,
-            r#"{"ev":"deliver","r":3,"n":0,"from":1,"bits":6}"#,
-            r#"{"ev":"send","r":3,"n":1,"bits":9,"logical":1}"#,
+            r#"{"ev":"send","r":1,"n":0,"bits":7,"logical":1,"id":1,"kind":"tree-construct"}"#,
+            r#"{"ev":"deliver","r":2,"n":1,"from":0,"bits":7,"id":2,"src":1}"#,
+            r#"{"ev":"send","r":2,"n":1,"bits":6,"logical":1,"id":3,"kind":"tree-construct","causes":[2]}"#,
+            r#"{"ev":"deliver","r":3,"n":0,"from":1,"bits":6,"id":4,"src":3}"#,
+            r#"{"ev":"send","r":3,"n":1,"bits":9,"logical":1,"id":5,"kind":"tree-construct","causes":[2]}"#,
         ],
         "JSONL opening lines drifted — bump TRACE_SCHEMA_VERSION if intentional"
     );

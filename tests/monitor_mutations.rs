@@ -92,10 +92,10 @@ fn post_crash_send_and_delivery_trip_crash_silence() {
     let report = watch(
         MonitorConfig::new(3),
         &[
-            Event::Send { round: 1, node: NodeId(1), bits: 8, logical: 1 },
+            Event::send(1, NodeId(1), 8, 1),
             Event::Crash { round: 2, node: NodeId(1) },
-            Event::Send { round: 3, node: NodeId(1), bits: 8, logical: 1 },
-            Event::Deliver { round: 4, node: NodeId(1), from: NodeId(0), bits: 8 },
+            Event::send(3, NodeId(1), 8, 1),
+            Event::deliver(4, NodeId(1), NodeId(0), 8),
         ],
     );
     let ks = kinds(&report);
@@ -112,9 +112,9 @@ fn phantom_delivery_trips_causality() {
     let report = watch(
         MonitorConfig::new(3),
         &[
-            Event::Deliver { round: 2, node: NodeId(0), from: NodeId(1), bits: 8 },
-            Event::Send { round: 2, node: NodeId(0), bits: 4, logical: 1 },
-            Event::Deliver { round: 3, node: NodeId(2), from: NodeId(0), bits: 16 },
+            Event::deliver(2, NodeId(0), NodeId(1), 8),
+            Event::send(2, NodeId(0), 4, 1),
+            Event::deliver(3, NodeId(2), NodeId(0), 16),
         ],
     );
     let ks = kinds(&report);
@@ -149,7 +149,7 @@ fn unbalanced_phases_trip_phase_discipline() {
         &[
             Event::PhaseEnter { round: 1, label: "AGG".into() },
             Event::PhaseExit { round: 2, label: "AGG".into() },
-            Event::Send { round: 3, node: NodeId(0), bits: 8, logical: 1 },
+            Event::send(3, NodeId(0), 8, 1),
         ],
     );
     assert!(kinds(&stray).contains(&"unattributed-bits"), "{}", stray.render());

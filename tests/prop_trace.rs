@@ -48,7 +48,7 @@ impl NodeLogic<Ping> for Chatter {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Ping>) {
         let r = ctx.round();
         for m in ctx.inbox() {
-            let Received { from, msg } = m;
+            let Received { from, msg, .. } = m;
             debug_assert!(msg.bits > 0, "from {from}");
         }
         if let Some(bits) = traffic(self.seed, self.me, r) {
@@ -131,7 +131,7 @@ proptest! {
         let mut logical_by_node = vec![0u64; bits_by_node.len()];
         let mut bits_by_round = std::collections::BTreeMap::<Round, u64>::new();
         for e in trace.events() {
-            if let Event::Send { round, node, bits, logical } = *e {
+            if let Event::Send { round, node, bits, logical, .. } = *e {
                 bits_by_node[node.index()] += bits;
                 logical_by_node[node.index()] += logical;
                 *bits_by_round.entry(round).or_default() += bits;

@@ -1,0 +1,132 @@
+//! Version-skew guard for the JSONL trace schema.
+//!
+//! The contract: whatever `JsonlSink` writes, `Trace::from_jsonl` must be
+//! able to read back losslessly (writer and reader can never drift apart
+//! within one build), the reader must still accept the previous schema
+//! version (v1, no lineage fields), and must refuse versions it does not
+//! speak with an actionable error. CI runs this suite so a schema bump
+//! that forgets either side fails before it ships.
+
+use netsim::{
+    Event, EventId, JsonlSink, NodeId, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,
+    TRACE_SCHEMA_VERSION,
+};
+
+/// One event of every variant, with every v2 field populated (ids, kind,
+/// multi-parent lineage, src) plus v1-shaped siblings with the fields
+/// empty — the full surface the writer can emit.
+fn every_variant() -> Vec<Event> {
+    vec![
+        Event::PhaseEnter { round: 1, label: "AGG".into() },
+        Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 7,
+            logical: 1,
+            id: EventId(1),
+            kind: "tree-construct".into(),
+            causes: vec![],
+        },
+        Event::send(1, NodeId(2), 3, 1), // v1-shaped: no id/kind/causes
+        Event::Deliver {
+            round: 2,
+            node: NodeId(1),
+            from: NodeId(0),
+            bits: 7,
+            id: EventId(2),
+            src: EventId(1),
+        },
+        Event::deliver(2, NodeId(0), NodeId(2), 3), // v1-shaped: no id/src
+        Event::Crash { round: 2, node: NodeId(2) },
+        Event::Send {
+            round: 2,
+            node: NodeId(1),
+            bits: 11,
+            logical: 2,
+            id: EventId(3),
+            kind: "veri".into(),
+            causes: vec![EventId(2), EventId(1)],
+        },
+        Event::PhaseExit { round: 2, label: "AGG".into() },
+        Event::Decide { round: 3, node: NodeId(0), value: 42 },
+    ]
+}
+
+#[test]
+fn jsonl_sink_output_round_trips_through_from_jsonl() {
+    let mut sink = JsonlSink::new(Vec::new());
+    let events = every_variant();
+    for e in &events {
+        sink.record(e);
+    }
+    let bytes = sink.finish().unwrap();
+    let trace = Trace::from_jsonl(bytes.as_slice())
+        .expect("the reader must accept what the writer of the same build emits");
+    assert_eq!(trace.events(), events.as_slice());
+}
+
+#[test]
+// The "constant" assertion is the point: it re-evaluates at every build,
+// tripping when a version bump leaves the compat window inverted.
+#[allow(clippy::assertions_on_constants)]
+fn emitted_header_is_within_the_readers_compat_window() {
+    // The skew guard proper: the version the sink stamps must be one the
+    // reader declares support for. If someone bumps TRACE_SCHEMA_VERSION
+    // without teaching from_jsonl the new fields, the round-trip test
+    // above catches the field loss; this catches a forgotten window bump.
+    assert!(TRACE_SCHEMA_COMPAT_MIN <= TRACE_SCHEMA_VERSION);
+    let sink = JsonlSink::new(Vec::new());
+    let bytes = sink.finish().unwrap();
+    let header = String::from_utf8(bytes).unwrap();
+    assert_eq!(
+        header.trim(),
+        format!("{{\"schema\":\"ftagg-trace\",\"v\":{TRACE_SCHEMA_VERSION}}}")
+    );
+    assert!(Trace::from_jsonl(header.as_bytes()).is_ok());
+}
+
+#[test]
+fn v1_traces_parse_with_empty_lineage() {
+    let v1 = concat!(
+        "{\"schema\":\"ftagg-trace\",\"v\":1}\n",
+        "{\"ev\":\"send\",\"r\":1,\"n\":0,\"bits\":7,\"logical\":1}\n",
+        "{\"ev\":\"deliver\",\"r\":2,\"n\":1,\"from\":0,\"bits\":7}\n",
+        "{\"ev\":\"decide\",\"r\":3,\"n\":0,\"value\":9}\n",
+    );
+    let trace = Trace::from_jsonl(v1.as_bytes()).expect("v1 must remain readable");
+    assert_eq!(trace.events().len(), 3);
+    match &trace.events()[0] {
+        Event::Send { id, kind, causes, .. } => {
+            assert_eq!(*id, EventId::NONE);
+            assert!(kind.is_empty());
+            assert!(causes.is_empty());
+        }
+        other => panic!("expected Send, got {other:?}"),
+    }
+    match &trace.events()[1] {
+        Event::Deliver { id, src, .. } => {
+            assert_eq!(*id, EventId::NONE);
+            assert_eq!(*src, EventId::NONE);
+        }
+        other => panic!("expected Deliver, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_schema_versions_are_refused() {
+    let next = TRACE_SCHEMA_VERSION + 1;
+    let input = format!("{{\"schema\":\"ftagg-trace\",\"v\":{next}}}\n");
+    let err = Trace::from_jsonl(input.as_bytes()).unwrap_err();
+    assert!(err.contains(&format!("trace schema v{next} unsupported")), "unexpected error: {err}");
+    assert!(err.contains(&format!("v{TRACE_SCHEMA_COMPAT_MIN}..=v{TRACE_SCHEMA_VERSION}")));
+}
+
+#[test]
+fn pre_compat_versions_are_refused() {
+    if TRACE_SCHEMA_COMPAT_MIN == 0 {
+        return; // nothing below the window
+    }
+    let old = TRACE_SCHEMA_COMPAT_MIN - 1;
+    let input = format!("{{\"schema\":\"ftagg-trace\",\"v\":{old}}}\n");
+    assert!(Trace::from_jsonl(input.as_bytes()).is_err());
+}
