@@ -10,7 +10,7 @@
 //! (previously copied in each).
 
 use crate::Table;
-use netsim::{Blame, CriticalPath, Histogram, NodeId, PhaseAgg, PhaseStats};
+use netsim::{Blame, CriticalPath, Delta, Histogram, NodeId, PhaseAgg, PhaseStats};
 
 /// A phase label indented two spaces per nesting depth, as every phase
 /// table prints it.
@@ -101,6 +101,22 @@ pub fn critical_path_table(cp: &CriticalPath) -> Table {
         String::new(),
         String::new(),
     ]);
+    t
+}
+
+/// The metric-delta table rendered by `ftagg-cli diff` for each
+/// [`netsim::TraceDiff`] partition (nodes, message kinds, phases): one
+/// row per differing label with both sides and the signed change.
+pub fn delta_table(deltas: &[Delta]) -> Table {
+    let mut t = Table::new(vec!["label", "left", "right", "delta"]);
+    for d in deltas {
+        t.row(vec![
+            d.label.clone(),
+            d.left.to_string(),
+            d.right.to_string(),
+            format!("{:+}", d.signed()),
+        ]);
+    }
     t
 }
 

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod radar;
 pub mod search;
 pub mod snapshot;
 
@@ -106,6 +107,15 @@ pub fn threads_from_args() -> usize {
         }
     }
     std::env::var("FTAGG_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Live progress sink for the experiment binaries: `--progress` on the
+/// command line turns on a throttled stderr line (trials done, throughput,
+/// ETA, watchdog violations); absent, the runner takes the zero-overhead
+/// `None` path. Progress goes to stderr, so piped stdout is unchanged
+/// either way.
+pub fn progress_from_args() -> Option<netsim::ConsoleProgress> {
+    std::env::args().skip(1).any(|a| a == "--progress").then(netsim::ConsoleProgress::new)
 }
 
 /// Draws random failure schedules until one respects the `c·d` stretch

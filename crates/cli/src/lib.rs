@@ -39,6 +39,9 @@ pub struct Args {
     /// The sub-action, for commands that take one (`bench snapshot`,
     /// `bench compare`).
     pub sub: Option<String>,
+    /// Positional operands, for commands that take them
+    /// (`diff a.jsonl b.jsonl`).
+    pub positional: Vec<String>,
     opts: BTreeMap<String, Vec<String>>,
 }
 
@@ -52,19 +55,26 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut it = raw.into_iter().peekable();
         let command = it.next().ok_or(
-            "missing subcommand (run | topo | trace | sweep | report | explain | bench | bounds)",
+            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds)",
         )?;
         // `bench` takes one sub-action positional (snapshot | compare).
         let sub = if command == "bench" { it.next_if(|a| !a.starts_with("--")) } else { None };
+        // `diff` takes its two trace paths as positionals.
+        let takes_positionals = command == "diff";
+        let mut positional = Vec::new();
         let mut opts: BTreeMap<String, Vec<String>> = BTreeMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
+                if takes_positionals {
+                    positional.push(key);
+                    continue;
+                }
                 return Err(format!("unexpected positional argument '{key}'"));
             };
             let value = it.next().ok_or_else(|| format!("option --{name} needs a value"))?;
             opts.entry(name.to_string()).or_default().push(value);
         }
-        Ok(Args { command, sub, opts })
+        Ok(Args { command, sub, positional, opts })
     }
 
     /// Last value of `--key`, if given.
@@ -133,6 +143,8 @@ pub fn dispatch_full(args: &Args) -> Result<CmdOutput, String> {
         "sweep" => cmd_sweep(args).map(CmdOutput::ok),
         "report" => cmd_report(args),
         "explain" => cmd_explain(args),
+        "diff" => cmd_diff(args),
+        "radar" => cmd_radar(args),
         "bench" => cmd_bench(args).map(CmdOutput::ok),
         "bounds" => cmd_bounds(args).map(CmdOutput::ok),
         "help" | "--help" | "-h" => Ok(CmdOutput::ok(USAGE.to_string())),
@@ -157,6 +169,7 @@ commands:
   sweep   sweep the TC budget b and print the measured tradeoff curve
           --topology SPEC --f F --c C --from B0 --to B1 --points K --seed S
           --threads T (parallel trial runner; 0 = auto, same output any T)
+          --progress yes (live trials/throughput/ETA line on stderr)
   report  render a run report: phase table, CC/round histograms, top-k nodes
           live:  --topology SPEC --trials K --b B --c C --f F --seed S
                  --threads T --top K --monitor yes (run under the watchdog)
@@ -170,6 +183,19 @@ commands:
           file:  --input TRACE.jsonl
           [--folded yes] (also emit speedscope/inferno folded stacks)
           exits 1 when an invariant cross-check fails
+  diff    align two saved JSONL traces, report the first divergence
+          (classified: crash-schedule | topology | protocol-message |
+          decision | phase | length) and per-node / per-kind / per-phase
+          metric deltas
+          diff A.jsonl B.jsonl
+          exits 1 on divergence; identical traces print nothing, exit 0
+  radar   fit measured CC across the (N, f, b) grid against the Theorem 1
+          envelope a*(f/b)*log^2(N) + b*log^2(N); flag residual outliers
+          live:  [--quick yes] [--tolerance 0.6] [--threads T]
+                 [--progress yes]
+          drift: --baseline BENCH_A.json --candidate BENCH_B.json
+                 [--tolerance 0.25] [--enforce-perf yes]
+          exits 1 on envelope violations or snapshot drift
   bench   machine-readable benchmark snapshots (BENCH_<date>.json)
           bench snapshot [--out PATH] [--quick yes]
           bench compare --baseline A.json --candidate B.json
@@ -385,24 +411,19 @@ fn cmd_report(args: &Args) -> Result<CmdOutput, String> {
     }
 }
 
-/// Offline mode: reconstruct metrics from a saved JSONL trace and render
-/// the same report a live run would produce. With `--monitor`, the events
-/// are additionally replayed through a budget-less [`netsim::Watchdog`]
-/// (crash silence, delivery causality, phase discipline); violations turn
-/// the exit code to 1.
-fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<CmdOutput, String> {
+/// Opens and parses a saved JSONL trace, refusing empty, truncated, or
+/// version-skewed files with a one-line error. Replay and watchdog passes
+/// allocate per-node and per-round ledgers sized by the largest id/round
+/// the trace mentions, so corrupt traces claiming absurd dimensions are
+/// refused here instead of attempting multi-gigabyte allocations. Returns
+/// the trace and the largest node id it mentions.
+fn load_trace(path: &str) -> Result<(netsim::Trace, u32), String> {
     use netsim::Event;
-    use std::fmt::Write as _;
-
-    let file =
-        std::fs::File::open(path).map_err(|e| format!("cannot open --input '{path}': {e}"))?;
-    let trace = netsim::Trace::from_jsonl(std::io::BufReader::new(file))
-        .map_err(|e| format!("parsing '{path}': {e}"))?;
-    // Replay allocates per-node and per-round ledgers sized by the largest
-    // id/round the trace mentions; refuse corrupt traces claiming absurd
-    // dimensions instead of attempting multi-gigabyte allocations.
     const MAX_REPLAY_NODES: u32 = 1_000_000;
     const MAX_REPLAY_ROUND: netsim::Round = 50_000_000;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let trace = netsim::Trace::from_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("parsing '{path}': {e}"))?;
     let max_id = trace
         .events()
         .iter()
@@ -426,6 +447,116 @@ fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<CmdOutput, S
             ));
         }
     }
+    Ok((trace, max_id))
+}
+
+/// `diff` — align two saved traces, report the first divergence
+/// (classified) plus the per-node / per-kind / per-phase metric deltas.
+/// Identical executions print nothing and exit 0; any divergence or
+/// metric delta exits 1 (corrupt inputs stay on the `Err` path, exit 2).
+fn cmd_diff(args: &Args) -> Result<CmdOutput, String> {
+    use std::fmt::Write as _;
+    let [left_path, right_path] = args.positional.as_slice() else {
+        return Err(format!(
+            "diff needs exactly two trace files: ftagg-cli diff A.jsonl B.jsonl (got {})",
+            args.positional.len()
+        ));
+    };
+    let (left, _) = load_trace(left_path)?;
+    let (right, _) = load_trace(right_path)?;
+    let d = netsim::diff(&left, &right);
+    if d.is_empty() {
+        return Ok(CmdOutput::ok(String::new()));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace diff: {left_path} ({} events) vs {right_path} ({} events)",
+        d.events.0, d.events.1
+    );
+    match &d.divergence {
+        None => out.push_str("event streams identical; metric deltas only\n"),
+        Some(dv) => {
+            let _ = writeln!(
+                out,
+                "first divergence at event #{}, round {}, class {}",
+                dv.index,
+                dv.round,
+                dv.class.tag()
+            );
+            let render = |e: &Option<netsim::Event>| match e {
+                Some(e) => e.to_jsonl(),
+                None => "(end of trace)".into(),
+            };
+            let _ = writeln!(out, "  left:  {}", render(&dv.left));
+            let _ = writeln!(out, "  right: {}", render(&dv.right));
+            if !dv.context.is_empty() {
+                let _ = writeln!(out, "  shared context (last {} events):", dv.context.len());
+                for e in &dv.context {
+                    let _ = writeln!(out, "    {}", e.to_jsonl());
+                }
+            }
+        }
+    }
+    if d.decide_rounds.0 != d.decide_rounds.1 {
+        let _ =
+            writeln!(out, "decision round changed: {} -> {}", d.decide_rounds.0, d.decide_rounds.1);
+    }
+    let mut section = |title: &str, deltas: &[netsim::Delta]| {
+        if !deltas.is_empty() {
+            let _ = writeln!(out, "\n{title} (left -> right):");
+            out.push_str(&ftagg_bench::chart::delta_table(deltas).render());
+        }
+    };
+    section("per-node bit deltas", &d.node_deltas);
+    section("per-kind bit deltas", &d.kind_deltas);
+    section("per-phase bit deltas", &d.phase_deltas);
+    Ok(CmdOutput { text: out, code: 1 })
+}
+
+/// `radar` — fit measured CC across the (N, f, b) grid against the
+/// Theorem 1 envelope (live mode), or diff two `BENCH_*.json` snapshots
+/// into a drift report (`--baseline`/`--candidate` mode). Exits 1 on
+/// envelope-residual violations or enforced drift.
+fn cmd_radar(args: &Args) -> Result<CmdOutput, String> {
+    use ftagg_bench::radar;
+    if args.get("baseline").is_some() || args.get("candidate").is_some() {
+        let base_path = args.get("baseline").ok_or("radar drift mode needs --baseline")?;
+        let cand_path = args.get("candidate").ok_or("radar drift mode needs --candidate")?;
+        let tolerance: f64 = args.num("tolerance", 0.25)?;
+        let enforce = args.get("enforce-perf").is_some();
+        let load = |p: &str| -> Result<ftagg_bench::snapshot::Snapshot, String> {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read snapshot '{p}': {e}"))?;
+            ftagg_bench::snapshot::Snapshot::from_json(&text)
+                .map_err(|e| format!("parsing '{p}': {e}"))
+        };
+        let d = radar::drift(&load(base_path)?, &load(cand_path)?, tolerance, enforce)?;
+        let code = i32::from(!d.is_clean());
+        return Ok(CmdOutput { text: d.report, code });
+    }
+    let tolerance: f64 = args.num("tolerance", radar::DEFAULT_TOLERANCE)?;
+    let quick = args.get("quick").is_some();
+    let threads: usize = args.num("threads", 0)?;
+    let sink = netsim::ConsoleProgress::new();
+    let progress: Option<&dyn netsim::ProgressSink> =
+        args.get("progress").is_some().then_some(&sink);
+    let cells = radar::measure_grid(quick, threads, progress);
+    let fit = radar::fit_envelope(&cells)?;
+    let code = i32::from(!fit.violations(tolerance).is_empty());
+    Ok(CmdOutput { text: fit.render(tolerance), code })
+}
+
+/// Offline mode: reconstruct metrics from a saved JSONL trace and render
+/// the same report a live run would produce. With `--monitor`, the events
+/// are additionally replayed through a budget-less [`netsim::Watchdog`]
+/// (crash silence, delivery causality, phase discipline); violations turn
+/// the exit code to 1.
+fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<CmdOutput, String> {
+    use netsim::Event;
+    use std::fmt::Write as _;
+
+    let (trace, max_id) = load_trace(path)?;
     let metrics = trace.replay_metrics();
 
     let mut out = String::new();
@@ -939,9 +1070,11 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         "b", "measured CC", "upper bound", "pairs", "correct"
     );
     // One sweep point per "seed"; the runner hands rows back in point
-    // order, so the report is identical for every --threads value.
+    // order, so the report is identical for every --threads value. The
+    // progress sink writes to stderr only, so stdout is byte-identical
+    // with --progress on or off.
     let points_idx: Vec<u64> = (0..u64::from(points)).collect();
-    let rows = netsim::Runner::new(threads).run(&points_idx, |i| {
+    let point = |i: u64| {
         let b = if points == 1 { from } else { from + (to - from) * i / u64::from(points - 1) };
         let cfg = TradeoffConfig { b, c, f, seed };
         let r = run_tradeoff(&Sum, &inst, &cfg);
@@ -952,7 +1085,13 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
             r.pairs_run,
             r.correct
         )
-    });
+    };
+    let runner = netsim::Runner::new(threads);
+    let rows = if args.get("progress").is_some() {
+        runner.run_progress(&points_idx, point, &netsim::ConsoleProgress::new())
+    } else {
+        runner.run(&points_idx, point)
+    };
     for row in rows {
         out.push_str(&row);
     }
@@ -1408,6 +1547,207 @@ mod tests {
         assert!(dispatch(&args(&["bench"])).is_err());
         assert!(dispatch(&args(&["bench", "mystery"])).is_err());
         assert!(dispatch(&args(&["bench", "compare", "--baseline", "/nonexistent.json"])).is_err());
+    }
+
+    #[test]
+    fn diff_parses_positionals_but_other_commands_reject_them() {
+        let a = args(&["diff", "a.jsonl", "b.jsonl"]);
+        assert_eq!(a.command, "diff");
+        assert_eq!(a.positional, vec!["a.jsonl".to_string(), "b.jsonl".to_string()]);
+        assert!(Args::parse(["sweep".into(), "a.jsonl".into()].into_iter()).is_err());
+        // Wrong arity is a usage error.
+        assert!(dispatch(&args(&["diff"])).unwrap_err().contains("two trace files"));
+        assert!(dispatch(&args(&["diff", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn diff_self_is_empty_and_injected_crash_diverges() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("diff_base.jsonl");
+        let a = a.to_str().unwrap();
+        let b = dir.join("diff_crash.jsonl");
+        let b = b.to_str().unwrap();
+        dispatch(&args(&["trace", "--topology", "cycle:6", "--jsonl", a])).unwrap();
+        dispatch(&args(&["trace", "--topology", "cycle:6", "--crash", "3@4", "--jsonl", b]))
+            .unwrap();
+
+        // Self-diff: empty output, exit 0.
+        let same = dispatch_full(&args(&["diff", a, a])).unwrap();
+        assert_eq!(same.code, 0, "{}", same.text);
+        assert!(same.text.is_empty(), "{}", same.text);
+
+        // One injected crash: first divergence classified crash-schedule,
+        // at or before the crash round, with metric deltas, exit 1.
+        let out = dispatch_full(&args(&["diff", a, b])).unwrap();
+        assert_eq!(out.code, 1, "{}", out.text);
+        assert!(out.text.contains("first divergence"), "{}", out.text);
+        assert!(out.text.contains("class crash-schedule"), "{}", out.text);
+        let round: u64 = out
+            .text
+            .lines()
+            .find(|l| l.contains("first divergence"))
+            .and_then(|l| l.split("round ").nth(1))
+            .and_then(|r| r.split(',').next())
+            .and_then(|r| r.parse().ok())
+            .expect("divergence line carries the round");
+        assert!(round <= 4, "divergence must be at or before the injected crash round: {round}");
+        assert!(out.text.contains("per-node bit deltas"), "{}", out.text);
+        assert!(out.text.contains("shared context"), "{}", out.text);
+
+        // Symmetric call diverges identically (classes are symmetric).
+        let rev = dispatch_full(&args(&["diff", b, a])).unwrap();
+        assert_eq!(rev.code, 1);
+        assert!(rev.text.contains("class crash-schedule"), "{}", rev.text);
+
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn diff_rejects_corrupt_jsonl_with_one_line_errors() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("diff_good.jsonl");
+        let good = good.to_str().unwrap();
+        dispatch(&args(&["trace", "--topology", "cycle:6", "--jsonl", good])).unwrap();
+        let check = |name: &str, content: &str, needle: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            // Corrupt on either side must fail identically.
+            for pair in [[path.to_str().unwrap(), good], [good, path.to_str().unwrap()]] {
+                let err = dispatch(&args(&["diff", pair[0], pair[1]])).unwrap_err();
+                assert!(!err.contains('\n'), "error must be one line: {err:?}");
+                assert!(err.contains(needle), "{name}: {err}");
+            }
+            std::fs::remove_file(&path).ok();
+        };
+        let header = "{\"schema\":\"ftagg-trace\",\"v\":1}\n";
+        check("diff_empty.jsonl", "", "empty");
+        check("diff_badver.jsonl", "{\"schema\":\"ftagg-trace\",\"v\":9}\n", "v9 unsupported");
+        check(
+            "diff_truncated.jsonl",
+            &format!("{header}{{\"ev\":\"send\",\"r\":1,\"n\":0,"),
+            "diff_truncated.jsonl",
+        );
+        check(
+            "diff_hugenode.jsonl",
+            &format!(
+                "{header}{{\"ev\":\"send\",\"r\":1,\"n\":4000000000,\"bits\":8,\"logical\":1}}\n"
+            ),
+            "replay limit",
+        );
+        check(
+            "diff_hugeround.jsonl",
+            &format!(
+                "{header}{{\"ev\":\"send\",\"r\":999999999999,\"n\":0,\"bits\":8,\"logical\":1}}\n"
+            ),
+            "replay limit",
+        );
+        std::fs::remove_file(good).ok();
+        assert!(dispatch(&args(&["diff", "/nonexistent/a.jsonl", "/nonexistent/b.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn radar_live_quick_fits_the_envelope() {
+        let out = dispatch_full(&args(&["radar", "--quick", "yes", "--threads", "2"])).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("radar: CC ~"), "{}", out.text);
+        assert!(out.text.contains("all 4 residuals within"), "{}", out.text);
+        // An absurdly tight tolerance flags violations and exits 1.
+        let tight = dispatch_full(&args(&[
+            "radar",
+            "--quick",
+            "yes",
+            "--threads",
+            "2",
+            "--tolerance",
+            "0.0001",
+        ]))
+        .unwrap();
+        assert_eq!(tight.code, 1, "{}", tight.text);
+        assert!(tight.text.contains("VIOLATION"), "{}", tight.text);
+        // stdout is identical with --progress (the sink writes to stderr).
+        let progressed = dispatch_full(&args(&[
+            "radar",
+            "--quick",
+            "yes",
+            "--threads",
+            "2",
+            "--progress",
+            "yes",
+        ]))
+        .unwrap();
+        assert_eq!(progressed.text, out.text);
+        assert_eq!(progressed.code, 0);
+    }
+
+    #[test]
+    fn radar_drift_mode_compares_snapshots() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("radar_base.json");
+        let base_s = base.to_str().unwrap();
+        dispatch(&args(&["bench", "snapshot", "--out", base_s, "--quick", "yes"])).unwrap();
+
+        // Self-drift: clean, exit 0.
+        let out =
+            dispatch_full(&args(&["radar", "--baseline", base_s, "--candidate", base_s])).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("no drift"), "{}", out.text);
+
+        // A perturbed exact key drifts: exit 1.
+        let cand = dir.join("radar_cand.json");
+        let cand_s = cand.to_str().unwrap();
+        let perturbed = std::fs::read_to_string(&base)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                if l.contains("exact.sweep.sum_cc") {
+                    "  \"exact.sweep.sum_cc\": 1,".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&cand, perturbed).unwrap();
+        let out =
+            dispatch_full(&args(&["radar", "--baseline", base_s, "--candidate", cand_s])).unwrap();
+        assert_eq!(out.code, 1, "{}", out.text);
+        assert!(out.text.contains("DRIFT"), "{}", out.text);
+
+        // Missing half of the pair, or a corrupt snapshot: usage errors.
+        assert!(dispatch(&args(&["radar", "--baseline", base_s])).is_err());
+        std::fs::write(&cand, "not json").unwrap();
+        assert!(dispatch(&args(&["radar", "--baseline", base_s, "--candidate", cand_s])).is_err());
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cand).ok();
+    }
+
+    #[test]
+    fn sweep_progress_leaves_stdout_unchanged() {
+        let run = |extra: &[&str]| {
+            let mut v = vec![
+                "sweep",
+                "--topology",
+                "grid:4x4",
+                "--f",
+                "3",
+                "--from",
+                "42",
+                "--to",
+                "84",
+                "--points",
+                "2",
+                "--threads",
+                "2",
+            ];
+            v.extend_from_slice(extra);
+            dispatch(&args(&v)).unwrap()
+        };
+        let plain = run(&[]);
+        assert_eq!(run(&["--progress", "yes"]), plain);
     }
 
     #[test]

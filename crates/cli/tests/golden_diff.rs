@@ -1,0 +1,62 @@
+//! Golden snapshot of `ftagg-cli diff` on two committed traces that
+//! differ by exactly one injected crash (`cycle:6`, node 3 at round 4):
+//! the divergence header, classification, shared context, and all three
+//! metric-delta tables — byte for byte.
+//!
+//! Any drift here means the diff layer (event alignment, semantic
+//! equality, classification, delta partitions, table layouts) changed
+//! observably. If the change is intentional, regenerate the fixtures
+//! from the `crates/cli` directory:
+//!
+//! ```text
+//! cargo run -p ftagg-cli -- trace --topology cycle:6 \
+//!     --jsonl tests/fixtures/diff_a.jsonl > /dev/null
+//! cargo run -p ftagg-cli -- trace --topology cycle:6 --crash 3@4 \
+//!     --jsonl tests/fixtures/diff_b.jsonl > /dev/null
+//! cargo run -p ftagg-cli -- diff tests/fixtures/diff_a.jsonl \
+//!     tests/fixtures/diff_b.jsonl > tests/fixtures/golden_diff_cycle6.txt
+//! ```
+
+use ftagg_cli::{dispatch_full, Args};
+
+const GOLDEN: &str = include_str!("fixtures/golden_diff_cycle6.txt");
+
+fn run_diff(left: &str, right: &str) -> ftagg_cli::CmdOutput {
+    let args =
+        Args::parse(["diff", left, right].into_iter().map(String::from)).expect("valid args");
+    dispatch_full(&args).expect("both fixtures parse")
+}
+
+#[test]
+fn diff_output_matches_the_pinned_fixture() {
+    let out = run_diff("tests/fixtures/diff_a.jsonl", "tests/fixtures/diff_b.jsonl");
+    assert_eq!(out.code, 1, "divergent traces must exit nonzero");
+    assert_eq!(
+        out.text, GOLDEN,
+        "diff output drifted from the golden fixture — if intentional, \
+         regenerate it (see this file's header)"
+    );
+}
+
+#[test]
+fn self_diff_of_the_fixture_is_empty() {
+    for path in ["tests/fixtures/diff_a.jsonl", "tests/fixtures/diff_b.jsonl"] {
+        let out = run_diff(path, path);
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.is_empty(), "{}", out.text);
+    }
+}
+
+#[test]
+fn golden_fixture_reports_the_injected_crash() {
+    // The fixture must pin the intended scenario: a crash-schedule
+    // divergence at the injected crash round, with deltas in every
+    // partition — not some accidental earlier difference.
+    assert!(GOLDEN.contains("round 4, class crash-schedule"), "{GOLDEN}");
+    assert!(GOLDEN.contains("\"ev\":\"crash\",\"r\":4,\"n\":3"), "{GOLDEN}");
+    assert!(GOLDEN.contains("per-node bit deltas"), "{GOLDEN}");
+    assert!(GOLDEN.contains("per-kind bit deltas"), "{GOLDEN}");
+    assert!(GOLDEN.contains("per-phase bit deltas"), "{GOLDEN}");
+    // The crashed node's CC drops to zero on the right side.
+    assert!(GOLDEN.contains("n3    62      0    -62"), "{GOLDEN}");
+}

@@ -1,0 +1,448 @@
+//! Differential observability: align two traced executions and explain
+//! where — and *why* — they part ways.
+//!
+//! Single-run tooling ([`crate::trace`], [`crate::causal`],
+//! [`crate::monitor`]) answers "what happened"; this module answers "what
+//! changed between two runs". [`diff`] walks two round-ordered event
+//! streams in lockstep, finds the **first divergence** (with surrounding
+//! context from both sides), classifies it — did the topology route a
+//! message differently, did the crash schedule move, did the protocol
+//! send different traffic, did the decision change? — and computes
+//! per-node, per-message-kind, and per-phase metric deltas by reusing the
+//! existing [`crate::causal::Blame`] and
+//! [`crate::metrics::Metrics::phases`] partitions.
+//!
+//! Two traces of the same deterministic execution diff to an empty
+//! [`TraceDiff`] (pinned by `tests/prop_diff.rs`); a perturbed crash
+//! schedule diverges at or before the perturbed round. Event ids and
+//! causal lineage are deliberately **ignored** by the comparison: ids are
+//! engine bookkeeping that renumbers across schema versions, so a v1 and
+//! a v2 trace of the same run still diff empty.
+
+use crate::adversary::Round;
+use crate::causal::Blame;
+use crate::graph::NodeId;
+use crate::trace::{Event, Trace};
+use std::collections::BTreeMap;
+
+/// What kind of change the first diverging event pair witnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceClass {
+    /// A crash appears, disappears, or moves — the failure schedules
+    /// differ.
+    CrashSchedule,
+    /// The same delivery arrives from a different neighbor — the
+    /// topologies (or live neighbor sets) differ.
+    Topology,
+    /// A broadcast or delivery differs in bits, kind, or presence — the
+    /// protocols sent different traffic.
+    ProtocolMessage,
+    /// The decision differs in round, node, or value.
+    Decision,
+    /// A phase marker differs — the executions attribute their rounds
+    /// differently.
+    Phase,
+    /// One trace simply ends while the other continues.
+    Length,
+}
+
+impl DivergenceClass {
+    /// Stable lowercase tag (for reports and machine parsing).
+    pub fn tag(self) -> &'static str {
+        match self {
+            DivergenceClass::CrashSchedule => "crash-schedule",
+            DivergenceClass::Topology => "topology",
+            DivergenceClass::ProtocolMessage => "protocol-message",
+            DivergenceClass::Decision => "decision",
+            DivergenceClass::Phase => "phase",
+            DivergenceClass::Length => "length",
+        }
+    }
+}
+
+/// The first point where two event streams disagree.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Position in the event streams (both sides agree on every earlier
+    /// index).
+    pub index: usize,
+    /// The round of the divergence: the earlier of the two sides' rounds
+    /// (crash perturbations therefore report at or before the perturbed
+    /// round).
+    pub round: Round,
+    /// The left trace's event at `index` (`None` = left ended here).
+    pub left: Option<Event>,
+    /// The right trace's event at `index` (`None` = right ended here).
+    pub right: Option<Event>,
+    /// The classified cause.
+    pub class: DivergenceClass,
+    /// Up to [`CONTEXT`] events preceding the divergence (shared prefix,
+    /// so one context serves both sides).
+    pub context: Vec<Event>,
+}
+
+/// Events of shared prefix kept around the first divergence.
+pub const CONTEXT: usize = 3;
+
+/// A `label → (left, right)` metric delta (bits, rounds, …); only labels
+/// whose two sides differ are kept.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// What is being compared (a node, kind, or phase label).
+    pub label: String,
+    /// The left trace's value.
+    pub left: u64,
+    /// The right trace's value.
+    pub right: u64,
+}
+
+impl Delta {
+    /// Signed difference `right - left`.
+    pub fn signed(&self) -> i128 {
+        i128::from(self.right) - i128::from(self.left)
+    }
+}
+
+/// The full comparison of two traces: first divergence plus metric deltas
+/// along the three partitions every report already uses.
+#[derive(Clone, Debug, Default)]
+pub struct TraceDiff {
+    /// The first diverging event pair, if any.
+    pub divergence: Option<Divergence>,
+    /// Per-node bit deltas (nodes whose totals differ), by node id.
+    pub node_deltas: Vec<Delta>,
+    /// Per-message-kind bit deltas (via [`Blame`]), by kind.
+    pub kind_deltas: Vec<Delta>,
+    /// Per-phase-label bit deltas (labels summed over spans), in left
+    /// phase order with right-only labels appended.
+    pub phase_deltas: Vec<Delta>,
+    /// Event counts of the two traces.
+    pub events: (usize, usize),
+    /// Decision rounds of the two traces (0 = no decision).
+    pub decide_rounds: (Round, Round),
+}
+
+impl TraceDiff {
+    /// True when the traces are observationally identical: no diverging
+    /// event and no metric delta.
+    pub fn is_empty(&self) -> bool {
+        self.divergence.is_none()
+            && self.node_deltas.is_empty()
+            && self.kind_deltas.is_empty()
+            && self.phase_deltas.is_empty()
+    }
+}
+
+/// Semantic equality: everything an execution's behavior determines, but
+/// not engine-assigned ids or lineage (which renumber across merges and
+/// schema versions).
+fn same_event(a: &Event, b: &Event) -> bool {
+    match (a, b) {
+        (
+            Event::Send { round, node, bits, logical, kind, .. },
+            Event::Send { round: r2, node: n2, bits: b2, logical: l2, kind: k2, .. },
+        ) => round == r2 && node == n2 && bits == b2 && logical == l2 && kind == k2,
+        (
+            Event::Deliver { round, node, from, bits, .. },
+            Event::Deliver { round: r2, node: n2, from: f2, bits: b2, .. },
+        ) => round == r2 && node == n2 && from == f2 && bits == b2,
+        (a, b) => {
+            // The remaining kinds (crash, phase markers, decide) carry no
+            // ids; structural equality is semantic equality.
+            std::mem::discriminant(a) == std::mem::discriminant(b) && a == b
+        }
+    }
+}
+
+/// Classifies the first diverging event pair.
+fn classify(left: Option<&Event>, right: Option<&Event>) -> DivergenceClass {
+    match (left, right) {
+        (None, None) => DivergenceClass::Length,
+        (Some(e), None) | (None, Some(e)) => match e {
+            Event::Crash { .. } => DivergenceClass::CrashSchedule,
+            Event::Decide { .. } => DivergenceClass::Decision,
+            Event::PhaseEnter { .. } | Event::PhaseExit { .. } => DivergenceClass::Phase,
+            Event::Send { .. } | Event::Deliver { .. } => DivergenceClass::Length,
+        },
+        (Some(l), Some(r)) => match (l, r) {
+            (Event::Crash { .. }, _) | (_, Event::Crash { .. }) => DivergenceClass::CrashSchedule,
+            (
+                Event::Deliver { round, node, bits, from, .. },
+                Event::Deliver { round: r2, node: n2, bits: b2, from: f2, .. },
+            ) if round == r2 && node == n2 && bits == b2 && from != f2 => DivergenceClass::Topology,
+            (Event::Send { .. } | Event::Deliver { .. }, _)
+            | (_, Event::Send { .. } | Event::Deliver { .. }) => DivergenceClass::ProtocolMessage,
+            (Event::Decide { .. }, _) | (_, Event::Decide { .. }) => DivergenceClass::Decision,
+            _ => DivergenceClass::Phase,
+        },
+    }
+}
+
+/// Aggregates a trace's phase bits by label (a label may span several
+/// intervals; they sum, matching how reports read the table).
+fn phase_bits(t: &Trace) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for ph in t.replay_metrics().phases() {
+        *out.entry(ph.label).or_insert(0) += ph.bits;
+    }
+    out
+}
+
+/// Collects `label → (left, right)` pairs keeping only differing labels.
+fn deltas(left: &BTreeMap<String, u64>, right: &BTreeMap<String, u64>) -> Vec<Delta> {
+    let mut labels: Vec<&String> = left.keys().chain(right.keys()).collect();
+    labels.sort();
+    labels.dedup();
+    labels
+        .into_iter()
+        .filter_map(|label| {
+            let l = left.get(label).copied().unwrap_or(0);
+            let r = right.get(label).copied().unwrap_or(0);
+            (l != r).then(|| Delta { label: label.clone(), left: l, right: r })
+        })
+        .collect()
+}
+
+/// The round of a trace's last `Decide` event (0 if none).
+fn decide_round(t: &Trace) -> Round {
+    t.events()
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            Event::Decide { round, .. } => Some(*round),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Compares two traces: locates and classifies the first divergence and
+/// computes the per-node / per-kind / per-phase metric deltas. Identical
+/// executions produce [`TraceDiff::is_empty`].
+pub fn diff(left: &Trace, right: &Trace) -> TraceDiff {
+    let (le, re) = (left.events(), right.events());
+    let mut divergence = None;
+    let limit = le.len().max(re.len());
+    for i in 0..limit {
+        let (l, r) = (le.get(i), re.get(i));
+        if let (Some(a), Some(b)) = (l, r) {
+            if same_event(a, b) {
+                continue;
+            }
+        }
+        let round = match (l, r) {
+            (Some(a), Some(b)) => a.round().min(b.round()),
+            (Some(e), None) | (None, Some(e)) => e.round(),
+            (None, None) => 0,
+        };
+        divergence = Some(Divergence {
+            index: i,
+            round,
+            left: l.cloned(),
+            right: r.cloned(),
+            class: classify(l, r),
+            context: le[i.saturating_sub(CONTEXT)..i].to_vec(),
+        });
+        break;
+    }
+
+    let node_deltas = {
+        let (bl, br) = (Blame::from_trace(left), Blame::from_trace(right));
+        let n = bl.n().max(br.n());
+        let mut l = BTreeMap::new();
+        let mut r = BTreeMap::new();
+        for v in (0..n as u32).map(NodeId) {
+            // Zero-pad node labels so lexicographic = numeric order.
+            let key = format!("n{:06}", v.0);
+            if bl.node_total(v) > 0 {
+                l.insert(key.clone(), bl.node_total(v));
+            }
+            if br.node_total(v) > 0 {
+                r.insert(key, br.node_total(v));
+            }
+        }
+        let mut d = deltas(&l, &r);
+        for delta in &mut d {
+            // Undo the padding for display.
+            delta.label = format!("n{}", delta.label[1..].trim_start_matches('0'));
+            if delta.label == "n" {
+                delta.label = "n0".into();
+            }
+        }
+        d
+    };
+    let kind_deltas = {
+        let (bl, br) = (Blame::from_trace(left), Blame::from_trace(right));
+        let collect = |b: &Blame| -> BTreeMap<String, u64> {
+            b.kinds().into_iter().map(|k| (k.clone(), b.kind_total(&k))).collect()
+        };
+        deltas(&collect(&bl), &collect(&br))
+    };
+    let phase_deltas = deltas(&phase_bits(left), &phase_bits(right));
+
+    TraceDiff {
+        divergence,
+        node_deltas,
+        kind_deltas,
+        phase_deltas,
+        events: (le.len(), re.len()),
+        decide_rounds: (decide_round(left), decide_round(right)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventId;
+
+    fn base_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(Event::PhaseEnter { round: 1, label: "AGG".into() });
+        t.push(Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 8,
+            logical: 1,
+            id: EventId(1),
+            kind: "tree-construct".into(),
+            causes: Vec::new(),
+        });
+        t.push(Event::Deliver {
+            round: 2,
+            node: NodeId(1),
+            from: NodeId(0),
+            bits: 8,
+            id: EventId(2),
+            src: EventId(1),
+        });
+        t.push(Event::PhaseExit { round: 3, label: "AGG".into() });
+        t.push(Event::Decide { round: 3, node: NodeId(0), value: 7 });
+        t
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let t = base_trace();
+        let d = diff(&t, &t);
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(d.events, (5, 5));
+        assert_eq!(d.decide_rounds, (3, 3));
+    }
+
+    #[test]
+    fn ids_and_lineage_do_not_count_as_divergence() {
+        let a = base_trace();
+        let mut b = Trace::new();
+        // Same execution, fresh id numbering (as a v1 reader would yield).
+        b.push(Event::PhaseEnter { round: 1, label: "AGG".into() });
+        b.push(Event::send(1, NodeId(0), 8, 1));
+        match &a.events()[1] {
+            Event::Send { kind, .. } => assert_eq!(kind, "tree-construct"),
+            other => panic!("expected send, got {other:?}"),
+        }
+        // ...except kind, which is semantic: patch it to match.
+        let mut ev = b.events()[1].clone();
+        if let Event::Send { kind, .. } = &mut ev {
+            *kind = "tree-construct".into();
+        }
+        let mut b2 = Trace::new();
+        b2.push(b.events()[0].clone());
+        b2.push(ev);
+        b2.push(Event::deliver(2, NodeId(1), NodeId(0), 8));
+        b2.push(Event::PhaseExit { round: 3, label: "AGG".into() });
+        b2.push(Event::Decide { round: 3, node: NodeId(0), value: 7 });
+        assert!(diff(&a, &b2).is_empty());
+    }
+
+    #[test]
+    fn crash_insertion_classifies_as_crash_schedule() {
+        let a = base_trace();
+        let mut b = Trace::new();
+        b.push(a.events()[0].clone());
+        b.push(a.events()[1].clone());
+        b.push(Event::Crash { round: 2, node: NodeId(1) });
+        let d = diff(&a, &b);
+        let dv = d.divergence.expect("diverges");
+        assert_eq!(dv.class, DivergenceClass::CrashSchedule);
+        assert_eq!(dv.index, 2);
+        assert_eq!(dv.round, 2);
+        assert_eq!(dv.context.len(), 2);
+    }
+
+    #[test]
+    fn rerouted_delivery_classifies_as_topology() {
+        let a = base_trace();
+        let mut b = Trace::new();
+        b.push(a.events()[0].clone());
+        b.push(a.events()[1].clone());
+        b.push(Event::deliver(2, NodeId(1), NodeId(3), 8));
+        b.push(a.events()[3].clone());
+        b.push(a.events()[4].clone());
+        let d = diff(&a, &b);
+        assert_eq!(d.divergence.expect("diverges").class, DivergenceClass::Topology);
+    }
+
+    #[test]
+    fn changed_bits_classify_as_protocol_message_with_deltas() {
+        let a = base_trace();
+        let mut b = Trace::new();
+        b.push(a.events()[0].clone());
+        b.push(Event::Send {
+            round: 1,
+            node: NodeId(0),
+            bits: 16,
+            logical: 1,
+            id: EventId(1),
+            kind: "tree-construct".into(),
+            causes: Vec::new(),
+        });
+        b.push(Event::Deliver {
+            round: 2,
+            node: NodeId(1),
+            from: NodeId(0),
+            bits: 16,
+            id: EventId(2),
+            src: EventId(1),
+        });
+        b.push(a.events()[3].clone());
+        b.push(a.events()[4].clone());
+        let d = diff(&a, &b);
+        assert_eq!(
+            d.divergence.as_ref().expect("diverges").class,
+            DivergenceClass::ProtocolMessage
+        );
+        assert_eq!(d.node_deltas, vec![Delta { label: "n0".into(), left: 8, right: 16 }]);
+        assert_eq!(d.node_deltas[0].signed(), 8);
+        assert_eq!(d.kind_deltas.len(), 1);
+        assert_eq!(d.kind_deltas[0].label, "tree-construct");
+        assert_eq!(d.phase_deltas, vec![Delta { label: "AGG".into(), left: 8, right: 16 }]);
+    }
+
+    #[test]
+    fn shorter_trace_classifies_as_length_and_decision_changes_report() {
+        let a = base_trace();
+        let mut b = Trace::new();
+        for e in &a.events()[..3] {
+            b.push(e.clone());
+        }
+        let d = diff(&a, &b);
+        let dv = d.divergence.expect("diverges");
+        assert_eq!(dv.class, DivergenceClass::Phase); // left has PhaseExit here
+        assert!(dv.right.is_none());
+
+        let mut c = base_trace();
+        c.retain(|e| !matches!(e, Event::Decide { .. }));
+        c.push(Event::Decide { round: 3, node: NodeId(0), value: 9 });
+        let d = diff(&a, &c);
+        assert_eq!(d.divergence.expect("diverges").class, DivergenceClass::Decision);
+    }
+
+    #[test]
+    fn class_tags_are_stable() {
+        assert_eq!(DivergenceClass::CrashSchedule.tag(), "crash-schedule");
+        assert_eq!(DivergenceClass::Topology.tag(), "topology");
+        assert_eq!(DivergenceClass::ProtocolMessage.tag(), "protocol-message");
+        assert_eq!(DivergenceClass::Decision.tag(), "decision");
+        assert_eq!(DivergenceClass::Phase.tag(), "phase");
+        assert_eq!(DivergenceClass::Length.tag(), "length");
+    }
+}

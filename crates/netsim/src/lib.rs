@@ -49,6 +49,7 @@
 
 pub mod adversary;
 pub mod causal;
+pub mod diff;
 pub mod engine;
 pub mod flood;
 pub mod graph;
@@ -60,6 +61,7 @@ pub mod trace;
 
 pub use adversary::{CrashEvent, FailureSchedule, Round};
 pub use causal::{folded_stacks, Blame, CausalDag, Coverage, CriticalPath, Hop, UNTAGGED};
+pub use diff::{diff, Delta, Divergence, DivergenceClass, TraceDiff};
 pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause, Telemetry};
 pub use flood::FloodState;
 pub use graph::{Edge, Graph, GraphError, NodeId};
@@ -67,7 +69,9 @@ pub use metrics::{Metrics, PhaseSpan, PhaseStats};
 pub use monitor::{
     BudgetRule, DecideCheck, MonitorConfig, MonitorReport, Violation, ViolationKind, Watchdog,
 };
-pub use runner::{Histogram, PhaseAgg, Runner, TrialStats, TrialSummary};
+pub use runner::{
+    ConsoleProgress, Histogram, PhaseAgg, Progress, ProgressSink, Runner, TrialStats, TrialSummary,
+};
 pub use trace::{
     Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,
     TRACE_SCHEMA_VERSION,

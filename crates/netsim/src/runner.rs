@@ -22,8 +22,150 @@
 use crate::adversary::Round;
 use crate::graph::NodeId;
 use crate::metrics::{Metrics, PhaseStats};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// A point-in-time snapshot of a sweep's progress, handed to a
+/// [`ProgressSink`] after every completed trial.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Trials finished so far (1-based; the final call has
+    /// `completed == total`).
+    pub completed: usize,
+    /// Total trials in the sweep.
+    pub total: usize,
+    /// Index of the worker thread that finished this trial (0 on the
+    /// serial path).
+    pub worker: usize,
+    /// Wall time since the sweep started.
+    pub elapsed: Duration,
+    /// Watchdog violations the driver has fed into the sink so far (via
+    /// [`ProgressSink::add_violations`]); 0 when unmonitored.
+    pub violations: u64,
+}
+
+impl Progress {
+    /// Aggregate throughput in trials per second (all workers combined).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Estimated wall time to finish the remaining trials at the current
+    /// aggregate throughput (zero when done or before any signal).
+    pub fn eta(&self) -> Duration {
+        let rate = self.throughput();
+        if rate <= 0.0 || self.completed >= self.total {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64((self.total - self.completed) as f64 / rate)
+    }
+}
+
+/// Live observer of a [`Runner`] sweep — the runner-level analogue of the
+/// engine's trace sink, guarded by the same single `Option` branch per
+/// trial. Implementations must be cheap and `Sync`: `trial_done` is called
+/// from every worker thread. Progress never touches results, so a sweep
+/// with a sink is bit-identical to one without.
+pub trait ProgressSink: Sync {
+    /// Called once after each trial completes. `p.completed` values are
+    /// distinct across calls (each trial observes the counter once), but
+    /// calls from different workers may arrive out of order.
+    fn trial_done(&self, p: &Progress);
+
+    /// Monitored drivers feed watchdog violations here as trials find
+    /// them; the running total is echoed back in [`Progress::violations`].
+    fn add_violations(&self, _n: u64) {}
+
+    /// Violations fed so far (0 unless the sink counts them).
+    fn violations(&self) -> u64 {
+        0
+    }
+}
+
+/// A throttled `stderr` progress line (`\r`-rewritten in place), for
+/// `--progress` on CLI sweeps and bench bins. Writes to stderr only, so
+/// stdout output stays byte-identical with progress on or off.
+#[derive(Debug)]
+pub struct ConsoleProgress {
+    every: Duration,
+    last: Mutex<Option<Instant>>,
+    violations: AtomicU64,
+}
+
+impl ConsoleProgress {
+    /// A console sink redrawing at most every 200 ms (plus a final line).
+    pub fn new() -> Self {
+        ConsoleProgress::with_interval(Duration::from_millis(200))
+    }
+
+    /// A console sink redrawing at most once per `every` (the final
+    /// `completed == total` line always prints).
+    pub fn with_interval(every: Duration) -> Self {
+        ConsoleProgress { every, last: Mutex::new(None), violations: AtomicU64::new(0) }
+    }
+
+    /// The rendered progress line (without the leading `\r`).
+    fn line(p: &Progress) -> String {
+        let mut s = format!(
+            "[{}/{}] {:.1} trials/s, eta {:.0}s, worker {}",
+            p.completed,
+            p.total,
+            p.throughput(),
+            p.eta().as_secs_f64(),
+            p.worker,
+        );
+        if p.violations > 0 {
+            s.push_str(&format!(", VIOLATIONS {}", p.violations));
+        }
+        s
+    }
+}
+
+impl Default for ConsoleProgress {
+    fn default() -> Self {
+        ConsoleProgress::new()
+    }
+}
+
+impl ProgressSink for ConsoleProgress {
+    fn trial_done(&self, p: &Progress) {
+        let done = p.completed >= p.total;
+        {
+            let mut last = self.last.lock().unwrap_or_else(|e| e.into_inner());
+            if !done {
+                if let Some(t) = *last {
+                    if t.elapsed() < self.every {
+                        return;
+                    }
+                }
+            }
+            *last = Some(Instant::now());
+        }
+        let mut err = std::io::stderr().lock();
+        if done {
+            let _ = writeln!(err, "\r{}", Self::line(p));
+        } else {
+            let _ = write!(err, "\r{}", Self::line(p));
+            let _ = err.flush();
+        }
+    }
+
+    fn add_violations(&self, n: u64) {
+        self.violations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+}
 
 /// Executes independent trials across a fixed-size thread pool.
 ///
@@ -67,21 +209,73 @@ impl Runner {
         T: Send,
         F: Fn(u64) -> T + Sync,
     {
+        self.run_inner(seeds, trial, None)
+    }
+
+    /// [`Runner::run`] with a live [`ProgressSink`] observing trial
+    /// completions. The sink is consulted behind one `Option` branch per
+    /// *trial* (not per round), mirroring the engine's trace-sink guard;
+    /// the returned results are bit-identical to [`Runner::run`]'s.
+    pub fn run_progress<T, F>(&self, seeds: &[u64], trial: F, sink: &dyn ProgressSink) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        self.run_inner(seeds, trial, Some(sink))
+    }
+
+    fn run_inner<T, F>(
+        &self,
+        seeds: &[u64],
+        trial: F,
+        progress: Option<&dyn ProgressSink>,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        let total = seeds.len();
+        let started = Instant::now();
+        let completed = AtomicUsize::new(0);
+        // The per-trial observation both paths share: bump the shared
+        // counter, snapshot, hand to the sink. One branch when no sink.
+        let observe = |worker: usize| {
+            if let Some(sink) = progress {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                sink.trial_done(&Progress {
+                    completed: done,
+                    total,
+                    worker,
+                    elapsed: started.elapsed(),
+                    violations: sink.violations(),
+                });
+            }
+        };
         if self.threads <= 1 || seeds.len() <= 1 {
-            return seeds.iter().map(|&s| trial(s)).collect();
+            return seeds
+                .iter()
+                .map(|&s| {
+                    let out = trial(s);
+                    observe(0);
+                    out
+                })
+                .collect();
         }
         let workers = self.threads.min(seeds.len());
         let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
         let trial = &trial;
+        let observe = &observe;
         let buckets: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&seed) = seeds.get(i) else { break };
                             out.push((i, trial(seed)));
+                            observe(w);
                         }
                         out
                     })
@@ -115,6 +309,24 @@ impl Runner {
         R: FnMut(A, T) -> A,
     {
         self.run(seeds, trial).into_iter().fold(init, &mut reduce)
+    }
+
+    /// [`Runner::run_reduce`] with a live [`ProgressSink`] — same
+    /// seed-order fold, progress streamed as trials complete.
+    pub fn run_reduce_progress<T, A, F, R>(
+        &self,
+        seeds: &[u64],
+        trial: F,
+        init: A,
+        mut reduce: R,
+        sink: &dyn ProgressSink,
+    ) -> A
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+        R: FnMut(A, T) -> A,
+    {
+        self.run_progress(seeds, trial, sink).into_iter().fold(init, &mut reduce)
     }
 }
 
@@ -535,6 +747,192 @@ mod tests {
         assert_eq!(d, direct);
         d.record(0);
         assert_eq!(d.samples(), 4);
+    }
+
+    /// A counting sink for tests: remembers every completion it saw.
+    #[derive(Default)]
+    struct CountingSink {
+        calls: Mutex<Vec<(usize, usize, usize)>>, // (completed, total, worker)
+        violations: AtomicU64,
+    }
+
+    impl ProgressSink for CountingSink {
+        fn trial_done(&self, p: &Progress) {
+            self.calls.lock().unwrap().push((p.completed, p.total, p.worker));
+        }
+
+        fn add_violations(&self, n: u64) {
+            self.violations.fetch_add(n, Ordering::Relaxed);
+        }
+
+        fn violations(&self) -> u64 {
+            self.violations.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn progress_sink_sees_every_trial_once_and_results_match_plain_run() {
+        let seeds: Vec<u64> = (0..31).collect();
+        let expect = Runner::new(4).run(&seeds, |s| s * 3);
+        for threads in [1, 4] {
+            let sink = CountingSink::default();
+            let got = Runner::new(threads).run_progress(&seeds, |s| s * 3, &sink);
+            assert_eq!(got, expect, "threads = {threads}");
+            let calls = sink.calls.lock().unwrap();
+            assert_eq!(calls.len(), seeds.len());
+            // Each trial observes a distinct `completed` value 1..=total.
+            let mut seen: Vec<usize> = calls.iter().map(|c| c.0).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (1..=seeds.len()).collect::<Vec<_>>());
+            assert!(calls.iter().all(|c| c.1 == seeds.len()));
+            let max_worker = calls.iter().map(|c| c.2).max().unwrap();
+            assert!(max_worker < threads.max(1), "worker {max_worker} at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_reduce_progress_matches_run_reduce() {
+        let seeds: Vec<u64> = (0..40).collect();
+        let plain = Runner::new(8).run_reduce(&seeds, |s| s, 1u64, |a, s| a.wrapping_mul(3) ^ s);
+        let sink = CountingSink::default();
+        let with = Runner::new(8).run_reduce_progress(
+            &seeds,
+            |s| s,
+            1u64,
+            |a, s| a.wrapping_mul(3) ^ s,
+            &sink,
+        );
+        assert_eq!(with, plain);
+        assert_eq!(sink.calls.lock().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn progress_throughput_eta_and_violations() {
+        let sink = CountingSink::default();
+        sink.add_violations(2);
+        sink.add_violations(3);
+        assert_eq!(sink.violations(), 5);
+        let p = Progress {
+            completed: 5,
+            total: 20,
+            worker: 1,
+            elapsed: Duration::from_secs(2),
+            violations: sink.violations(),
+        };
+        assert!((p.throughput() - 2.5).abs() < 1e-12);
+        // 15 remaining at 2.5/s = 6 s.
+        assert!((p.eta().as_secs_f64() - 6.0).abs() < 1e-9);
+        assert_eq!(p.violations, 5);
+        // Degenerate cases: no elapsed time, and a finished sweep.
+        let zero = Progress { elapsed: Duration::ZERO, ..p };
+        assert_eq!(zero.throughput(), 0.0);
+        assert_eq!(zero.eta(), Duration::ZERO);
+        let done = Progress { completed: 20, ..p };
+        assert_eq!(done.eta(), Duration::ZERO);
+        // The default-method sink ignores violations.
+        struct Quiet;
+        impl ProgressSink for Quiet {
+            fn trial_done(&self, _: &Progress) {}
+        }
+        let q = Quiet;
+        q.add_violations(7);
+        assert_eq!(q.violations(), 0);
+    }
+
+    #[test]
+    fn console_progress_line_renders_violations_only_when_present() {
+        let p = Progress {
+            completed: 3,
+            total: 8,
+            worker: 2,
+            elapsed: Duration::from_secs(1),
+            violations: 0,
+        };
+        let line = ConsoleProgress::line(&p);
+        assert!(line.starts_with("[3/8]"), "{line}");
+        assert!(line.contains("3.0 trials/s"), "{line}");
+        assert!(!line.contains("VIOLATIONS"), "{line}");
+        let bad = Progress { violations: 4, ..p };
+        assert!(ConsoleProgress::line(&bad).contains("VIOLATIONS 4"));
+        // The throttled sink counts violations like any other.
+        let sink = ConsoleProgress::with_interval(Duration::from_secs(3600));
+        sink.add_violations(9);
+        assert_eq!(sink.violations(), 9);
+        sink.trial_done(&bad); // throttled mid-sweep call: must not panic
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty histogram: every quantile is 0 (and max/samples are 0).
+        let empty = Histogram::new();
+        assert_eq!(empty.samples(), 0);
+        assert_eq!(empty.max(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "q = {q}");
+        }
+        // A default (never-allocated) histogram behaves identically.
+        let default = Histogram::default();
+        assert_eq!(default.quantile(1.0), 0);
+        assert_eq!(default.bars(), Vec::<(u64, u64, u64)>::new());
+
+        // Single sample: every quantile resolves to that sample's bucket,
+        // capped at the true maximum.
+        let mut one = Histogram::new();
+        one.record(100);
+        for q in [0.0, 0.001, 0.5, 1.0] {
+            assert_eq!(one.quantile(q), 100, "q = {q}");
+        }
+        // q = 0.0 clamps to rank 1 (the minimum's bucket), q = 1.0 is the
+        // maximum — for a multi-sample histogram they straddle the data.
+        let mut h = Histogram::new();
+        for v in [1, 2, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        // A zero-valued sample lives in the dedicated zero bucket.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(1.0), 0);
+        assert_eq!(z.bars(), vec![(0, 0, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_with_disjoint_buckets() {
+        // Low buckets only.
+        let mut lo = Histogram::new();
+        for v in [1, 2, 3] {
+            lo.record(v);
+        }
+        // High buckets only — disjoint from lo's.
+        let mut hi = Histogram::new();
+        for v in [1 << 20, 1 << 30] {
+            hi.record(v);
+        }
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        assert_eq!(merged.samples(), 5);
+        assert_eq!(merged.max(), 1 << 30);
+        // Bars are the union of both sides' bars, in ascending order.
+        let mut expect = lo.bars();
+        expect.extend(hi.bars());
+        assert_eq!(merged.bars(), expect);
+        // Quantiles bracket the two disjoint clusters.
+        assert_eq!(merged.quantile(0.5), 3);
+        assert_eq!(merged.quantile(1.0), 1 << 30);
+        // Merging in the other direction gives the same histogram.
+        let mut other = hi.clone();
+        other.merge(&lo);
+        assert_eq!(other, merged);
+        // Merging an empty histogram is a no-op in both directions.
+        let before = merged.clone();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]
