@@ -147,6 +147,7 @@ pub fn dispatch_full(args: &Args) -> Result<CmdOutput, String> {
         "radar" => cmd_radar(args),
         "bench" => cmd_bench(args).map(CmdOutput::ok),
         "bounds" => cmd_bounds(args).map(CmdOutput::ok),
+        "mine" => cmd_mine(args),
         "help" | "--help" | "-h" => Ok(CmdOutput::ok(USAGE.to_string())),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -201,6 +202,20 @@ commands:
           bench compare --baseline A.json --candidate B.json
                 [--tolerance 0.25] [--enforce-perf yes]
   bounds  print the paper's bound curves       --n N --f F --b B
+  mine    search for a worst-case oblivious adversary (schedule mutation,
+          optionally topology too) and emit a JSON result with the
+          convergence history; worst finds can be promoted to the
+          regression corpus
+          --topology SPEC --inputs SPEC --op OP --seed S
+          --f F (edge-failure budget) --b B --c C
+          --objective root-cc|bottleneck-cc|rounds
+          --protocol tradeoff|pair:T|doubling:STAGES
+          --accept hill|anneal|anneal:T0:COOLING
+          --iterations K --coin-seeds K --threads T (same result any T)
+          --mutate-topology yes --progress yes
+          --crash NODE@ROUND (seed the search from this schedule)
+          --corpus-out PATH --name NAME (write a tests/corpus entry)
+          exits 1 on correctness counterexamples or watchdog violations
 ";
 
 fn cmd_run(args: &Args) -> Result<String, String> {
@@ -1122,6 +1137,226 @@ fn cmd_bounds(args: &Args) -> Result<String, String> {
     ))
 }
 
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Everything `cmd_mine` reports for one mined adversary, independent of
+/// the operator's concrete type.
+struct MineOutcome {
+    result: ftagg_bench::search::MineResult,
+    entry: netsim::CorpusEntry,
+    monitor_violations: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mine_with_op<C: Caaf + Sync + 'static>(
+    op: &C,
+    graph: &netsim::Graph,
+    inputs: &[u64],
+    max_input: u64,
+    cfg: &ftagg_bench::search::MineConfig,
+    initial: Option<&netsim::FailureSchedule>,
+    progress: Option<&mut dyn FnMut(&ftagg_bench::search::MineProgress)>,
+    name: &str,
+) -> MineOutcome {
+    use ftagg::run_pair_monitored;
+    use ftagg::tradeoff::run_tradeoff_monitored;
+    use ftagg_bench::search::{corpus_entry, mine, MineProtocol};
+
+    let result = mine(op, graph, inputs, max_input, cfg, initial, progress);
+    // Confirmation run of the best find under the (collecting) watchdog.
+    let inst = Instance::new(
+        result.graph.clone(),
+        NodeId(0),
+        inputs.to_vec(),
+        result.schedule.clone(),
+        max_input,
+    )
+    .expect("mined instances are valid");
+    let monitor_violations = match cfg.protocol {
+        MineProtocol::Tradeoff { f } => {
+            let tc = TradeoffConfig { b: cfg.b, c: cfg.c, f, seed: 0 };
+            run_tradeoff_monitored(op, &inst, &tc, false).1.total
+        }
+        MineProtocol::Pair { t } => {
+            run_pair_monitored(op, &inst, inst.schedule.clone(), cfg.c, t, true, 0, false)
+                .monitor
+                .total
+        }
+        MineProtocol::Doubling { .. } => 0,
+    };
+    let entry = corpus_entry(name, op, inputs, max_input, cfg, &result);
+    MineOutcome { result, entry, monitor_violations }
+}
+
+fn cmd_mine(args: &Args) -> Result<CmdOutput, String> {
+    use ftagg_bench::search::{Acceptance, MineConfig, MineProgress, MineProtocol, Objective};
+    use std::fmt::Write as _;
+
+    let seed: u64 = args.num("seed", 0)?;
+    let graph = spec::parse_topology(args.get("topology").unwrap_or("caterpillar:30x1"), seed)?;
+    let n = graph.len();
+    let (inputs, gen_max) = spec::parse_inputs(args.get("inputs").unwrap_or("random:32"), n, seed)?;
+    let op = spec::parse_op(args.get("op").unwrap_or("sum"))?;
+    let max_input = match op {
+        OpSpec::Count(_) | OpSpec::Or(_) | OpSpec::And(_) => 1,
+        OpSpec::Min(m) => gen_max.min(m.top()),
+        OpSpec::ModSum(m) => gen_max.min(m.modulus() - 1),
+        _ => gen_max,
+    };
+    let inputs: Vec<u64> = inputs.into_iter().map(|v| v.min(max_input)).collect();
+
+    let c: u32 = args.num("c", 2)?;
+    let b: u64 = args.num("b", 21 * u64::from(c))?;
+    let f: usize = args.num("f", 4)?;
+    let objective = Objective::parse(args.get("objective").unwrap_or("root-cc"))?;
+    let protocol = match args.get("protocol").unwrap_or("tradeoff") {
+        "tradeoff" => MineProtocol::Tradeoff { f },
+        "pair" => MineProtocol::Pair { t: args.num("t", 1)? },
+        "doubling" => MineProtocol::Doubling { max_stages: 8 },
+        other => MineProtocol::parse(other)?,
+    };
+    let acceptance = Acceptance::parse(args.get("accept").unwrap_or("hill"))?;
+    let cfg = MineConfig {
+        iterations: args.num("iterations", 40)?,
+        coin_seeds: args.num("coin-seeds", 2)?,
+        seed,
+        threads: args.num("threads", 0usize)?,
+        b,
+        c,
+        f_budget: f,
+        objective,
+        protocol,
+        acceptance,
+        mutate_topology: args.get("mutate-topology") == Some("yes"),
+    };
+    let initial = {
+        let crashes = args.get_all("crash");
+        if crashes.is_empty() {
+            None
+        } else {
+            Some(spec::parse_crashes(crashes)?)
+        }
+    };
+    if let Some(s) = &initial {
+        s.validate(&graph, NodeId(0))?;
+    }
+
+    let show_progress = args.get("progress") == Some("yes");
+    let mut last: Option<std::time::Instant> = None;
+    let total_iters = cfg.iterations;
+    let mut progress_cb = move |p: &MineProgress| {
+        let due = last.is_none_or(|t| t.elapsed().as_millis() >= 200);
+        if due || p.iteration == p.iterations {
+            last = Some(std::time::Instant::now());
+            eprint!(
+                "\r  mine: {}/{} iterations, {} evaluations, best {}   ",
+                p.iteration, p.iterations, p.evaluations, p.best
+            );
+            if p.iteration == total_iters {
+                eprintln!();
+            }
+        }
+    };
+    let progress: Option<&mut dyn FnMut(&MineProgress)> =
+        if show_progress { Some(&mut progress_cb) } else { None };
+
+    let name = args.get("name").unwrap_or("mined").to_string();
+    macro_rules! with_op {
+        ($op:expr) => {
+            mine_with_op($op, &graph, &inputs, max_input, &cfg, initial.as_ref(), progress, &name)
+        };
+    }
+    let outcome = match op {
+        OpSpec::Sum(o) => with_op!(&o),
+        OpSpec::Count(o) => with_op!(&o),
+        OpSpec::Max(o) => with_op!(&o),
+        OpSpec::Min(o) => with_op!(&o),
+        OpSpec::Or(o) => with_op!(&o),
+        OpSpec::And(o) => with_op!(&o),
+        OpSpec::Gcd(o) => with_op!(&o),
+        OpSpec::ModSum(o) => with_op!(&o),
+    };
+    let r = &outcome.result;
+
+    let corpus_path = match args.get("corpus-out") {
+        None => None,
+        Some(path) => {
+            std::fs::write(path, outcome.entry.to_text())
+                .map_err(|e| format!("cannot write corpus file '{path}': {e}"))?;
+            Some(path.to_string())
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"objective\": \"{}\",", cfg.objective.tag());
+    let _ = writeln!(out, "  \"protocol\": \"{}\",", cfg.protocol.tag());
+    let _ = writeln!(out, "  \"accept\": \"{}\",", cfg.acceptance.tag());
+    let _ = writeln!(
+        out,
+        "  \"n\": {}, \"b\": {}, \"c\": {}, \"f_budget\": {}, \"seed\": {},",
+        n, cfg.b, cfg.c, cfg.f_budget, cfg.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"iterations\": {}, \"evaluations\": {}, \"runs_per_eval\": {},",
+        cfg.iterations, r.evaluations, r.runs_per_eval
+    );
+    let _ = writeln!(out, "  \"value\": {}, \"mean\": {:.2},", r.value, r.mean());
+    let _ = writeln!(out, "  \"edges\": {}, \"crashes\": {},", r.graph.edges().len(), {
+        r.schedule.crash_count()
+    });
+    let steps: Vec<String> = r
+        .history
+        .iter()
+        .map(|h| {
+            let class = match &h.class {
+                None => "null".to_string(),
+                Some(c) => format!("\"{}\"", json_escape(c)),
+            };
+            format!(
+                "{{\"iteration\": {}, \"value\": {}, \"class\": {}}}",
+                h.iteration, h.value, class
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"history\": [{}],", steps.join(", "));
+    let divs: Vec<String> =
+        r.divergences.iter().map(|(k, v)| format!("\"{}\": {v}", json_escape(k))).collect();
+    let _ = writeln!(out, "  \"divergences\": {{{}}},", divs.join(", "));
+    let cexs: Vec<String> = r
+        .counterexamples
+        .iter()
+        .map(|cx| {
+            format!(
+                "{{\"coin_seed\": {}, \"result\": {}, \"lo\": {}, \"hi\": {}, \"crashes\": {}}}",
+                cx.coin_seed,
+                cx.result,
+                cx.lo,
+                cx.hi,
+                cx.schedule.crash_count()
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"counterexamples\": [{}],", cexs.join(", "));
+    let _ = writeln!(out, "  \"monitor_violations\": {},", outcome.monitor_violations);
+    let _ = writeln!(
+        out,
+        "  \"corpus\": {}",
+        match &corpus_path {
+            None => "null".to_string(),
+            Some(p) => format!("\"{}\"", json_escape(p)),
+        }
+    );
+    let _ = writeln!(out, "}}");
+
+    let code = i32::from(!r.counterexamples.is_empty() || outcome.monitor_violations > 0);
+    Ok(CmdOutput { text: out, code })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1748,6 +1983,117 @@ mod tests {
         };
         let plain = run(&[]);
         assert_eq!(run(&["--progress", "yes"]), plain);
+    }
+
+    #[test]
+    fn mine_emits_json_and_is_deterministic_across_threads() {
+        let mine = |threads: &str| {
+            dispatch_full(&args(&[
+                "mine",
+                "--topology",
+                "caterpillar:6x1",
+                "--f",
+                "4",
+                "--b",
+                "42",
+                "--iterations",
+                "6",
+                "--coin-seeds",
+                "1",
+                "--seed",
+                "7",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let out = mine("1");
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("\"objective\": \"root-cc\""), "{}", out.text);
+        assert!(out.text.contains("\"protocol\": \"tradeoff:4\""), "{}", out.text);
+        assert!(out.text.contains("\"history\": [{\"iteration\": 0"), "{}", out.text);
+        assert!(out.text.contains("\"counterexamples\": []"), "{}", out.text);
+        assert!(out.text.contains("\"monitor_violations\": 0"), "{}", out.text);
+        // Identical result at any worker count.
+        assert_eq!(mine("4").text, out.text);
+    }
+
+    #[test]
+    fn mine_writes_a_replayable_corpus_entry() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mine_corpus.corpus");
+        let path_s = path.to_str().unwrap();
+        let out = dispatch_full(&args(&[
+            "mine",
+            "--topology",
+            "caterpillar:6x1",
+            "--f",
+            "4",
+            "--iterations",
+            "5",
+            "--coin-seeds",
+            "1",
+            "--seed",
+            "3",
+            "--threads",
+            "1",
+            "--corpus-out",
+            path_s,
+            "--name",
+            "cli-test",
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains(&format!("\"corpus\": \"{path_s}\"")), "{}", out.text);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entry = netsim::CorpusEntry::from_text(&text).unwrap();
+        assert_eq!(entry.name, "cli-test");
+        let mined_value: u64 = out
+            .text
+            .lines()
+            .find(|l| l.contains("\"value\""))
+            .and_then(|l| l.split("\"value\": ").nth(1))
+            .and_then(|v| v.split(',').next())
+            .and_then(|v| v.parse().ok())
+            .expect("value line");
+        assert_eq!(entry.value, mined_value);
+        let replay = ftagg_bench::search::replay_entry(&entry, true).unwrap();
+        assert_eq!(replay.value, entry.value, "corpus replay must be bit-for-bit");
+        assert!(replay.clean);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mine_other_protocols_objectives_and_errors() {
+        for (proto, obj) in [("pair:2", "bottleneck-cc"), ("doubling:5", "rounds")] {
+            let out = dispatch_full(&args(&[
+                "mine",
+                "--topology",
+                "caterpillar:5x1",
+                "--f",
+                "3",
+                "--iterations",
+                "3",
+                "--seed",
+                "1",
+                "--threads",
+                "1",
+                "--protocol",
+                proto,
+                "--objective",
+                obj,
+            ]))
+            .unwrap();
+            assert_eq!(out.code, 0, "{proto}: {}", out.text);
+            assert!(out.text.contains(&format!("\"protocol\": \"{proto}\"")), "{}", out.text);
+            assert!(out.text.contains("\"runs_per_eval\": 1"), "{}", out.text);
+        }
+        assert!(dispatch(&args(&["mine", "--objective", "speed"])).is_err());
+        assert!(dispatch(&args(&["mine", "--protocol", "carrier"])).is_err());
+        assert!(dispatch(&args(&["mine", "--accept", "perhaps"])).is_err());
+        // Seeding from an invalid schedule (root crash) is a usage error.
+        assert!(dispatch(&args(&["mine", "--crash", "0@5"])).is_err());
     }
 
     #[test]

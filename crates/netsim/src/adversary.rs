@@ -327,6 +327,197 @@ pub mod schedules {
     }
 }
 
+/// Constraint-respecting perturbation operators for adversary mining.
+///
+/// The worst-case search in `ftagg-bench` walks schedule space (and,
+/// optionally, topology space) by repeatedly applying one small mutation
+/// and re-measuring the protocol. Every operator here re-checks the
+/// model's standing assumptions before returning — the `f` edge-failure
+/// budget, the `c·d` stretch constraint, a never-crashing root — so the
+/// search loop can accept any returned candidate without re-validation.
+pub mod mutate {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    /// Hot spots a guided search wants mutations biased toward: nodes
+    /// carrying the most blamed bits and rounds where accepted candidates
+    /// last diverged. An empty bias means uniform mutations.
+    #[derive(Clone, Debug, Default)]
+    pub struct MutationBias {
+        /// Preferred crash targets (e.g. top CC-blame nodes).
+        pub nodes: Vec<NodeId>,
+        /// Preferred crash rounds (e.g. first-divergence rounds).
+        pub rounds: Vec<Round>,
+    }
+
+    impl MutationBias {
+        /// True when the bias carries no hints.
+        pub fn is_empty(&self) -> bool {
+            self.nodes.is_empty() && self.rounds.is_empty()
+        }
+    }
+
+    /// Picks a non-root crash target: with probability ~1/2 one of the
+    /// bias nodes (when any are usable), otherwise uniform.
+    fn pick_node<R: Rng>(g: &Graph, root: NodeId, bias: &MutationBias, rng: &mut R) -> NodeId {
+        let hot: Vec<NodeId> =
+            bias.nodes.iter().copied().filter(|&v| v != root && v.index() < g.len()).collect();
+        if !hot.is_empty() && rng.gen_bool(0.5) {
+            return hot[rng.gen_range(0..hot.len())];
+        }
+        loop {
+            let v = NodeId(rng.gen_range(0..g.len() as u32));
+            if v != root {
+                return v;
+            }
+        }
+    }
+
+    /// Picks a crash round in `1..=horizon`: with probability ~1/2 near a
+    /// bias round (within a `horizon/16` window), otherwise uniform.
+    fn pick_round<R: Rng>(horizon: Round, bias: &MutationBias, rng: &mut R) -> Round {
+        let horizon = horizon.max(1);
+        if !bias.rounds.is_empty() && rng.gen_bool(0.5) {
+            let center = bias.rounds[rng.gen_range(0..bias.rounds.len())];
+            let w = (horizon / 16).max(1);
+            let lo = center.saturating_sub(w).max(1);
+            let hi = center.saturating_add(w).min(horizon);
+            return rng.gen_range(lo..=hi);
+        }
+        rng.gen_range(1..=horizon)
+    }
+
+    /// One atomic perturbation of `base`: retime, retarget, add, or drop
+    /// a crash, or toggle a partial last broadcast. Up to 30 attempts are
+    /// made; a candidate is returned only if it respects the `f_budget`
+    /// edge-failure budget and the `c·d` stretch constraint on `g`, and
+    /// never crashes `root`. Falls back to a clone of `base` when no
+    /// attempt sticks (so callers always get a valid schedule).
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule<R: Rng>(
+        base: &FailureSchedule,
+        g: &Graph,
+        root: NodeId,
+        f_budget: usize,
+        horizon: Round,
+        c: u32,
+        bias: &MutationBias,
+        rng: &mut R,
+    ) -> FailureSchedule {
+        let horizon = horizon.max(1);
+        for _ in 0..30 {
+            let mut items: Vec<(NodeId, CrashEvent)> =
+                base.iter().map(|(n, e)| (n, e.clone())).collect();
+            match rng.gen_range(0..5) {
+                0 if !items.is_empty() => {
+                    // Retime one crash (keeping any partial restriction).
+                    let i = rng.gen_range(0..items.len());
+                    items[i].1.round = pick_round(horizon, bias, rng);
+                }
+                1 if !items.is_empty() => {
+                    // Retarget one crash; the old node's partial receiver
+                    // list is meaningless at the new node, so drop it.
+                    let i = rng.gen_range(0..items.len());
+                    items[i].0 = pick_node(g, root, bias, rng);
+                    items[i].1.partial = None;
+                }
+                2 => {
+                    // Add a crash.
+                    let v = pick_node(g, root, bias, rng);
+                    items.push((v, CrashEvent::clean(pick_round(horizon, bias, rng))));
+                }
+                3 if !items.is_empty() => {
+                    // Drop a crash.
+                    let i = rng.gen_range(0..items.len());
+                    items.swap_remove(i);
+                }
+                4 if !items.is_empty() => {
+                    // Toggle a partial last broadcast: restrict one crash's
+                    // final send to a random neighbor subset (or restore a
+                    // full broadcast).
+                    let i = rng.gen_range(0..items.len());
+                    let (v, e) = &mut items[i];
+                    if e.partial.is_some() {
+                        e.partial = None;
+                    } else {
+                        let mut nbrs: Vec<NodeId> = g.neighbors(*v).to_vec();
+                        nbrs.shuffle(rng);
+                        nbrs.truncate(rng.gen_range(0..=nbrs.len().saturating_sub(1)));
+                        nbrs.sort_unstable();
+                        e.partial = Some(nbrs);
+                    }
+                }
+                _ => continue,
+            }
+            items.sort_by_key(|&(n, _)| n);
+            items.dedup_by_key(|&mut (n, _)| n);
+            let mut s = FailureSchedule::none();
+            for (n, e) in items {
+                if n == root {
+                    continue;
+                }
+                match e.partial {
+                    Some(rx) => s.crash_partial(n, e.round, rx),
+                    None => s.crash(n, e.round),
+                };
+            }
+            if s.edge_failures(g) <= f_budget
+                && s.stretch_factor(g, root) <= f64::from(c)
+                && s.validate(g, root).is_ok()
+            {
+                return s;
+            }
+        }
+        base.clone()
+    }
+
+    /// One atomic perturbation of the topology: add one absent edge or
+    /// remove one present edge, keeping the graph connected and keeping
+    /// `schedule` within the `f_budget` / stretch constraints (edge
+    /// failures are counted against the *mutated* graph, and a removed
+    /// edge may invalidate a partial receiver list, so the schedule is
+    /// re-validated too). Returns `None` when 30 attempts all fail —
+    /// callers then mutate the schedule instead.
+    pub fn topology<R: Rng>(
+        g: &Graph,
+        root: NodeId,
+        schedule: &FailureSchedule,
+        f_budget: usize,
+        c: u32,
+        rng: &mut R,
+    ) -> Option<Graph> {
+        let n = g.len() as u32;
+        for _ in 0..30 {
+            let cand = if rng.gen_bool(0.5) {
+                // Add an absent edge.
+                let a = NodeId(rng.gen_range(0..n));
+                let b = NodeId(rng.gen_range(0..n));
+                if a == b || g.has_edge(a, b) {
+                    continue;
+                }
+                g.with_edge(a, b).expect("absent non-loop edge in range")
+            } else {
+                // Remove a present edge.
+                if g.edge_count() == 0 {
+                    continue;
+                }
+                let e = g.edges()[rng.gen_range(0..g.edge_count())];
+                match g.without_edge(e.lo(), e.hi()) {
+                    Some(h) if h.is_connected() => h,
+                    _ => continue,
+                }
+            };
+            if schedule.edge_failures(&cand) <= f_budget
+                && schedule.stretch_factor(&cand, root) <= f64::from(c)
+                && schedule.validate(&cand, root).is_ok()
+            {
+                return Some(cand);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +635,76 @@ mod tests {
         for (n, _) in s.iter() {
             assert_eq!(g.degree(n), 1);
         }
+    }
+
+    #[test]
+    fn mutate_schedule_respects_all_constraints() {
+        let g = topology::grid(5, 5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut s = schedules::random_with_edge_budget(&g, NodeId(0), 8, 100, &mut rng);
+        let bias = mutate::MutationBias::default();
+        for _ in 0..200 {
+            s = mutate::schedule(&s, &g, NodeId(0), 8, 100, 2, &bias, &mut rng);
+            assert!(s.edge_failures(&g) <= 8);
+            assert!(s.stretch_factor(&g, NodeId(0)) <= 2.0);
+            assert!(s.validate(&g, NodeId(0)).is_ok());
+            assert!(!s.ever_crashes(NodeId(0)));
+            for (_, e) in s.iter() {
+                assert!((1..=100).contains(&e.round));
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_schedule_bias_prefers_hot_nodes() {
+        let g = topology::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let bias = mutate::MutationBias { nodes: vec![NodeId(7), NodeId(13)], rounds: vec![50] };
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..300 {
+            let s = mutate::schedule(
+                &FailureSchedule::none(),
+                &g,
+                NodeId(0),
+                20,
+                100,
+                4,
+                &bias,
+                &mut rng,
+            );
+            for (n, _) in s.iter() {
+                total += 1;
+                if n == NodeId(7) || n == NodeId(13) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        // Uniform would hit the 2/35 ≈ 6% hot set rarely; the bias should
+        // push it to roughly half. Require a comfortably separated 25%.
+        assert!(hits * 4 >= total, "bias too weak: {hits}/{total}");
+    }
+
+    #[test]
+    fn mutate_topology_keeps_connectivity_and_budgets() {
+        let g = topology::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = FailureSchedule::none();
+        s.crash(NodeId(5), 10);
+        let mut cur = g.clone();
+        let mut changed = 0;
+        for _ in 0..60 {
+            if let Some(h) = mutate::topology(&cur, NodeId(0), &s, 6, 2, &mut rng) {
+                assert!(h.is_connected());
+                assert_eq!(h.len(), cur.len());
+                assert!(s.edge_failures(&h) <= 6);
+                assert!(s.stretch_factor(&h, NodeId(0)) <= 2.0);
+                assert_ne!(h.edges(), cur.edges());
+                cur = h;
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "topology mutation never produced a candidate");
     }
 }

@@ -232,6 +232,35 @@ impl Graph {
         &self.edges
     }
 
+    /// A copy of this graph with the edge `(a, b)` added. The graph is
+    /// immutable (CSR), so this rebuilds from the edge list; use it for
+    /// offline perturbations (adversary mining), not per-round work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the edge is a self-loop, out of range,
+    /// or already present.
+    pub fn with_edge(&self, a: NodeId, b: NodeId) -> Result<Graph, GraphError> {
+        let mut list: Vec<(u32, u32)> = self.edges.iter().map(|e| (e.lo().0, e.hi().0)).collect();
+        list.push((a.0, b.0));
+        Graph::new(self.len(), &list)
+    }
+
+    /// A copy of this graph with the edge `(a, b)` removed, or `None`
+    /// when the edge is not present. Like [`Graph::with_edge`], this
+    /// rebuilds the CSR form and is meant for offline perturbations. The
+    /// result may be disconnected — callers that need connectivity check
+    /// [`Graph::is_connected`] themselves.
+    pub fn without_edge(&self, a: NodeId, b: NodeId) -> Option<Graph> {
+        if !self.has_edge(a, b) {
+            return None;
+        }
+        let gone = Edge::new(a, b);
+        let list: Vec<(u32, u32)> =
+            self.edges.iter().filter(|&&e| e != gone).map(|e| (e.lo().0, e.hi().0)).collect();
+        Some(Graph::new(self.len(), &list).expect("removing an edge keeps the list valid"))
+    }
+
     /// Neighbors of `v` in ascending order.
     ///
     /// # Panics
@@ -494,5 +523,36 @@ mod tests {
         let g = path(3);
         let v: Vec<_> = g.nodes().collect();
         assert_eq!(v, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn with_edge_adds_and_rejects_invalid() {
+        let g = path(4); // 0-1-2-3
+        let h = g.with_edge(NodeId(0), NodeId(3)).unwrap();
+        assert!(h.has_edge(NodeId(0), NodeId(3)));
+        assert_eq!(h.edge_count(), g.edge_count() + 1);
+        assert_eq!(h.diameter(), 2);
+        // Original untouched (immutable rebuild).
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+        assert!(matches!(g.with_edge(NodeId(1), NodeId(2)), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(g.with_edge(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            g.with_edge(NodeId(0), NodeId(9)),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn without_edge_removes_or_declines() {
+        let g = Graph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let h = g.without_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(!h.has_edge(NodeId(2), NodeId(3)));
+        assert_eq!(h.edge_count(), 3);
+        assert!(h.is_connected());
+        assert!(g.without_edge(NodeId(0), NodeId(2)).is_none());
+        // Removal may disconnect; the helper leaves that to the caller.
+        let p = path(3);
+        let cut = p.without_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(!cut.is_connected());
     }
 }

@@ -49,6 +49,7 @@
 
 pub mod adversary;
 pub mod causal;
+pub mod corpus;
 pub mod diff;
 pub mod engine;
 pub mod flood;
@@ -61,6 +62,7 @@ pub mod trace;
 
 pub use adversary::{CrashEvent, FailureSchedule, Round};
 pub use causal::{folded_stacks, Blame, CausalDag, Coverage, CriticalPath, Hop, UNTAGGED};
+pub use corpus::{CorpusEntry, CORPUS_VERSION};
 pub use diff::{diff, Delta, Divergence, DivergenceClass, TraceDiff};
 pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause, Telemetry};
 pub use flood::FloodState;

@@ -16,7 +16,8 @@ use ftagg::msg::{agg_bit_budget, veri_bit_budget};
 use ftagg::pair::AggOutcome;
 use ftagg::tradeoff::{run_tradeoff, TradeoffConfig};
 use ftagg::Instance;
-use netsim::{adversary::schedules, topology, NodeId, Runner};
+use ftagg_bench::search::replay_entry;
+use netsim::{adversary::schedules, topology, CorpusEntry, NodeId, Runner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,6 +98,28 @@ fn stress_fast_slice_fifty_runs() {
     // require that the slice exercised a healthy number of executions.
     assert!(counts.iter().sum::<usize>() >= 25, "too many skipped: {counts:?}");
     assert!(counts[0] > 0, "no few-failure runs: {counts:?}");
+}
+
+/// Tier-1 slice: the mined-adversary corpus replays bit for bit under the
+/// strict watchdog — deliberately-searched worst cases ride along with
+/// the random stress (full gate in `corpus_replay.rs`).
+#[test]
+fn stress_fast_slice_corpus_replay() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus");
+    let mut replayed = 0;
+    for e in std::fs::read_dir(&dir).expect("tests/corpus exists").flatten() {
+        let p = e.path();
+        if p.extension().is_none_or(|x| x != "corpus") {
+            continue;
+        }
+        let entry = CorpusEntry::from_text(&std::fs::read_to_string(&p).unwrap())
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", p.display()));
+        let replay = replay_entry(&entry, true).expect("corpus entry replays");
+        assert_eq!(replay.value, entry.value, "{}: mined CC drifted", p.display());
+        assert!(replay.clean, "{}: watchdog violations", p.display());
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "expected the promoted corpus, found {replayed} entries");
 }
 
 #[test]
