@@ -27,8 +27,8 @@ use caaf::Sum;
 use ftagg::tradeoff::{run_tradeoff, run_tradeoff_monitored, TradeoffConfig};
 use ftagg::Instance;
 use netsim::{
-    topology, Engine, FailureSchedule, FloodState, Message, MonitorConfig, NodeId, NodeLogic,
-    Round, RoundCtx, Runner, Telemetry, Watchdog,
+    topology, AnyEngine, BitFlood, EngineKind, FailureSchedule, FloodState, Message, MonitorConfig,
+    NodeId, NodeLogic, Round, RoundCtx, Runner, SoaEngine, Telemetry, Watchdog,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,10 +87,17 @@ impl NodeLogic<Token> for Flooder {
 /// budget-less [`Watchdog`]; returns the engine telemetry, the total bits
 /// sent, and the watchdog's violation count (0 when unmonitored).
 pub fn flood_grid(side: usize, monitored: bool) -> (Telemetry, u64, u64) {
+    flood_grid_on(side, monitored, EngineKind::Classic)
+}
+
+/// [`flood_grid`] on an explicit engine implementation — the SoA run of
+/// the identical workload must reproduce the classic `exact.*` statistics
+/// bit for bit (the snapshot-level equivalence pin).
+pub fn flood_grid_on(side: usize, monitored: bool, kind: EngineKind) -> (Telemetry, u64, u64) {
     let g = topology::grid(side, side);
     let n = g.len();
     let d = Round::from(g.diameter());
-    let mut eng = Engine::new(g, FailureSchedule::none(), Flooder::new);
+    let mut eng = AnyEngine::new(kind, g, FailureSchedule::none(), Flooder::new);
     if monitored {
         eng.set_sink(Box::new(Watchdog::new(MonitorConfig::new(n))));
     }
@@ -107,6 +114,51 @@ pub fn flood_grid(side: usize, monitored: bool) -> (Telemetry, u64, u64) {
     };
     let bits = eng.metrics().total_bits();
     (eng.telemetry().clone(), bits, violations)
+}
+
+/// Single-origin flooder: node 0 injects one token in round 1 and every
+/// node forwards it on first sighting — the million-node workload (its
+/// delivery count is exactly the sum of live degrees, so it scales to
+/// N = 2²⁰ where the all-to-all flood cannot).
+pub struct SingleFlood {
+    me: NodeId,
+    seen: bool,
+}
+
+impl SingleFlood {
+    /// The single-origin flooder for node `me`.
+    #[inline]
+    pub fn new(me: NodeId) -> Self {
+        SingleFlood { me, seen: false }
+    }
+}
+
+impl NodeLogic<Token> for SingleFlood {
+    #[inline]
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Token>) {
+        if ctx.round() == 1 && self.me == NodeId(0) {
+            self.seen = true;
+            ctx.send(Token(0));
+            return;
+        }
+        if !self.seen && !ctx.inbox().is_empty() {
+            self.seen = true;
+            ctx.send(Token(0));
+        }
+    }
+}
+
+/// One single-origin flood over `hypercube(dim)` on the SoA engine with
+/// lean (streaming) metrics; returns the telemetry and total bits. The
+/// hypercube diameter is `dim` by construction, so no all-pairs BFS is
+/// needed at N = 2²⁰.
+pub fn flood_hypercube_soa(dim: u32) -> (Telemetry, u64) {
+    let g = topology::hypercube(dim);
+    let mut eng = SoaEngine::new(g, FailureSchedule::none(), SingleFlood::new);
+    eng.use_lean_metrics();
+    eng.run(Round::from(dim) + 2);
+    let bits = eng.metrics().total_bits();
+    (eng.telemetry().clone(), bits)
 }
 
 /// One parsed (or freshly collected) benchmark snapshot.
@@ -139,6 +191,7 @@ impl Snapshot {
         s.info.insert("info.workload".into(), if quick { "quick" } else { "full" }.into());
 
         s.collect_engine(quick);
+        s.collect_soa(quick);
         s.collect_sweep(quick);
         s.collect_runner(quick);
         s
@@ -171,6 +224,56 @@ impl Snapshot {
         self.perf.insert("perf.engine.deliveries_per_sec".into(), dps);
         self.perf
             .insert("perf.monitor.flood_ratio".into(), if dps > 0.0 { mon_dps / dps } else { 0.0 });
+    }
+
+    /// The struct-of-arrays engine lane: (a) the SoA engine on the exact
+    /// classic flood workload — its `exact.*` statistics must match
+    /// `exact.engine.*` bit for bit; (b) the bit-packed [`BitFlood`] lane
+    /// on a larger grid (the ≥ 10× flood microbench); (c) a single-origin
+    /// flood on `hypercube(20)` (N = 2²⁰; `dim = 12` under `--quick`) —
+    /// the million-node sweep the tentpole targets.
+    fn collect_soa(&mut self, quick: bool) {
+        // (a) SoA mirror of the classic flood.
+        let side = if quick { 8 } else { 16 };
+        let reps = if quick { 2 } else { 3 };
+        let (mut dps, mut bits, mut deliveries, mut peak) = (0.0f64, 0, 0, 0);
+        for _ in 0..reps {
+            let (t, b, _) = flood_grid_on(side, false, EngineKind::Soa);
+            dps = dps.max(t.deliveries_per_sec());
+            bits = b;
+            deliveries = t.deliveries;
+            peak = t.peak_inflight;
+        }
+        self.exact.insert("exact.soa.total_bits".into(), bits);
+        self.exact.insert("exact.soa.deliveries".into(), deliveries);
+        self.exact.insert("exact.soa.peak_inflight".into(), peak);
+        self.perf.insert("perf.soa.deliveries_per_sec".into(), dps);
+
+        // (b) Bit-packed all-to-all flood: same workload family at a size
+        // where the word-parallel lane can show its throughput.
+        let side = if quick { 24 } else { 48 };
+        let g = topology::grid(side, side);
+        let d = Round::from(g.diameter());
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let (mut fdps, mut freport) = (0.0f64, None);
+        for _ in 0..reps {
+            let mut lane = BitFlood::new(g.clone(), &FailureSchedule::none(), &origins, 32);
+            let r = lane.run(2 * d + 2);
+            fdps = fdps.max(r.deliveries_per_sec());
+            freport = Some(r);
+        }
+        let r = freport.expect("at least one flood rep ran");
+        self.exact.insert("exact.flood.deliveries".into(), r.deliveries);
+        self.exact.insert("exact.flood.total_bits".into(), r.total_bits);
+        self.exact.insert("exact.flood.max_bits".into(), r.max_bits);
+        self.perf.insert("perf.flood.deliveries_per_sec".into(), fdps);
+
+        // (c) Million-node single-origin flood (SoA, lean metrics).
+        let dim = if quick { 12 } else { 20 };
+        let (t, bits) = flood_hypercube_soa(dim);
+        self.exact.insert("exact.e6.total_bits".into(), bits);
+        self.exact.insert("exact.e6.deliveries".into(), t.deliveries);
+        self.perf.insert("perf.e6.deliveries_per_sec".into(), t.deliveries_per_sec());
     }
 
     /// Deterministic Algorithm 1 mini-sweep, plain then monitored: CC
@@ -603,12 +706,37 @@ mod tests {
         assert!(s.exact["exact.engine.total_bits"] > 0);
         assert!(s.perf["perf.engine.rounds_per_sec"] > 0.0);
         assert!(s.perf["perf.monitor.flood_ratio"] > 0.0);
+        // The SoA engine ran the identical workload: exact statistics must
+        // agree with the classic engine's bit for bit.
+        assert_eq!(s.exact["exact.soa.total_bits"], s.exact["exact.engine.total_bits"]);
+        assert_eq!(s.exact["exact.soa.deliveries"], s.exact["exact.engine.deliveries"]);
+        assert_eq!(s.exact["exact.soa.peak_inflight"], s.exact["exact.engine.peak_inflight"]);
+        assert!(s.exact["exact.flood.deliveries"] > 0);
+        assert!(s.perf["perf.flood.deliveries_per_sec"] > 0.0);
+        assert!(s.exact["exact.e6.deliveries"] > 0);
+        assert!(s.perf["perf.e6.deliveries_per_sec"] > 0.0);
         // The exact group must be reproducible within one process.
         let again = Snapshot::collect(true);
         assert_eq!(s.exact, again.exact);
         // And survive the JSON round trip.
         let parsed = Snapshot::from_json(&s.to_json()).unwrap();
         assert_eq!(parsed.exact, s.exact);
+    }
+
+    #[test]
+    fn bitflood_matches_engine_flood_counters() {
+        // The bit-packed lane on the snapshot's own workload family: every
+        // counter it reports must equal the generic engine running the
+        // per-message flooder on the same grid.
+        let side = 6;
+        let (t, bits, _) = flood_grid_on(side, false, EngineKind::Classic);
+        let g = topology::grid(side, side);
+        let d = Round::from(g.diameter());
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let mut lane = BitFlood::new(g, &FailureSchedule::none(), &origins, 32);
+        let r = lane.run(2 * d + 2);
+        assert_eq!(r.deliveries, t.deliveries);
+        assert_eq!(r.total_bits, bits);
     }
 
     #[test]

@@ -163,12 +163,16 @@ commands:
           --op sum|count|max|min:T|or|and|gcd|modsum:M
           --inputs const:V|random:MAX|ramp     --crash NODE@ROUND (repeatable)
           --b B --c C --f F --seed S --root R
+          --engine classic|soa (round-engine implementation; identical
+          results, soa is built for large N)
   topo    print topology statistics            --topology SPEC
   trace   run one AGG+VERI pair with a per-round event log
           --topology SPEC --t T --c C --crash NODE@ROUND --dot (print DOT)
           --jsonl PATH (also export the event log as versioned JSONL)
+          --engine classic|soa
   sweep   sweep the TC budget b and print the measured tradeoff curve
           --topology SPEC --f F --c C --from B0 --to B1 --points K --seed S
+          --engine classic|soa
           --threads T (parallel trial runner; 0 = auto, same output any T)
           --progress yes (live trials/throughput/ETA line on stderr)
   report  render a run report: phase table, CC/round histograms, top-k nodes
@@ -233,7 +237,8 @@ fn cmd_run(args: &Args) -> Result<String, String> {
         _ => gen_max,
     };
     let inputs: Vec<u64> = inputs.into_iter().map(|v| v.min(max_input)).collect();
-    let inst = Instance::new(graph, root, inputs, schedule, max_input)?;
+    let engine = netsim::EngineKind::parse(args.get("engine").unwrap_or("classic"))?;
+    let inst = Instance::new(graph, root, inputs, schedule, max_input)?.with_engine(engine);
 
     let c: u32 = args.num("c", 2)?;
     let b: u64 = args.num("b", 21 * u64::from(c))?;
@@ -318,9 +323,10 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     use caaf::Sum;
     use ftagg::msg::Envelope;
     use ftagg::pair::{PairNode, PairParams, Tweaks};
-    use netsim::Engine;
+    use netsim::AnyEngine;
 
     let seed: u64 = args.num("seed", 0)?;
+    let engine = netsim::EngineKind::parse(args.get("engine").unwrap_or("classic"))?;
     let graph = spec::parse_topology(args.get("topology").unwrap_or("cycle:8"), seed)?;
     let n = graph.len();
     let schedule = spec::parse_crashes(args.get_all("crash"))?;
@@ -340,8 +346,8 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         tweaks: Tweaks::default(),
     };
     let dot = args.get("dot").is_some();
-    let mut eng: Engine<Envelope, PairNode<Sum>> =
-        Engine::new(graph.clone(), schedule.clone(), |v| {
+    let mut eng: AnyEngine<Envelope, PairNode<Sum>> =
+        AnyEngine::new(engine, graph.clone(), schedule.clone(), |v| {
             PairNode::new(params, Sum, v, u64::from(v.0))
         });
     eng.enable_trace();
@@ -688,6 +694,7 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
         return Err("need --trials >= 1".into());
     }
     let threads: usize = args.num("threads", 1)?;
+    let engine = netsim::EngineKind::parse(args.get("engine").unwrap_or("classic"))?;
 
     // One instance per trial: trial i draws its schedule and inputs from
     // seed ^ i's stream on the shared topology, so the report is a
@@ -712,7 +719,8 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
         }
         let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
         let inst = Instance::new(graph.clone(), NodeId(0), inputs, schedule, 100)
-            .expect("topology and inputs are valid by construction");
+            .expect("topology and inputs are valid by construction")
+            .with_engine(engine);
         let cfg = TradeoffConfig { b, c, f, seed: s };
         let (r, violations) = if monitor {
             let (r, m) = run_tradeoff_monitored(&Sum, &inst, &cfg, false);
@@ -1074,7 +1082,8 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         best
     };
     let inputs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
-    let inst = Instance::new(graph, NodeId(0), inputs, schedule, 100)?;
+    let engine = netsim::EngineKind::parse(args.get("engine").unwrap_or("classic"))?;
+    let inst = Instance::new(graph, NodeId(0), inputs, schedule, 100)?.with_engine(engine);
 
     let threads: usize = args.num("threads", 1)?;
     let mut out = String::new();

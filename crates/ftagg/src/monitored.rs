@@ -16,7 +16,9 @@ use crate::msg::{agg_wire_ceiling, veri_wire_ceiling, Envelope};
 use crate::pair::{PairNode, PairParams, Tweaks};
 use crate::run::{run_pair_with_sink, PairReport};
 use caaf::Caaf;
-use netsim::{DecideCheck, Engine, FailureSchedule, MonitorConfig, MonitorReport, Round, Watchdog};
+use netsim::{
+    AnyEngine, DecideCheck, FailureSchedule, MonitorConfig, MonitorReport, Round, Watchdog,
+};
 
 /// A [`MonitorConfig`] enforcing one AGG(+VERI) pair's invariants:
 ///
@@ -136,7 +138,7 @@ pub fn run_pair_engine_monitored<C: Caaf + 'static>(
     t: u32,
     run_veri: bool,
     strict: bool,
-) -> (Engine<Envelope, PairNode<C>>, PairParams, MonitorReport) {
+) -> (AnyEngine<Envelope, PairNode<C>>, PairParams, MonitorReport) {
     let params = PairParams { model: inst.model(c), t, run_veri, tweaks: Tweaks::default() };
     let mut cfg = pair_monitor_config(inst, c, t, run_veri);
     if strict {
@@ -144,9 +146,10 @@ pub fn run_pair_engine_monitored<C: Caaf + 'static>(
     }
     let op2 = op.clone();
     let inputs = inst.inputs.clone();
-    let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
-        PairNode::new(params, op2.clone(), v, inputs[v.index()])
-    });
+    let mut eng: AnyEngine<Envelope, PairNode<C>> =
+        AnyEngine::new(inst.engine, inst.graph.clone(), schedule, |v| {
+            PairNode::new(params, op2.clone(), v, inputs[v.index()])
+        });
     eng.set_sink(Box::new(Watchdog::new(cfg)));
     eng.enter_phase("AGG");
     eng.run(params.agg_rounds());

@@ -5,7 +5,7 @@ use crate::config::Instance;
 use crate::msg::Envelope;
 use crate::pair::{AggOutcome, PairNode, PairParams, Tweaks};
 use caaf::Caaf;
-use netsim::{Engine, Event, FailureSchedule, Metrics, NodeId, Round, TraceSink};
+use netsim::{AnyEngine, Event, FailureSchedule, Metrics, NodeId, Round, TraceSink};
 
 /// Outcome of one AGG (+ optional VERI) pair execution.
 #[derive(Clone, Debug)]
@@ -177,9 +177,10 @@ fn run_pair_core<C: Caaf>(
     let params = PairParams { model: inst.model(c), t, run_veri, tweaks };
     let op2 = op.clone();
     let inputs = inst.inputs.clone();
-    let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
-        PairNode::new(params, op2.clone(), v, inputs[v.index()])
-    });
+    let mut eng: AnyEngine<Envelope, PairNode<C>> =
+        AnyEngine::new(inst.engine, inst.graph.clone(), schedule, |v| {
+            PairNode::new(params, op2.clone(), v, inputs[v.index()])
+        });
     if let Some(sink) = sink {
         eng.set_sink(sink);
     }
@@ -218,13 +219,14 @@ pub fn run_pair_engine<C: Caaf>(
     c: u32,
     t: u32,
     run_veri: bool,
-) -> (Engine<Envelope, PairNode<C>>, PairParams) {
+) -> (AnyEngine<Envelope, PairNode<C>>, PairParams) {
     let params = PairParams { model: inst.model(c), t, run_veri, tweaks: Tweaks::default() };
     let op2 = op.clone();
     let inputs = inst.inputs.clone();
-    let mut eng: Engine<Envelope, PairNode<C>> = Engine::new(inst.graph.clone(), schedule, |v| {
-        PairNode::new(params, op2.clone(), v, inputs[v.index()])
-    });
+    let mut eng: AnyEngine<Envelope, PairNode<C>> =
+        AnyEngine::new(inst.engine, inst.graph.clone(), schedule, |v| {
+            PairNode::new(params, op2.clone(), v, inputs[v.index()])
+        });
     eng.run(params.total_rounds());
     (eng, params)
 }

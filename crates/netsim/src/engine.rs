@@ -45,17 +45,196 @@ pub trait Message: Clone + fmt::Debug {
 /// which is how a node distinguishes a message *from its parent* from other
 /// traffic.
 ///
-/// The payload is reference-counted: a local broadcast is one physical
-/// transmission heard by every neighbor, so the engine allocates the
-/// message once and every recipient's inbox shares it. Field access
-/// auto-derefs through the `Rc`, so protocol code reads `rcv.msg.field`
-/// exactly as if the payload were owned.
-#[derive(Clone, Debug)]
-pub struct Received<M> {
+/// `Received` is a borrowed **view** into the engine's delivery storage: a
+/// local broadcast is one physical transmission heard by every neighbor,
+/// so the payload lives once inside the engine (an `Rc` in the classic
+/// engine, an arena slot in the SoA engine) and every recipient's inbox
+/// entry points at it. Field access auto-derefs through the reference, so
+/// protocol code reads `rcv.msg.field` exactly as if the payload were
+/// owned; clone the payload (`rcv.msg.clone()`) to keep it past the round.
+#[derive(Debug)]
+pub struct Received<'a, M> {
     /// The neighbor that broadcast the message in the previous round.
     pub from: NodeId,
     /// The payload, shared among all recipients of the broadcast.
-    pub msg: Rc<M>,
+    pub msg: &'a M,
+}
+
+impl<M> Clone for Received<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Received<'_, M> {}
+
+/// Classic-engine delivery storage: one inbox entry holding a shared
+/// payload. Kept crate-private so the public API ([`Received`]) stays a
+/// storage-agnostic view.
+#[derive(Clone, Debug)]
+pub(crate) struct StoredRecv<M> {
+    pub(crate) from: NodeId,
+    pub(crate) msg: Rc<M>,
+}
+
+/// The storage a [`RoundCtx`] inbox points into: the classic engine's
+/// dense per-node `Vec`, or the SoA engine's CSR window over its arena.
+#[derive(Debug)]
+pub(crate) enum InboxRef<'a, M> {
+    /// Classic engine: a contiguous slice of per-node inbox entries.
+    Dense(&'a [StoredRecv<M>]),
+    /// SoA engine: parallel sender/arena-index columns over an arena of
+    /// message payloads shared by all recipients.
+    Soa { from: &'a [NodeId], midx: &'a [u32], arena: &'a [M] },
+}
+
+impl<M> Clone for InboxRef<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for InboxRef<'_, M> {}
+
+/// One round's delivered messages, in deterministic order (ascending
+/// sender id, then the sender's send order). Returned by
+/// [`RoundCtx::inbox`]; iterate it (`for rcv in ctx.inbox()`) or index it
+/// ([`Inbox::get`]) to obtain [`Received`] views. The wrapper abstracts
+/// over the classic and SoA engines' delivery storage, so protocol code is
+/// engine-agnostic.
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    inner: InboxRef<'a, M>,
+}
+
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Number of messages delivered this round.
+    pub fn len(&self) -> usize {
+        match self.inner {
+            InboxRef::Dense(s) => s.len(),
+            InboxRef::Soa { from, .. } => from.len(),
+        }
+    }
+
+    /// Whether nothing was delivered this round.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th delivery of this round, if any.
+    pub fn get(&self, i: usize) -> Option<Received<'a, M>> {
+        match self.inner {
+            InboxRef::Dense(s) => s.get(i).map(|r| Received { from: r.from, msg: &*r.msg }),
+            InboxRef::Soa { from, midx, arena } => {
+                Some(Received { from: *from.get(i)?, msg: &arena[midx[i] as usize] })
+            }
+        }
+    }
+
+    /// Iterator over this round's deliveries as [`Received`] views.
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter { inner: self.inner, i: 0 }
+    }
+
+    /// Copies the views out (e.g. to end a borrow of the context before
+    /// calling [`RoundCtx::send`]).
+    pub fn to_vec(&self) -> Vec<Received<'a, M>> {
+        self.iter().collect()
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = Received<'a, M>;
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = Received<'a, M>;
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`], yielding [`Received`] views.
+#[derive(Clone, Debug)]
+pub struct InboxIter<'a, M> {
+    inner: InboxRef<'a, M>,
+    i: usize,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = Received<'a, M>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let out = Inbox { inner: self.inner }.get(self.i)?;
+        self.i += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = Inbox { inner: self.inner }.len().saturating_sub(self.i);
+        (rest, Some(rest))
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
+
+/// Which engine implementation executes an instance — the classic
+/// `Rc`-inbox [`Engine`] or the struct-of-arrays
+/// [`crate::soa::SoaEngine`]. The two are byte-for-byte equivalent
+/// (traces, metrics, decisions — pinned by `tests/engine_equivalence.rs`);
+/// the SoA engine exists for large-N throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The original per-message `Rc` engine. The default.
+    #[default]
+    Classic,
+    /// The struct-of-arrays engine (CSR inboxes + message arena).
+    Soa,
+}
+
+impl EngineKind {
+    /// Parses `"classic"` / `"soa"` (as the CLI `--engine` flag spells
+    /// them).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "classic" => Ok(EngineKind::Classic),
+            "soa" => Ok(EngineKind::Soa),
+            other => Err(format!("unknown engine '{other}' (expected 'classic' or 'soa')")),
+        }
+    }
+
+    /// The canonical lowercase name (`"classic"` / `"soa"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Classic => "classic",
+            EngineKind::Soa => "soa",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Per-round execution context handed to [`NodeLogic::on_round`].
@@ -63,7 +242,7 @@ pub struct RoundCtx<'a, M> {
     me: NodeId,
     n: usize,
     round: Round,
-    inbox: &'a [Received<M>],
+    inbox: InboxRef<'a, M>,
     outbox: &'a mut Vec<M>,
     stop: &'a mut bool,
     /// Trace ids of this round's `Deliver` events, parallel to `inbox`
@@ -74,6 +253,22 @@ pub struct RoundCtx<'a, M> {
 }
 
 impl<'a, M> RoundCtx<'a, M> {
+    /// Assembles a context over raw engine storage (shared by the classic
+    /// and SoA engines).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        me: NodeId,
+        n: usize,
+        round: Round,
+        inbox: InboxRef<'a, M>,
+        outbox: &'a mut Vec<M>,
+        stop: &'a mut bool,
+        delivery_ids: &'a [EventId],
+        causes: &'a mut Vec<EventId>,
+    ) -> Self {
+        RoundCtx { me, n, round, inbox, outbox, stop, delivery_ids, causes }
+    }
+
     /// This node's id.
     pub fn me(&self) -> NodeId {
         self.me
@@ -91,8 +286,10 @@ impl<'a, M> RoundCtx<'a, M> {
     }
 
     /// Messages delivered this round (sent by live neighbors last round).
-    pub fn inbox(&self) -> &[Received<M>] {
-        self.inbox
+    /// The returned [`Inbox`] borrows the engine, not the context, so it
+    /// stays usable across [`RoundCtx::send`] calls.
+    pub fn inbox(&self) -> Inbox<'a, M> {
+        Inbox { inner: self.inbox }
     }
 
     /// Queues `msg` for local broadcast at the end of this round; neighbors
@@ -247,11 +444,11 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     schedule: FailureSchedule,
     nodes: Vec<L>,
     /// Inbox consumed by the round being executed, indexed by node.
-    inboxes: Vec<Vec<Received<M>>>,
+    inboxes: Vec<Vec<StoredRecv<M>>>,
     /// Inbox being filled for the next round: the other half of the double
     /// buffer. Swapped with `inboxes` at each round boundary and cleared in
     /// place, so per-round allocations amortize to zero.
-    next_inboxes: Vec<Vec<Received<M>>>,
+    next_inboxes: Vec<Vec<StoredRecv<M>>>,
     /// Producing-`Send` event ids, parallel to `inboxes` per node. Kept
     /// out of [`Received`] so the untraced hot path moves 16-byte inbox
     /// entries; only populated while a sink is installed (empty queues —
@@ -530,16 +727,16 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             outbox.clear();
             causes.clear();
             {
-                let mut ctx = RoundCtx {
+                let mut ctx = RoundCtx::assemble(
                     me,
                     n,
-                    round: r,
-                    inbox: &inboxes[i],
-                    outbox: &mut *outbox,
-                    stop: &mut stop,
-                    delivery_ids: &*delivery_ids,
-                    causes: &mut *causes,
-                };
+                    r,
+                    InboxRef::Dense(&inboxes[i]),
+                    &mut *outbox,
+                    &mut stop,
+                    &*delivery_ids,
+                    &mut *causes,
+                );
                 nodes[i].on_round(&mut ctx);
             }
             if outbox.is_empty() {
@@ -604,7 +801,7 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             for (mi, msg) in outbox.drain(..).enumerate() {
                 let shared = Rc::new(msg);
                 for &w in receivers.iter() {
-                    next_inboxes[w.index()].push(Received { from: me, msg: Rc::clone(&shared) });
+                    next_inboxes[w.index()].push(StoredRecv { from: me, msg: Rc::clone(&shared) });
                 }
                 if tracing {
                     let send_id = send_ids.get(mi).copied().unwrap_or(EventId::NONE);

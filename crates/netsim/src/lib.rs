@@ -57,6 +57,8 @@ pub mod graph;
 pub mod metrics;
 pub mod monitor;
 pub mod runner;
+pub mod soa;
+pub mod testkit;
 pub mod topology;
 pub mod trace;
 
@@ -64,7 +66,10 @@ pub use adversary::{CrashEvent, FailureSchedule, Round};
 pub use causal::{folded_stacks, Blame, CausalDag, Coverage, CriticalPath, Hop, UNTAGGED};
 pub use corpus::{CorpusEntry, CORPUS_VERSION};
 pub use diff::{diff, Delta, Divergence, DivergenceClass, TraceDiff};
-pub use engine::{Engine, Message, NodeLogic, Received, RoundCtx, RunReport, StopCause, Telemetry};
+pub use engine::{
+    Engine, EngineKind, Inbox, InboxIter, Message, NodeLogic, Received, RoundCtx, RunReport,
+    StopCause, Telemetry,
+};
 pub use flood::FloodState;
 pub use graph::{Edge, Graph, GraphError, NodeId};
 pub use metrics::{Metrics, PhaseSpan, PhaseStats};
@@ -74,7 +79,8 @@ pub use monitor::{
 pub use runner::{
     ConsoleProgress, Histogram, PhaseAgg, Progress, ProgressSink, Runner, TrialStats, TrialSummary,
 };
+pub use soa::{AnyEngine, BitFlood, BitFloodReport, RoundFlow, SoaEngine};
 pub use trace::{
-    Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,
+    DeltaSink, Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,
     TRACE_SCHEMA_VERSION,
 };

@@ -84,6 +84,8 @@ pub struct Metrics {
     /// [`Metrics::note_round`] and by every recorded send. Used to place
     /// [`Metrics::enter_phase`] and clamp open spans.
     cursor: Round,
+    /// Lean mode skips the per-round ledger (see [`Metrics::lean`]).
+    lean: bool,
 }
 
 impl Metrics {
@@ -98,7 +100,25 @@ impl Metrics {
             spans: Vec::new(),
             open: Vec::new(),
             cursor: 0,
+            lean: false,
         }
+    }
+
+    /// Fresh counters that never materialize the per-round ledger: per-node
+    /// totals, CC ([`Metrics::max_bits`]) and TC stay exact, but
+    /// round-windowed queries ([`Metrics::bits_in_round`] and friends) and
+    /// phase `bits`/`sends` read as zero. For streaming million-node runs
+    /// where O(rounds) history is dead weight — pair with a per-round
+    /// stream (e.g. `SoaEngine::stream_rounds`) if the ledger is wanted.
+    pub fn lean(n: usize) -> Self {
+        let mut m = Self::new(n);
+        m.lean = true;
+        m
+    }
+
+    /// Whether the per-round ledger is being skipped.
+    pub fn is_lean(&self) -> bool {
+        self.lean
     }
 
     /// Records a broadcast by `node` in `round` of `bits` total bits across
@@ -106,13 +126,15 @@ impl Metrics {
     pub fn record_send(&mut self, node: NodeId, round: Round, bits: u64, logical: u64) {
         self.bits[node.index()] += bits;
         self.sends[node.index()] += logical;
-        let idx = round as usize;
-        if idx >= self.per_round_bits.len() {
-            self.per_round_bits.resize(idx + 1, 0);
-            self.per_round_sends.resize(idx + 1, 0);
+        if !self.lean {
+            let idx = round as usize;
+            if idx >= self.per_round_bits.len() {
+                self.per_round_bits.resize(idx + 1, 0);
+                self.per_round_sends.resize(idx + 1, 0);
+            }
+            self.per_round_bits[idx] += bits;
+            self.per_round_sends[idx] += logical;
         }
-        self.per_round_bits[idx] += bits;
-        self.per_round_sends[idx] += logical;
         self.last_send_round = Some(self.last_send_round.map_or(round, |r| r.max(round)));
         self.cursor = self.cursor.max(round);
     }

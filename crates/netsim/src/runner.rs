@@ -180,14 +180,30 @@ pub struct Runner {
 
 impl Runner {
     /// A runner over `threads` workers. `0` selects the machine's
-    /// available parallelism.
+    /// available parallelism; an explicit count is clamped to it (trials
+    /// are CPU-bound, so oversubscribing cores only adds scheduler churn —
+    /// the 1-cpu CI box clocked `speedup_4t < 1` before this clamp). The
+    /// first clamp per process logs a one-line warning to stderr. Use
+    /// [`Runner::exact`] to keep an oversubscribed count.
     pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
-        Runner { threads }
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        if threads > cores {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "runner: requested {threads} threads but only {cores} core(s) available; \
+                     clamping to {cores}"
+                );
+            });
+        }
+        Runner { threads: if threads == 0 { cores } else { threads.min(cores) } }
+    }
+
+    /// A runner over exactly `threads` workers (min 1), bypassing the core
+    /// clamp of [`Runner::new`]. For determinism tests that must exercise
+    /// real multi-worker interleavings even on smaller machines.
+    pub fn exact(threads: usize) -> Self {
+        Runner { threads: threads.max(1) }
     }
 
     /// The worker count this runner was resolved to.
@@ -626,8 +642,14 @@ mod tests {
 
     #[test]
     fn zero_threads_resolves_to_machine_parallelism() {
-        assert!(Runner::new(0).threads() >= 1);
-        assert_eq!(Runner::new(3).threads(), 3);
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(Runner::new(0).threads(), cores);
+        // Explicit counts are honored up to the core count and clamped
+        // beyond it; `exact` always bypasses the clamp.
+        assert_eq!(Runner::new(3).threads(), 3.min(cores));
+        assert_eq!(Runner::new(cores + 7).threads(), cores);
+        assert_eq!(Runner::exact(cores + 7).threads(), cores + 7);
+        assert_eq!(Runner::exact(0).threads(), 1);
     }
 
     #[test]
@@ -644,7 +666,7 @@ mod tests {
     fn uneven_trial_costs_still_merge_correctly() {
         // Make early seeds slow so work stealing reorders completion.
         let seeds: Vec<u64> = (0..24).collect();
-        let got = Runner::new(4).run(&seeds, |s| {
+        let got = Runner::exact(4).run(&seeds, |s| {
             if s < 4 {
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
@@ -658,13 +680,14 @@ mod tests {
         let seeds: Vec<u64> = (0..50).collect();
         let serial = seeds.iter().fold(0u64, |acc, &s| acc.wrapping_mul(3) ^ s);
         // A non-commutative fold: only seed-order reduction matches.
-        let par = Runner::new(8).run_reduce(&seeds, |s| s, 0u64, |acc, s| acc.wrapping_mul(3) ^ s);
+        let par =
+            Runner::exact(8).run_reduce(&seeds, |s| s, 0u64, |acc, s| acc.wrapping_mul(3) ^ s);
         assert_eq!(par, serial);
     }
 
     #[test]
     fn empty_and_singleton_seed_lists() {
-        let r = Runner::new(8);
+        let r = Runner::exact(8);
         assert_eq!(r.run(&[], |s| s), Vec::<u64>::new());
         assert_eq!(r.run(&[7], |s| s * 2), vec![14]);
     }
@@ -673,7 +696,7 @@ mod tests {
     #[should_panic(expected = "trial 3 exploded")]
     fn worker_panics_propagate() {
         let seeds: Vec<u64> = (0..8).collect();
-        let _ = Runner::new(2).run(&seeds, |s| {
+        let _ = Runner::exact(2).run(&seeds, |s| {
             assert!(s != 3, "trial 3 exploded");
             s
         });
@@ -773,7 +796,7 @@ mod tests {
     #[test]
     fn progress_sink_sees_every_trial_once_and_results_match_plain_run() {
         let seeds: Vec<u64> = (0..31).collect();
-        let expect = Runner::new(4).run(&seeds, |s| s * 3);
+        let expect = Runner::exact(4).run(&seeds, |s| s * 3);
         for threads in [1, 4] {
             let sink = CountingSink::default();
             let got = Runner::new(threads).run_progress(&seeds, |s| s * 3, &sink);
@@ -793,9 +816,9 @@ mod tests {
     #[test]
     fn run_reduce_progress_matches_run_reduce() {
         let seeds: Vec<u64> = (0..40).collect();
-        let plain = Runner::new(8).run_reduce(&seeds, |s| s, 1u64, |a, s| a.wrapping_mul(3) ^ s);
+        let plain = Runner::exact(8).run_reduce(&seeds, |s| s, 1u64, |a, s| a.wrapping_mul(3) ^ s);
         let sink = CountingSink::default();
-        let with = Runner::new(8).run_reduce_progress(
+        let with = Runner::exact(8).run_reduce_progress(
             &seeds,
             |s| s,
             1u64,

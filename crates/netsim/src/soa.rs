@@ -1,0 +1,1138 @@
+//! Struct-of-arrays round engine for large `N`.
+//!
+//! [`SoaEngine`] executes exactly the same synchronous model as the
+//! classic [`Engine`] — byte-identical traces, metrics, telemetry counts
+//! and decisions, pinned by `tests/engine_equivalence.rs` — but with a
+//! data layout built for millions of nodes:
+//!
+//! - **CSR inboxes**: one offsets array plus parallel `from`/`midx`
+//!   columns instead of a million little `Vec`s, rebuilt in place each
+//!   round by a counting-sort scatter (two O(N + deliveries) passes).
+//! - **Message arena**: each round's payloads live in one `Vec<M>`; a
+//!   broadcast stores its message once and every recipient's inbox entry
+//!   is a `u32` index into the arena — no per-message `Rc`, no per-message
+//!   allocation, and the arena double-buffers across rounds.
+//! - **Streaming per-round metrics**: [`SoaEngine::stream_rounds`] hands a
+//!   [`RoundFlow`] row to a callback as each round retires, and
+//!   [`Metrics::lean`] drops the per-round ledger entirely, so a
+//!   million-node sweep never materializes per-round history it will not
+//!   read.
+//!
+//! The scatter preserves the classic engine's delivery order — ascending
+//! sender id, then the sender's send order — because sends are recorded in
+//! node order during the round and replayed in that order into each
+//! receiver's CSR window. That ordering is the only thing protocol logic
+//! can observe, which is what makes the two engines bit-equivalent.
+//!
+//! [`AnyEngine`] dispatches between the two implementations behind one
+//! enum so drivers pick an engine per [`EngineKind`] without an API break,
+//! and [`BitFlood`] is a bit-packed lane for flood-style workloads where a
+//! message is just "token `t` exists": per-node seen/frontier bitsets and
+//! word-parallel OR replace per-message work entirely.
+
+use crate::adversary::{FailureSchedule, Round};
+use crate::engine::{
+    Engine, EngineKind, InboxRef, Message, NodeLogic, RoundCtx, RunReport, StopCause, Telemetry,
+};
+use crate::graph::{Graph, NodeId};
+use crate::metrics::Metrics;
+use crate::trace::{Event, EventId, Trace, TraceSink};
+use std::time::{Duration, Instant};
+
+/// One executed round's traffic, streamed to a
+/// [`SoaEngine::stream_rounds`] callback as the round retires. The whole
+/// point is that a million-node run can aggregate these without the engine
+/// keeping per-round history alive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundFlow {
+    /// The (1-based) round this row describes.
+    pub round: Round,
+    /// System-wide bits broadcast this round.
+    pub bits: u64,
+    /// System-wide logical messages broadcast this round.
+    pub logical: u64,
+    /// Deliveries enqueued by this round's broadcasts (one per recipient
+    /// per logical message).
+    pub deliveries: u64,
+}
+
+/// One node's deferred broadcast: a window `[lo, hi)` of this round's
+/// arena, scattered to the sender's live neighbors after the node loop.
+#[derive(Clone, Copy, Debug)]
+struct SendRec {
+    sender: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// The struct-of-arrays synchronous network simulator (see the module
+/// docs). Drop-in equivalent of the classic [`Engine`]; protocol logic
+/// sees the identical [`RoundCtx`] API.
+pub struct SoaEngine<M: Message, L: NodeLogic<M>> {
+    graph: Graph,
+    schedule: FailureSchedule,
+    nodes: Vec<L>,
+    /// CSR offsets of the inbox consumed this round: node `i`'s deliveries
+    /// are entries `cur_off[i]..cur_off[i + 1]`.
+    cur_off: Vec<u32>,
+    /// Sender column of the consumed CSR.
+    cur_from: Vec<NodeId>,
+    /// Arena-index column of the consumed CSR (into `cur_arena`).
+    cur_midx: Vec<u32>,
+    /// Producing-`Send` event ids, parallel to `cur_from`; populated only
+    /// while a sink is installed (empty → deliveries report
+    /// [`EventId::NONE`]).
+    cur_src: Vec<EventId>,
+    /// Payloads of the messages consumed this round.
+    cur_arena: Vec<M>,
+    /// Payloads broadcast this round (consumed next round); swapped with
+    /// `cur_arena` at the round boundary so allocations amortize to zero.
+    pend_arena: Vec<M>,
+    /// Per-message send event ids, parallel to `pend_arena` (tracing only).
+    pend_src: Vec<EventId>,
+    /// This round's broadcasts, in node order (= ascending sender id).
+    sends: Vec<SendRec>,
+    /// Scratch: per-receiver entry counts, then write cursors, for the
+    /// counting-sort scatter.
+    counts: Vec<u32>,
+    /// Reusable outbox scratch handed to each node's [`RoundCtx`].
+    outbox: Vec<M>,
+    /// First round each node is dead (`Round::MAX` if it never crashes).
+    crash_round: Vec<Round>,
+    /// Sorted receiver restriction of each node's final broadcast, for
+    /// partial crashes.
+    partial_rx: Vec<Option<Vec<NodeId>>>,
+    crash_logged: Vec<bool>,
+    round: Round,
+    metrics: Metrics,
+    stop_requested: bool,
+    sink: Option<Box<dyn TraceSink>>,
+    telemetry: Telemetry,
+    /// Wall-clock starts of currently open phases (innermost last).
+    phase_started: Vec<(String, Instant)>,
+    /// Last assigned [`EventId`]; only advances while a sink is installed.
+    next_event_id: u64,
+    /// Scratch: trace ids of the current node's deliveries this round.
+    delivery_ids: Vec<EventId>,
+    /// Scratch: trace ids of the current node's outbox messages.
+    send_ids: Vec<EventId>,
+    /// Scratch: causal dependencies declared via
+    /// [`RoundCtx::send_caused_by`] this round.
+    causes: Vec<EventId>,
+    /// Scratch: per-kind accumulation of one node's outbox
+    /// (kind, bits, logical, event id).
+    kind_acc: Vec<(&'static str, u64, u64, EventId)>,
+    /// Per-round flow observer, if any (see [`SoaEngine::stream_rounds`]).
+    round_stream: Option<Box<dyn FnMut(RoundFlow)>>,
+}
+
+impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
+    /// Creates an engine over `graph` with the given oblivious `schedule`,
+    /// instantiating each node's logic with `factory`.
+    pub fn new(
+        graph: Graph,
+        schedule: FailureSchedule,
+        mut factory: impl FnMut(NodeId) -> L,
+    ) -> Self {
+        let n = graph.len();
+        let nodes = (0..n as u32).map(|i| factory(NodeId(i))).collect();
+        let mut crash_round = vec![Round::MAX; n];
+        let mut partial_rx: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        for (v, e) in schedule.iter() {
+            if v.index() >= n {
+                continue; // out-of-range crashes can never take effect
+            }
+            crash_round[v.index()] = e.round;
+            partial_rx[v.index()] = e.partial.as_ref().map(|rx| {
+                let mut rx = rx.clone();
+                rx.sort_unstable();
+                rx
+            });
+        }
+        SoaEngine {
+            metrics: Metrics::new(n),
+            cur_off: vec![0; n + 1],
+            cur_from: Vec::new(),
+            cur_midx: Vec::new(),
+            cur_src: Vec::new(),
+            cur_arena: Vec::new(),
+            pend_arena: Vec::new(),
+            pend_src: Vec::new(),
+            sends: Vec::new(),
+            counts: vec![0; n],
+            outbox: Vec::new(),
+            crash_round,
+            partial_rx,
+            crash_logged: vec![false; n],
+            graph,
+            schedule,
+            nodes,
+            round: 0,
+            stop_requested: false,
+            sink: None,
+            telemetry: Telemetry::default(),
+            phase_started: Vec::new(),
+            next_event_id: 0,
+            delivery_ids: Vec::new(),
+            send_ids: Vec::new(),
+            causes: Vec::new(),
+            kind_acc: Vec::new(),
+            round_stream: None,
+        }
+    }
+
+    /// Replaces the metrics with a [`Metrics::lean`] instance that skips
+    /// the per-round ledger (per-node totals and CC stay exact); call
+    /// before the first step. Pair with [`SoaEngine::stream_rounds`] when
+    /// per-round rows are still wanted, just not materialized.
+    pub fn use_lean_metrics(&mut self) -> &mut Self {
+        self.metrics = Metrics::lean(self.graph.len());
+        self
+    }
+
+    /// Installs a per-round flow observer: `cb` receives one [`RoundFlow`]
+    /// as each round retires. Purely observational — the callback sees
+    /// copies of counters the engine maintains anyway, so installing one
+    /// never perturbs the execution.
+    pub fn stream_rounds(&mut self, cb: impl FnMut(RoundFlow) + 'static) -> &mut Self {
+        self.round_stream = Some(Box::new(cb));
+        self
+    }
+
+    /// Turns on event tracing into an in-memory [`Trace`]; call before the
+    /// first step. Shorthand for `set_sink(Box::new(Trace::new()))`.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.set_sink(Box::new(Trace::new()))
+    }
+
+    /// Installs an event sink; call before the first step. Replaces any
+    /// previously installed sink.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> &mut Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Removes and returns the installed sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// The installed sink, if any.
+    pub fn sink_mut(&mut self) -> Option<&mut dyn TraceSink> {
+        self.sink.as_deref_mut()
+    }
+
+    /// The trace, if the installed sink is the in-memory [`Trace`].
+    pub fn trace(&self) -> Option<&Trace> {
+        self.sink.as_ref().and_then(|s| s.as_any().downcast_ref::<Trace>())
+    }
+
+    /// Feeds a harness-level event to the installed sink, if any.
+    pub fn annotate(&mut self, e: Event) {
+        debug_assert!(e.round() >= self.round, "annotation would violate round order");
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.record(&e);
+        }
+    }
+
+    /// Opens a phase on this engine's [`Metrics`] starting at the next
+    /// round, mirroring [`Event::PhaseEnter`] to the sink. Returns the
+    /// phase's start round.
+    pub fn enter_phase(&mut self, label: &str) -> Round {
+        let start = self.metrics.enter_phase(label);
+        self.phase_started.push((label.to_string(), Instant::now()));
+        self.annotate(Event::PhaseEnter { round: start, label: label.to_string() });
+        start
+    }
+
+    /// Closes the innermost open phase at the current round, mirroring
+    /// [`Event::PhaseExit`] to the sink.
+    pub fn exit_phase(&mut self) -> Option<(String, Round)> {
+        let round = self.round;
+        let (label, end) = self.metrics.exit_phase_at(round)?;
+        if let Some((started_label, t0)) = self.phase_started.pop() {
+            self.telemetry.phase_wall.push((started_label, t0.elapsed()));
+        }
+        self.annotate(Event::PhaseExit { round: end, label: label.clone() });
+        Some((label, end))
+    }
+
+    /// Host-side performance counters accumulated so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The failure schedule.
+    pub fn schedule(&self) -> &FailureSchedule {
+        &self.schedule
+    }
+
+    /// Communication metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The last executed round (0 before the first step).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Immutable access to a node's logic.
+    pub fn node(&self, v: NodeId) -> &L {
+        &self.nodes[v.index()]
+    }
+
+    /// Mutable access to a node's logic.
+    pub fn node_mut(&mut self, v: NodeId) -> &mut L {
+        &mut self.nodes[v.index()]
+    }
+
+    /// Executes one round. Returns `false` once a stop has been requested
+    /// (further calls do nothing). Mirrors the classic engine's step
+    /// exactly — event order, event id assignment, metrics and telemetry
+    /// are bit-identical.
+    pub fn step(&mut self) -> bool {
+        if self.stop_requested {
+            return false;
+        }
+        let r = self.round + 1;
+        let n = self.graph.len();
+        let mut stop = false;
+        let SoaEngine {
+            graph,
+            nodes,
+            cur_off,
+            cur_from,
+            cur_midx,
+            cur_src,
+            cur_arena,
+            pend_arena,
+            pend_src,
+            sends,
+            counts,
+            outbox,
+            crash_round,
+            partial_rx,
+            crash_logged,
+            metrics,
+            sink,
+            telemetry,
+            next_event_id,
+            delivery_ids,
+            send_ids,
+            causes,
+            kind_acc,
+            round_stream,
+            ..
+        } = self;
+        let tracing = sink.is_some();
+        metrics.note_round(r);
+        telemetry.rounds += 1;
+        sends.clear();
+        pend_arena.clear();
+        pend_src.clear();
+        let mut round_bits: u64 = 0;
+        let mut round_logical: u64 = 0;
+        for i in 0..n {
+            let me = NodeId(i as u32);
+            if r >= crash_round[i] {
+                if !crash_logged[i] {
+                    crash_logged[i] = true;
+                    if let Some(t) = sink.as_deref_mut() {
+                        t.record(&Event::Crash { round: r, node: me });
+                    }
+                }
+                continue;
+            }
+            let lo = cur_off[i] as usize;
+            let hi = cur_off[i + 1] as usize;
+            delivery_ids.clear();
+            if let Some(t) = sink.as_deref_mut() {
+                // Deliveries are logged when the node consumes its inbox
+                // (this round), keeping the event log round-ordered. Each
+                // gets a fresh id and points back at the producing send.
+                for j in lo..hi {
+                    *next_event_id += 1;
+                    let id = EventId(*next_event_id);
+                    delivery_ids.push(id);
+                    t.record(&Event::Deliver {
+                        round: r,
+                        node: me,
+                        from: cur_from[j],
+                        bits: cur_arena[cur_midx[j] as usize].bit_len(),
+                        id,
+                        // NONE for deliveries enqueued before the sink
+                        // was installed (src column left empty).
+                        src: cur_src.get(j).copied().unwrap_or(EventId::NONE),
+                    });
+                }
+            }
+            outbox.clear();
+            causes.clear();
+            {
+                let mut ctx = RoundCtx::assemble(
+                    me,
+                    n,
+                    r,
+                    InboxRef::Soa {
+                        from: &cur_from[lo..hi],
+                        midx: &cur_midx[lo..hi],
+                        arena: cur_arena,
+                    },
+                    &mut *outbox,
+                    &mut stop,
+                    &*delivery_ids,
+                    &mut *causes,
+                );
+                nodes[i].on_round(&mut ctx);
+            }
+            if outbox.is_empty() {
+                continue;
+            }
+            let bits: u64 = outbox.iter().map(Message::bit_len).sum();
+            metrics.record_send(me, r, bits, outbox.len() as u64);
+            round_bits += bits;
+            round_logical += outbox.len() as u64;
+            send_ids.clear();
+            if let Some(t) = sink.as_deref_mut() {
+                // Group the outbox by message kind and emit one Send event
+                // per kind, exactly as the classic engine does.
+                kind_acc.clear();
+                for m in outbox.iter() {
+                    let k = m.kind();
+                    let slot = match kind_acc.iter().position(|g| g.0 == k) {
+                        Some(p) => p,
+                        None => {
+                            *next_event_id += 1;
+                            kind_acc.push((k, 0, 0, EventId(*next_event_id)));
+                            kind_acc.len() - 1
+                        }
+                    };
+                    kind_acc[slot].1 += m.bit_len();
+                    kind_acc[slot].2 += 1;
+                    send_ids.push(kind_acc[slot].3);
+                }
+                for &(k, kind_bits, logical, id) in kind_acc.iter() {
+                    t.record(&Event::Send {
+                        round: r,
+                        node: me,
+                        bits: kind_bits,
+                        logical,
+                        id,
+                        kind: k.to_string(),
+                        causes: causes.clone(),
+                    });
+                }
+            }
+            // Defer delivery: move the outbox into the round arena and
+            // remember the window; the scatter below reproduces the
+            // classic per-receiver order (ascending sender, send order).
+            let win_lo = pend_arena.len() as u32;
+            pend_arena.append(outbox);
+            let win_hi = pend_arena.len() as u32;
+            if tracing {
+                for mi in 0..(win_hi - win_lo) as usize {
+                    pend_src.push(send_ids.get(mi).copied().unwrap_or(EventId::NONE));
+                }
+            }
+            sends.push(SendRec { sender: i as u32, lo: win_lo, hi: win_hi });
+        }
+        // ---- Delivery build: counting-sort scatter into the (now dead)
+        // consumed CSR, giving next round's inboxes in O(N + deliveries).
+        let mut enqueued: u64 = 0;
+        if sends.is_empty() {
+            cur_off.iter_mut().for_each(|o| *o = 0);
+            cur_from.clear();
+            cur_midx.clear();
+            cur_src.clear();
+        } else {
+            counts.iter_mut().for_each(|c| *c = 0);
+            // Pass 1: how many entries each receiver gets. A sender
+            // crashing exactly at r + 1 may have its final broadcast
+            // restricted to a subset, and dead receivers hear nothing —
+            // the same predicates the classic engine applies per send.
+            for s in sends.iter() {
+                let si = s.sender as usize;
+                let msgs = u64::from(s.hi - s.lo);
+                let restriction: Option<&[NodeId]> =
+                    if crash_round[si] == r + 1 { partial_rx[si].as_deref() } else { None };
+                for &w in graph.neighbors(NodeId(s.sender)) {
+                    if r + 1 >= crash_round[w.index()] {
+                        continue;
+                    }
+                    if let Some(rx) = restriction {
+                        if rx.binary_search(&w).is_err() {
+                            continue;
+                        }
+                    }
+                    counts[w.index()] += s.hi - s.lo;
+                    enqueued += msgs;
+                }
+            }
+            // Prefix-sum into offsets; `counts` becomes the write cursors.
+            cur_off[0] = 0;
+            for i in 0..n {
+                let next = cur_off[i]
+                    .checked_add(counts[i])
+                    .expect("round delivery volume exceeds u32 CSR capacity");
+                cur_off[i + 1] = next;
+                counts[i] = cur_off[i];
+            }
+            let total = cur_off[n] as usize;
+            cur_from.clear();
+            cur_from.resize(total, NodeId(0));
+            cur_midx.clear();
+            cur_midx.resize(total, 0);
+            cur_src.clear();
+            if tracing {
+                cur_src.resize(total, EventId::NONE);
+            }
+            // Pass 2: scatter. Senders are visited in ascending id order
+            // and each window in send order, so every receiver's slice
+            // comes out in the classic engine's delivery order.
+            for s in sends.iter() {
+                let si = s.sender as usize;
+                let restriction: Option<&[NodeId]> =
+                    if crash_round[si] == r + 1 { partial_rx[si].as_deref() } else { None };
+                for &w in graph.neighbors(NodeId(s.sender)) {
+                    if r + 1 >= crash_round[w.index()] {
+                        continue;
+                    }
+                    if let Some(rx) = restriction {
+                        if rx.binary_search(&w).is_err() {
+                            continue;
+                        }
+                    }
+                    let wi = w.index();
+                    let mut pos = counts[wi] as usize;
+                    for mi in s.lo..s.hi {
+                        cur_from[pos] = NodeId(s.sender);
+                        cur_midx[pos] = mi;
+                        if tracing {
+                            cur_src[pos] = pend_src[mi as usize];
+                        }
+                        pos += 1;
+                    }
+                    counts[wi] = pos as u32;
+                }
+            }
+        }
+        // The round's payloads become next round's arena; the old arena's
+        // allocation is recycled for the round after.
+        std::mem::swap(cur_arena, pend_arena);
+        telemetry.deliveries += enqueued;
+        telemetry.peak_inflight = telemetry.peak_inflight.max(enqueued);
+        if let Some(cb) = round_stream.as_deref_mut() {
+            cb(RoundFlow {
+                round: r,
+                bits: round_bits,
+                logical: round_logical,
+                deliveries: enqueued,
+            });
+        }
+        self.round = r;
+        if stop {
+            self.stop_requested = true;
+        }
+        true
+    }
+
+    /// Runs until a stop is requested or `max_rounds` rounds have executed.
+    pub fn run(&mut self, max_rounds: Round) -> RunReport {
+        let t0 = Instant::now();
+        let report = loop {
+            if self.round >= max_rounds {
+                break RunReport { rounds: self.round, cause: StopCause::RoundLimit };
+            }
+            self.step();
+            if self.stop_requested {
+                break RunReport { rounds: self.round, cause: StopCause::Requested };
+            }
+        };
+        self.telemetry.busy += t0.elapsed();
+        report
+    }
+
+    /// Nodes alive at round `round` *and* connected to `root` in the
+    /// residual graph.
+    pub fn alive_connected(&self, root: NodeId, round: Round) -> Vec<NodeId> {
+        let dead = self.schedule.dead_by(round);
+        self.graph.reachable_from(root, &dead)
+    }
+}
+
+macro_rules! on_engine {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            AnyEngine::Classic($e) => $body,
+            AnyEngine::Soa($e) => $body,
+        }
+    };
+}
+
+/// Engine dispatch: the classic [`Engine`] or the [`SoaEngine`], selected
+/// by [`EngineKind`] at construction. Drivers hold an `AnyEngine` and call
+/// the shared surface; both variants execute the model identically, so
+/// switching kinds never changes an outcome.
+pub enum AnyEngine<M: Message, L: NodeLogic<M>> {
+    /// The classic per-message `Rc` engine.
+    Classic(Engine<M, L>),
+    /// The struct-of-arrays engine.
+    Soa(SoaEngine<M, L>),
+}
+
+impl<M: Message, L: NodeLogic<M>> AnyEngine<M, L> {
+    /// Creates an engine of the given kind (see [`Engine::new`] /
+    /// [`SoaEngine::new`] for the shared semantics).
+    pub fn new(
+        kind: EngineKind,
+        graph: Graph,
+        schedule: FailureSchedule,
+        factory: impl FnMut(NodeId) -> L,
+    ) -> Self {
+        match kind {
+            EngineKind::Classic => AnyEngine::Classic(Engine::new(graph, schedule, factory)),
+            EngineKind::Soa => AnyEngine::Soa(SoaEngine::new(graph, schedule, factory)),
+        }
+    }
+
+    /// Which implementation this is.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyEngine::Classic(_) => EngineKind::Classic,
+            AnyEngine::Soa(_) => EngineKind::Soa,
+        }
+    }
+
+    /// Turns on event tracing into an in-memory [`Trace`].
+    pub fn enable_trace(&mut self) -> &mut Self {
+        on_engine!(self, e => { e.enable_trace(); });
+        self
+    }
+
+    /// Installs an event sink; call before the first step.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> &mut Self {
+        on_engine!(self, e => { e.set_sink(sink); });
+        self
+    }
+
+    /// Removes and returns the installed sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        on_engine!(self, e => e.take_sink())
+    }
+
+    /// The installed sink, if any.
+    pub fn sink_mut(&mut self) -> Option<&mut dyn TraceSink> {
+        on_engine!(self, e => e.sink_mut())
+    }
+
+    /// The trace, if the installed sink is the in-memory [`Trace`].
+    pub fn trace(&self) -> Option<&Trace> {
+        on_engine!(self, e => e.trace())
+    }
+
+    /// Feeds a harness-level event to the installed sink, if any.
+    pub fn annotate(&mut self, e: Event) {
+        on_engine!(self, eng => eng.annotate(e))
+    }
+
+    /// Opens a phase (see [`Engine::enter_phase`]).
+    pub fn enter_phase(&mut self, label: &str) -> Round {
+        on_engine!(self, e => e.enter_phase(label))
+    }
+
+    /// Closes the innermost open phase (see [`Engine::exit_phase`]).
+    pub fn exit_phase(&mut self) -> Option<(String, Round)> {
+        on_engine!(self, e => e.exit_phase())
+    }
+
+    /// Host-side performance counters accumulated so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        on_engine!(self, e => e.telemetry())
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        on_engine!(self, e => e.graph())
+    }
+
+    /// The failure schedule.
+    pub fn schedule(&self) -> &FailureSchedule {
+        on_engine!(self, e => e.schedule())
+    }
+
+    /// Communication metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        on_engine!(self, e => e.metrics())
+    }
+
+    /// The last executed round (0 before the first step).
+    pub fn round(&self) -> Round {
+        on_engine!(self, e => e.round())
+    }
+
+    /// Immutable access to a node's logic.
+    pub fn node(&self, v: NodeId) -> &L {
+        on_engine!(self, e => e.node(v))
+    }
+
+    /// Mutable access to a node's logic.
+    pub fn node_mut(&mut self, v: NodeId) -> &mut L {
+        on_engine!(self, e => e.node_mut(v))
+    }
+
+    /// Executes one round (see [`Engine::step`]).
+    pub fn step(&mut self) -> bool {
+        on_engine!(self, e => e.step())
+    }
+
+    /// Runs until a stop is requested or `max_rounds` rounds have executed.
+    pub fn run(&mut self, max_rounds: Round) -> RunReport {
+        on_engine!(self, e => e.run(max_rounds))
+    }
+
+    /// Nodes alive at round `round` and connected to `root`.
+    pub fn alive_connected(&self, root: NodeId, round: Round) -> Vec<NodeId> {
+        on_engine!(self, e => e.alive_connected(root, round))
+    }
+}
+
+/// Summary of a finished [`BitFlood`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BitFloodReport {
+    /// Rounds stepped (the lane stops early once no frontier bit is set).
+    pub rounds: Round,
+    /// Logical deliveries (one per recipient per token), counted exactly
+    /// as the generic engine's `Telemetry::deliveries`.
+    pub deliveries: u64,
+    /// System-wide bits broadcast (`bits_per_token` per forwarded token).
+    pub total_bits: u64,
+    /// The paper's CC: maximum bits over nodes.
+    pub max_bits: u64,
+    /// Wall-clock time inside [`BitFlood::run`].
+    pub busy: Duration,
+}
+
+impl BitFloodReport {
+    /// Deliveries per second of busy time (0 if no busy time recorded).
+    pub fn deliveries_per_sec(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s > 0.0 {
+            self.deliveries as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Bit-packed flood lane: executes the standard "every origin floods its
+/// token, nodes forward each token on first sighting" workload with
+/// per-node bitsets instead of per-message inboxes.
+///
+/// Token `t` is origin node `t`'s id; a node's round state is two bitsets
+/// over the token space — `seen` (ever sighted) and `frontier` (first
+/// sighted last round, i.e. what it broadcasts). Delivery is a
+/// word-parallel OR along each live edge and the per-round new-token set
+/// is `incoming & !seen`, so a round costs O(E · N/64) words instead of
+/// O(deliveries) message operations.
+///
+/// The counters mirror the generic engine running the equivalent
+/// per-message flooder exactly (same crash/partial-crash predicates, same
+/// delivery counting; pinned by `prop_soa.rs`): `deliveries` counts one
+/// per recipient per token and each forwarded token charges
+/// `bits_per_token` to its sender.
+pub struct BitFlood {
+    graph: Graph,
+    crash_round: Vec<Round>,
+    partial_rx: Vec<Option<Vec<NodeId>>>,
+    /// Words per node: `ceil(n / 64)` over the token space.
+    words: usize,
+    /// `seen[v * words ..][..words]`: tokens node `v` has ever sighted.
+    seen: Vec<u64>,
+    /// Tokens first sighted by `v` in the round just executed — exactly
+    /// what `v` broadcast that round.
+    frontier: Vec<u64>,
+    /// OR of the frontiers delivered to `v`, consumed next round.
+    incoming: Vec<u64>,
+    /// Per-node bits broadcast (the flood lane's `Metrics::bits_of`).
+    bits: Vec<u64>,
+    bits_per_token: u64,
+    round: Round,
+    deliveries: u64,
+    quiescent: bool,
+}
+
+impl BitFlood {
+    /// A flood lane over `graph` under `schedule`, where every node in
+    /// `origins` injects its own token in round 1. `bits_per_token` is the
+    /// metered size of one forwarded token.
+    pub fn new(
+        graph: Graph,
+        schedule: &FailureSchedule,
+        origins: &[NodeId],
+        bits_per_token: u64,
+    ) -> Self {
+        let n = graph.len();
+        let words = n.div_ceil(64);
+        let mut crash_round = vec![Round::MAX; n];
+        let mut partial_rx: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        for (v, e) in schedule.iter() {
+            if v.index() >= n {
+                continue;
+            }
+            crash_round[v.index()] = e.round;
+            partial_rx[v.index()] = e.partial.as_ref().map(|rx| {
+                let mut rx = rx.clone();
+                rx.sort_unstable();
+                rx
+            });
+        }
+        let mut seen = vec![0u64; n * words];
+        // Round 1 is the injection round: each live origin marks its own
+        // token seen and broadcasts it (the generic flooder's round-1 arm).
+        let mut injected = vec![0u64; n * words];
+        for &o in origins {
+            if o.index() < n && crash_round[o.index()] > 1 {
+                let bit = o.index();
+                injected[o.index() * words + bit / 64] |= 1u64 << (bit % 64);
+                seen[o.index() * words + bit / 64] |= 1u64 << (bit % 64);
+            }
+        }
+        BitFlood {
+            crash_round,
+            partial_rx,
+            words,
+            seen,
+            frontier: injected,
+            incoming: vec![0u64; n * words],
+            bits: vec![0; n],
+            bits_per_token,
+            graph,
+            round: 0,
+            deliveries: 0,
+            quiescent: false,
+        }
+    }
+
+    /// Executes one round. Returns `false` once the flood is quiescent (no
+    /// node has anything left to broadcast — no further round can change
+    /// any state or counter).
+    pub fn step(&mut self) -> bool {
+        if self.quiescent {
+            return false;
+        }
+        let r = self.round + 1;
+        let n = self.graph.len();
+        let words = self.words;
+        // Consume: tokens delivered last round that are new to each live
+        // node become its broadcast frontier (skipped in round 1, where
+        // the frontier holds the injected origin tokens instead).
+        if r > 1 {
+            for i in 0..n {
+                let base = i * words;
+                if r >= self.crash_round[i] {
+                    // Dead nodes consume nothing; drop what was queued.
+                    self.incoming[base..base + words].iter_mut().for_each(|w| *w = 0);
+                    self.frontier[base..base + words].iter_mut().for_each(|w| *w = 0);
+                    continue;
+                }
+                for k in 0..words {
+                    let inc = self.incoming[base + k];
+                    let new = inc & !self.seen[base + k];
+                    self.seen[base + k] |= inc;
+                    self.frontier[base + k] = new;
+                    self.incoming[base + k] = 0;
+                }
+            }
+        }
+        // Broadcast: word-parallel OR of each live sender's frontier into
+        // every eligible receiver, with the engine's exact crash and
+        // partial-restriction predicates and delivery counting.
+        let mut any = false;
+        for i in 0..n {
+            if r >= self.crash_round[i] {
+                continue;
+            }
+            let base = i * words;
+            let tokens: u32 =
+                self.frontier[base..base + words].iter().map(|w| w.count_ones()).sum();
+            if tokens == 0 {
+                continue;
+            }
+            any = true;
+            self.bits[i] += self.bits_per_token * u64::from(tokens);
+            let restriction: Option<&[NodeId]> =
+                if self.crash_round[i] == r + 1 { self.partial_rx[i].as_deref() } else { None };
+            for &w in self.graph.neighbors(NodeId(i as u32)) {
+                if r + 1 >= self.crash_round[w.index()] {
+                    continue;
+                }
+                if let Some(rx) = restriction {
+                    if rx.binary_search(&w).is_err() {
+                        continue;
+                    }
+                }
+                let wbase = w.index() * words;
+                for k in 0..words {
+                    self.incoming[wbase + k] |= self.frontier[base + k];
+                }
+                self.deliveries += u64::from(tokens);
+            }
+        }
+        self.round = r;
+        if !any {
+            self.quiescent = true;
+        }
+        true
+    }
+
+    /// Runs until quiescent or `max_rounds` rounds have executed.
+    pub fn run(&mut self, max_rounds: Round) -> BitFloodReport {
+        let t0 = Instant::now();
+        while self.round < max_rounds && self.step() {}
+        BitFloodReport {
+            rounds: self.round,
+            deliveries: self.deliveries,
+            total_bits: self.bits.iter().sum(),
+            max_bits: self.bits.iter().copied().max().unwrap_or(0),
+            busy: t0.elapsed(),
+        }
+    }
+
+    /// The last executed round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Deliveries counted so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Bits broadcast by `v` so far.
+    pub fn bits_of(&self, v: NodeId) -> u64 {
+        self.bits[v.index()]
+    }
+
+    /// The tokens node `v` has sighted, ascending — the dense flooder's
+    /// seen-set, decoded from the bitset.
+    pub fn seen_tokens(&self, v: NodeId) -> Vec<NodeId> {
+        let base = v.index() * self.words;
+        let mut out = Vec::new();
+        for k in 0..self.words {
+            let mut w = self.seen[base + k];
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push(NodeId((k * 64 + b) as u32));
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::FloodState;
+    use crate::topology;
+
+    #[derive(Clone, Debug)]
+    struct Blob(u64);
+    impl Message for Blob {
+        fn bit_len(&self) -> u64 {
+            8
+        }
+        fn kind(&self) -> &'static str {
+            "blob"
+        }
+    }
+
+    /// Sends its id+round in the first two rounds; remembers everything.
+    struct Chatter {
+        me: u32,
+        heard: Vec<(Round, NodeId, u64)>,
+    }
+
+    impl NodeLogic<Blob> for Chatter {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Blob>) {
+            for rcv in ctx.inbox() {
+                self.heard.push((ctx.round(), rcv.from, rcv.msg.0));
+            }
+            if ctx.round() <= 2 {
+                ctx.send(Blob(u64::from(self.me) * 10 + ctx.round()));
+            }
+        }
+    }
+
+    fn crashy_schedule() -> FailureSchedule {
+        let mut s = FailureSchedule::none();
+        s.crash(NodeId(2), 3);
+        s.crash_partial(NodeId(4), 2, vec![NodeId(3)]);
+        s
+    }
+
+    #[test]
+    fn soa_matches_classic_heard_streams_metrics_and_trace() {
+        let build_classic = || {
+            let mut e = Engine::new(topology::grid(3, 2), crashy_schedule(), |v| Chatter {
+                me: v.0,
+                heard: Vec::new(),
+            });
+            e.enable_trace();
+            e.run(5);
+            e
+        };
+        let mut soa = SoaEngine::new(topology::grid(3, 2), crashy_schedule(), |v| Chatter {
+            me: v.0,
+            heard: Vec::new(),
+        });
+        soa.enable_trace();
+        soa.run(5);
+        let classic = build_classic();
+        for v in 0..6 {
+            assert_eq!(
+                classic.node(NodeId(v)).heard,
+                soa.node(NodeId(v)).heard,
+                "node {v} heard different streams"
+            );
+        }
+        assert_eq!(classic.metrics().max_bits(), soa.metrics().max_bits());
+        assert_eq!(classic.metrics().total_bits(), soa.metrics().total_bits());
+        assert_eq!(classic.metrics().bits_per_node(), soa.metrics().bits_per_node());
+        assert_eq!(classic.telemetry().deliveries, soa.telemetry().deliveries);
+        assert_eq!(classic.telemetry().peak_inflight, soa.telemetry().peak_inflight);
+        assert_eq!(classic.trace().unwrap().events(), soa.trace().unwrap().events());
+    }
+
+    #[test]
+    fn round_stream_reports_the_per_round_ledger() {
+        let mut rows: Vec<RoundFlow> = Vec::new();
+        let collected = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = std::rc::Rc::clone(&collected);
+        let mut soa = SoaEngine::new(topology::path(3), FailureSchedule::none(), |v| Chatter {
+            me: v.0,
+            heard: Vec::new(),
+        });
+        soa.stream_rounds(move |f| sink.borrow_mut().push(f));
+        soa.run(4);
+        rows.extend(collected.borrow().iter().copied());
+        assert_eq!(rows.len(), 4);
+        // Rounds 1 and 2: all 3 nodes send one 8-bit message; ends reach 1
+        // neighbor, the middle reaches 2 → 4 deliveries per talking round.
+        assert_eq!(
+            (rows[0].round, rows[0].bits, rows[0].logical, rows[0].deliveries),
+            (1, 24, 3, 4)
+        );
+        assert_eq!((rows[1].round, rows[1].bits, rows[1].deliveries), (2, 24, 4));
+        assert_eq!((rows[2].bits, rows[2].deliveries), (0, 0));
+        // The stream matches the non-lean metrics ledger.
+        assert_eq!(soa.metrics().bits_in_round(1), 24);
+        assert_eq!(soa.telemetry().deliveries, 8);
+    }
+
+    #[test]
+    fn lean_metrics_keep_totals_but_skip_the_ledger() {
+        let mut soa = SoaEngine::new(topology::path(3), FailureSchedule::none(), |v| Chatter {
+            me: v.0,
+            heard: Vec::new(),
+        });
+        soa.use_lean_metrics();
+        soa.run(4);
+        assert!(soa.metrics().is_lean());
+        assert_eq!(soa.metrics().total_bits(), 6 * 8);
+        assert_eq!(soa.metrics().max_bits(), 16);
+        // The per-round ledger was never materialized.
+        assert_eq!(soa.metrics().bits_in_round(1), 0);
+    }
+
+    /// Dense reference flooder (the bench microbench's logic, inlined):
+    /// round 1 injects the own token; every first sighting is re-sent.
+    struct DenseFlood {
+        me: NodeId,
+        flood: FloodState<u32>,
+        seen_list: Vec<u32>,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Tok(u32);
+    impl Message for Tok {
+        fn bit_len(&self) -> u64 {
+            32
+        }
+    }
+
+    impl NodeLogic<Tok> for DenseFlood {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Tok>) {
+            if ctx.round() == 1 {
+                self.flood.mark_seen(self.me.0);
+                self.seen_list.push(self.me.0);
+                ctx.send(Tok(self.me.0));
+            }
+            let inbox: Vec<u32> = ctx.inbox().iter().map(|m| m.msg.0).collect();
+            for t in inbox {
+                if self.flood.first_sighting(t) {
+                    self.seen_list.push(t);
+                    ctx.send(Tok(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitflood_matches_the_dense_flooder_under_crashes() {
+        let g = topology::grid(4, 3);
+        let n = g.len();
+        let mut sched = FailureSchedule::none();
+        sched.crash(NodeId(5), 3);
+        sched.crash_partial(NodeId(7), 2, vec![NodeId(6), NodeId(11)]);
+        let rounds = 2 * u64::from(g.diameter()) + 2;
+
+        let mut eng = Engine::new(g.clone(), sched.clone(), |v| DenseFlood {
+            me: v,
+            flood: FloodState::new(),
+            seen_list: Vec::new(),
+        });
+        eng.run(rounds);
+
+        let origins: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut lane = BitFlood::new(g, &sched, &origins, 32);
+        let report = lane.run(rounds);
+
+        assert_eq!(report.deliveries, eng.telemetry().deliveries);
+        assert_eq!(report.total_bits, eng.metrics().total_bits());
+        assert_eq!(report.max_bits, eng.metrics().max_bits());
+        for v in 0..n as u32 {
+            assert_eq!(lane.bits_of(NodeId(v)), eng.metrics().bits_of(NodeId(v)), "node {v}");
+            let mut dense: Vec<NodeId> =
+                eng.node(NodeId(v)).seen_list.iter().map(|&t| NodeId(t)).collect();
+            dense.sort_unstable();
+            assert_eq!(lane.seen_tokens(NodeId(v)), dense, "node {v} seen set");
+        }
+    }
+
+    #[test]
+    fn any_engine_dispatches_both_kinds() {
+        for kind in [EngineKind::Classic, EngineKind::Soa] {
+            let mut eng = AnyEngine::new(kind, topology::path(3), FailureSchedule::none(), |v| {
+                Chatter { me: v.0, heard: Vec::new() }
+            });
+            assert_eq!(eng.kind(), kind);
+            eng.enable_trace();
+            eng.enter_phase("talk");
+            let report = eng.run(4);
+            eng.exit_phase();
+            assert_eq!(report.rounds, 4);
+            assert_eq!(eng.metrics().total_bits(), 6 * 8);
+            assert_eq!(eng.telemetry().deliveries, 8);
+            assert_eq!(eng.node(NodeId(1)).heard.len(), 4);
+            assert!(eng.trace().unwrap().events().len() > 4);
+            assert_eq!(eng.alive_connected(NodeId(0), 2).len(), 3);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Differential-equivalence helpers shared by the engine test harness.
+//!
+//! The SoA engine ([`crate::soa::SoaEngine`]) claims bit-for-bit
+//! equivalence with the classic [`Engine`]: same trace bytes, same
+//! metrics, same telemetry counts, same protocol outcomes. This module
+//! turns that claim into something a test can assert in one line — run
+//! both engines, [`capture`] a [`RunArtifacts`] from each, and
+//! [`assert_equivalent`]. On divergence the panic names the *first*
+//! differing artifact (first differing trace line, first differing node's
+//! bits, …) so a broken invariant points straight at the round and node
+//! that produced it.
+//!
+//! Everything compared here is deterministic; wall-clock telemetry
+//! ([`Telemetry::busy`], phase timings) is deliberately excluded.
+
+use crate::engine::{Engine, Message, NodeLogic, Telemetry};
+use crate::metrics::{Metrics, PhaseSpan};
+use crate::soa::{AnyEngine, SoaEngine};
+use crate::trace::Trace;
+use crate::Round;
+
+/// Every deterministic observable of one engine run, in directly
+/// comparable (mostly serialized) form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArtifacts {
+    /// Which engine produced this (`"classic"` / `"soa"`); *not* compared.
+    pub engine: String,
+    /// The trace serialized line-by-line to v2 JSONL (header first), empty
+    /// when the run was not traced. Compared byte-for-byte.
+    pub trace: Vec<String>,
+    /// Per-node bits broadcast ([`Metrics::bits_per_node`]).
+    pub bits_per_node: Vec<u64>,
+    /// Per-node logical messages broadcast.
+    pub sends_per_node: Vec<u64>,
+    /// The per-round (round, bits) ledger, skipping zero rounds.
+    pub per_round_bits: Vec<(Round, u64)>,
+    /// Recorded phase spans.
+    pub spans: Vec<PhaseSpan>,
+    /// Rounds executed ([`Telemetry::rounds`]).
+    pub rounds: u64,
+    /// Total deliveries enqueued ([`Telemetry::deliveries`]).
+    pub deliveries: u64,
+    /// Largest single-round delivery volume ([`Telemetry::peak_inflight`]).
+    pub peak_inflight: u64,
+    /// The engine's final round counter.
+    pub last_round: Round,
+}
+
+/// Serializes a [`Trace`] to its v2 JSONL lines, header included — the
+/// exact bytes `JsonlSink` would have written, one line per entry.
+pub fn trace_to_jsonl(trace: &Trace) -> Vec<String> {
+    let mut lines = Vec::with_capacity(trace.events().len() + 1);
+    lines.push(format!(
+        "{{\"schema\":\"ftagg-trace\",\"v\":{}}}",
+        crate::trace::TRACE_SCHEMA_VERSION
+    ));
+    lines.extend(trace.events().iter().map(|e| e.to_jsonl()));
+    lines
+}
+
+/// Captures artifacts from the shared parts of any engine. The engine-type
+/// specific [`capture`] wrappers feed this.
+pub fn capture_parts(
+    engine: &str,
+    trace: Option<&Trace>,
+    metrics: &Metrics,
+    telemetry: &Telemetry,
+    last_round: Round,
+) -> RunArtifacts {
+    RunArtifacts {
+        engine: engine.to_string(),
+        trace: trace.map(trace_to_jsonl).unwrap_or_default(),
+        bits_per_node: metrics.bits_per_node().to_vec(),
+        sends_per_node: (0..metrics.bits_per_node().len())
+            .map(|i| metrics.sends_of(crate::NodeId(i as u32)))
+            .collect(),
+        per_round_bits: metrics.per_round_bits().collect(),
+        spans: metrics.spans().to_vec(),
+        rounds: telemetry.rounds,
+        deliveries: telemetry.deliveries,
+        peak_inflight: telemetry.peak_inflight,
+        last_round,
+    }
+}
+
+/// Captures every deterministic observable of an [`AnyEngine`] run.
+pub fn capture<M: Message, L: NodeLogic<M>>(eng: &AnyEngine<M, L>) -> RunArtifacts {
+    capture_parts(eng.kind().name(), eng.trace(), eng.metrics(), eng.telemetry(), eng.round())
+}
+
+/// [`capture`] for a bare classic [`Engine`].
+pub fn capture_classic<M: Message, L: NodeLogic<M>>(eng: &Engine<M, L>) -> RunArtifacts {
+    capture_parts("classic", eng.trace(), eng.metrics(), eng.telemetry(), eng.round())
+}
+
+/// [`capture`] for a bare [`SoaEngine`].
+pub fn capture_soa<M: Message, L: NodeLogic<M>>(eng: &SoaEngine<M, L>) -> RunArtifacts {
+    capture_parts("soa", eng.trace(), eng.metrics(), eng.telemetry(), eng.round())
+}
+
+impl RunArtifacts {
+    /// The first way `self` and `other` differ, described precisely enough
+    /// to debug from (artifact name, position, both values) — or `None` if
+    /// the runs are equivalent. Trace bytes are checked first since a
+    /// trace divergence localizes the guilty round and node directly.
+    pub fn first_divergence(&self, other: &RunArtifacts) -> Option<String> {
+        let (a, b) = (&self.engine, &other.engine);
+        for (i, (la, lb)) in self.trace.iter().zip(other.trace.iter()).enumerate() {
+            if la != lb {
+                return Some(format!("trace line {i} differs:\n  {a}: {la}\n  {b}: {lb}"));
+            }
+        }
+        if self.trace.len() != other.trace.len() {
+            let (longer, at) = if self.trace.len() > other.trace.len() {
+                (a, other.trace.len())
+            } else {
+                (b, self.trace.len())
+            };
+            return Some(format!(
+                "trace lengths differ ({}: {} lines, {}: {} lines); first extra line in {longer}: {}",
+                a,
+                self.trace.len(),
+                b,
+                other.trace.len(),
+                self.trace.get(at).or_else(|| other.trace.get(at)).unwrap()
+            ));
+        }
+        if self.bits_per_node.len() != other.bits_per_node.len() {
+            return Some(format!(
+                "node counts differ: {a} has {}, {b} has {}",
+                self.bits_per_node.len(),
+                other.bits_per_node.len()
+            ));
+        }
+        for (i, (ba, bb)) in self.bits_per_node.iter().zip(other.bits_per_node.iter()).enumerate() {
+            if ba != bb {
+                return Some(format!("node {i} bits differ: {a}={ba}, {b}={bb}"));
+            }
+        }
+        for (i, (sa, sb)) in self.sends_per_node.iter().zip(other.sends_per_node.iter()).enumerate()
+        {
+            if sa != sb {
+                return Some(format!("node {i} sends differ: {a}={sa}, {b}={sb}"));
+            }
+        }
+        if self.per_round_bits != other.per_round_bits {
+            let diff =
+                self.per_round_bits.iter().zip(other.per_round_bits.iter()).find(|(x, y)| x != y);
+            return Some(match diff {
+                Some((x, y)) => format!(
+                    "per-round bits differ at round {}: {a}={}, {b} round {} = {}",
+                    x.0, x.1, y.0, y.1
+                ),
+                None => format!(
+                    "per-round ledger lengths differ: {a}={}, {b}={}",
+                    self.per_round_bits.len(),
+                    other.per_round_bits.len()
+                ),
+            });
+        }
+        if self.spans != other.spans {
+            return Some(format!(
+                "phase spans differ:\n  {a}: {:?}\n  {b}: {:?}",
+                self.spans, other.spans
+            ));
+        }
+        if self.rounds != other.rounds {
+            return Some(format!(
+                "telemetry.rounds differ: {a}={}, {b}={}",
+                self.rounds, other.rounds
+            ));
+        }
+        if self.deliveries != other.deliveries {
+            return Some(format!(
+                "telemetry.deliveries differ: {a}={}, {b}={}",
+                self.deliveries, other.deliveries
+            ));
+        }
+        if self.peak_inflight != other.peak_inflight {
+            return Some(format!(
+                "telemetry.peak_inflight differ: {a}={}, {b}={}",
+                self.peak_inflight, other.peak_inflight
+            ));
+        }
+        if self.last_round != other.last_round {
+            return Some(format!(
+                "final round differs: {a}={}, {b}={}",
+                self.last_round, other.last_round
+            ));
+        }
+        None
+    }
+}
+
+/// Panics with the first divergence if the two runs are not bit-identical.
+/// `context` names the scenario (driver, schedule, seed) for the message.
+pub fn assert_equivalent(a: &RunArtifacts, b: &RunArtifacts, context: &str) {
+    if let Some(d) = a.first_divergence(b) {
+        panic!("engines diverge [{context}]: {d}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifacts(bits: Vec<u64>) -> RunArtifacts {
+        RunArtifacts {
+            engine: "classic".into(),
+            trace: vec!["{\"schema\":\"ftagg-trace\",\"v\":2}".into()],
+            bits_per_node: bits,
+            sends_per_node: vec![1, 1],
+            per_round_bits: vec![(1, 16)],
+            spans: Vec::new(),
+            rounds: 1,
+            deliveries: 2,
+            peak_inflight: 2,
+            last_round: 1,
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_have_no_divergence() {
+        let a = artifacts(vec![8, 8]);
+        assert_eq!(a.first_divergence(&artifacts(vec![8, 8])), None);
+    }
+
+    #[test]
+    fn bit_difference_is_localized_to_the_node() {
+        let a = artifacts(vec![8, 8]);
+        let d = a.first_divergence(&artifacts(vec![8, 9])).unwrap();
+        assert!(d.contains("node 1 bits differ"), "{d}");
+    }
+
+    #[test]
+    fn trace_difference_wins_over_metric_difference() {
+        let a = artifacts(vec![8, 8]);
+        let mut b = artifacts(vec![8, 9]);
+        b.trace.push("{\"ev\":\"x\"}".into());
+        let d = a.first_divergence(&b).unwrap();
+        assert!(d.contains("trace lengths differ"), "{d}");
+    }
+}

@@ -807,6 +807,305 @@ impl<W: Write + 'static> TraceSink for JsonlSink<W> {
     }
 }
 
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or("delta stream truncated inside varint")?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("varint overflows u64".into());
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A delta-encoded binary sink: the in-flight representation of a trace at
+/// a fraction of its JSONL size, decoding back to the v2 JSONL stream
+/// **byte-for-byte** (pinned by `prop_soa.rs`).
+///
+/// The stream exploits what event logs actually look like: rounds are
+/// monotone (stored as deltas), event ids count up from the previous id
+/// (zigzag deltas), `src`/`causes` point a short distance backwards
+/// (stored as distances from the carrying event's id), and the `kind` /
+/// phase-label strings come from a tiny set (interned in-stream on first
+/// use). Every field is an LEB128 varint, so the common
+/// send/deliver event costs a handful of bytes instead of a ~100-byte
+/// JSON line.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaSink {
+    buf: Vec<u8>,
+    /// In-stream string table; index 0 is pre-seeded as the empty string.
+    strings: Vec<String>,
+    prev_round: Round,
+    prev_id: u64,
+    events: u64,
+}
+
+/// Tags of the delta stream's event records, in [`Event`] variant order.
+const DELTA_TAG_SEND: u64 = 0;
+const DELTA_TAG_DELIVER: u64 = 1;
+const DELTA_TAG_CRASH: u64 = 2;
+const DELTA_TAG_PHASE_ENTER: u64 = 3;
+const DELTA_TAG_PHASE_EXIT: u64 = 4;
+const DELTA_TAG_DECIDE: u64 = 5;
+
+impl DeltaSink {
+    /// An empty delta stream.
+    pub fn new() -> Self {
+        DeltaSink { strings: vec![String::new()], ..Self::default() }
+    }
+
+    /// The encoded bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the sink, returning the encoded stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Events encoded so far.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    fn put_string(&mut self, s: &str) {
+        match self.strings.iter().position(|t| t == s) {
+            Some(i) => put_varint(&mut self.buf, i as u64),
+            None => {
+                put_varint(&mut self.buf, self.strings.len() as u64);
+                put_varint(&mut self.buf, s.len() as u64);
+                self.buf.extend_from_slice(s.as_bytes());
+                self.strings.push(s.to_string());
+            }
+        }
+    }
+
+    /// Round delta (monotone in well-formed traces, zigzag for safety)
+    /// shared by every record; updates the predictor.
+    fn put_round(&mut self, round: Round) {
+        put_varint(&mut self.buf, zigzag(round as i64 - self.prev_round as i64));
+        self.prev_round = round;
+    }
+
+    /// Event id as a zigzag delta from the previous non-null id; null ids
+    /// (pre-sink deliveries) encode but do not advance the predictor.
+    fn put_id(&mut self, id: EventId) {
+        put_varint(&mut self.buf, zigzag(id.0 as i64 - self.prev_id as i64));
+        if id.0 != 0 {
+            self.prev_id = id.0;
+        }
+    }
+
+    /// Decodes a stream back to its events.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a truncated or corrupt stream.
+    pub fn decode(bytes: &[u8]) -> Result<Vec<Event>, String> {
+        let mut out = Vec::new();
+        let mut strings = vec![String::new()];
+        let mut prev_round: Round = 0;
+        let mut prev_id: u64 = 0;
+        let mut pos = 0usize;
+        let get_string =
+            |bytes: &[u8], pos: &mut usize, strings: &mut Vec<String>| -> Result<String, String> {
+                let i = get_varint(bytes, pos)? as usize;
+                if i < strings.len() {
+                    return Ok(strings[i].clone());
+                }
+                if i != strings.len() {
+                    return Err(format!("string index {i} skips table of {}", strings.len()));
+                }
+                let len = get_varint(bytes, pos)? as usize;
+                let end = pos.checked_add(len).filter(|&e| e <= bytes.len());
+                let end = end.ok_or("delta stream truncated inside string")?;
+                let s = std::str::from_utf8(&bytes[*pos..end])
+                    .map_err(|_| "non-UTF-8 string in delta stream")?
+                    .to_string();
+                *pos = end;
+                strings.push(s.clone());
+                Ok(s)
+            };
+        while pos < bytes.len() {
+            let tag = get_varint(bytes, &mut pos)?;
+            let round = {
+                let d = unzigzag(get_varint(bytes, &mut pos)?);
+                let r = prev_round.checked_add_signed(d).ok_or("round delta underflows")?;
+                prev_round = r;
+                r
+            };
+            let get_id = |pos: &mut usize, prev_id: &mut u64| -> Result<EventId, String> {
+                let d = unzigzag(get_varint(bytes, pos)?);
+                let id = prev_id.checked_add_signed(d).ok_or("id delta underflows")?;
+                if id != 0 {
+                    *prev_id = id;
+                }
+                Ok(EventId(id))
+            };
+            let ev = match tag {
+                DELTA_TAG_SEND => {
+                    let node = NodeId(get_varint(bytes, &mut pos)? as u32);
+                    let bits = get_varint(bytes, &mut pos)?;
+                    let logical = get_varint(bytes, &mut pos)?;
+                    let id = get_id(&mut pos, &mut prev_id)?;
+                    let kind = get_string(bytes, &mut pos, &mut strings)?;
+                    let n_causes = get_varint(bytes, &mut pos)? as usize;
+                    let mut causes = Vec::with_capacity(n_causes);
+                    for _ in 0..n_causes {
+                        let back = unzigzag(get_varint(bytes, &mut pos)?)
+                            .checked_neg()
+                            .ok_or("cause distance overflows")?;
+                        let c = id.0.checked_add_signed(back).ok_or("cause underflows")?;
+                        causes.push(EventId(c));
+                    }
+                    Event::Send { round, node, bits, logical, id, kind, causes }
+                }
+                DELTA_TAG_DELIVER => {
+                    let node = NodeId(get_varint(bytes, &mut pos)? as u32);
+                    let from = NodeId(get_varint(bytes, &mut pos)? as u32);
+                    let bits = get_varint(bytes, &mut pos)?;
+                    let id = get_id(&mut pos, &mut prev_id)?;
+                    let src_code = get_varint(bytes, &mut pos)?;
+                    let src = if src_code == 0 {
+                        EventId::NONE
+                    } else {
+                        let back =
+                            unzigzag(src_code - 1).checked_neg().ok_or("src distance overflows")?;
+                        EventId(id.0.checked_add_signed(back).ok_or("src underflows")?)
+                    };
+                    Event::Deliver { round, node, from, bits, id, src }
+                }
+                DELTA_TAG_CRASH => {
+                    Event::Crash { round, node: NodeId(get_varint(bytes, &mut pos)? as u32) }
+                }
+                DELTA_TAG_PHASE_ENTER => {
+                    Event::PhaseEnter { round, label: get_string(bytes, &mut pos, &mut strings)? }
+                }
+                DELTA_TAG_PHASE_EXIT => {
+                    Event::PhaseExit { round, label: get_string(bytes, &mut pos, &mut strings)? }
+                }
+                DELTA_TAG_DECIDE => Event::Decide {
+                    round,
+                    node: NodeId(get_varint(bytes, &mut pos)? as u32),
+                    value: get_varint(bytes, &mut pos)?,
+                },
+                other => return Err(format!("unknown delta tag {other}")),
+            };
+            out.push(ev);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a stream straight to the v2 JSONL text a [`JsonlSink`]
+    /// would have produced for the same events — header line included,
+    /// byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a truncated or corrupt stream.
+    pub fn decode_to_jsonl(bytes: &[u8]) -> Result<String, String> {
+        let events = Self::decode(bytes)?;
+        let mut text = format!("{{\"schema\":\"ftagg-trace\",\"v\":{TRACE_SCHEMA_VERSION}}}\n");
+        for e in &events {
+            text.push_str(&e.to_jsonl());
+            text.push('\n');
+        }
+        Ok(text)
+    }
+}
+
+impl TraceSink for DeltaSink {
+    fn record(&mut self, e: &Event) {
+        self.events += 1;
+        match e {
+            Event::Send { round, node, bits, logical, id, kind, causes } => {
+                put_varint(&mut self.buf, DELTA_TAG_SEND);
+                self.put_round(*round);
+                put_varint(&mut self.buf, u64::from(node.0));
+                put_varint(&mut self.buf, *bits);
+                put_varint(&mut self.buf, *logical);
+                self.put_id(*id);
+                self.put_string(kind);
+                put_varint(&mut self.buf, causes.len() as u64);
+                for c in causes {
+                    put_varint(&mut self.buf, zigzag(id.0 as i64 - c.0 as i64));
+                }
+            }
+            Event::Deliver { round, node, from, bits, id, src } => {
+                put_varint(&mut self.buf, DELTA_TAG_DELIVER);
+                self.put_round(*round);
+                put_varint(&mut self.buf, u64::from(node.0));
+                put_varint(&mut self.buf, u64::from(from.0));
+                put_varint(&mut self.buf, *bits);
+                self.put_id(*id);
+                // src: 0 = NONE, else 1 + zigzag distance — unambiguous
+                // even for adversarial id/src pairs.
+                if src.is_some() {
+                    put_varint(&mut self.buf, 1 + zigzag(id.0 as i64 - src.0 as i64));
+                } else {
+                    put_varint(&mut self.buf, 0);
+                }
+            }
+            Event::Crash { round, node } => {
+                put_varint(&mut self.buf, DELTA_TAG_CRASH);
+                self.put_round(*round);
+                put_varint(&mut self.buf, u64::from(node.0));
+            }
+            Event::PhaseEnter { round, label } => {
+                put_varint(&mut self.buf, DELTA_TAG_PHASE_ENTER);
+                self.put_round(*round);
+                self.put_string(label);
+            }
+            Event::PhaseExit { round, label } => {
+                put_varint(&mut self.buf, DELTA_TAG_PHASE_EXIT);
+                self.put_round(*round);
+                self.put_string(label);
+            }
+            Event::Decide { round, node, value } => {
+                put_varint(&mut self.buf, DELTA_TAG_DECIDE);
+                self.put_round(*round);
+                put_varint(&mut self.buf, u64::from(node.0));
+                put_varint(&mut self.buf, *value);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,10 @@ use caaf::Sum;
 use ftagg::msg::Envelope;
 use ftagg::pair::{PairNode, PairParams, Tweaks};
 use ftagg::{Instance, Model};
-use netsim::{topology, Engine, Event, FailureSchedule, JsonlSink, NodeId, Trace};
+use netsim::testkit::{assert_equivalent, capture};
+use netsim::{
+    topology, AnyEngine, Engine, EngineKind, Event, FailureSchedule, JsonlSink, NodeId, Trace,
+};
 
 fn run_traced() -> Engine<Envelope, PairNode<Sum>> {
     let g = topology::path(4);
@@ -156,6 +159,39 @@ fn jsonl_trace_format_snapshot() {
     assert_eq!((phases[0].label.as_str(), phases[0].start, phases[0].end), ("AGG", 1, 25));
     assert_eq!((phases[1].label.as_str(), phases[1].start, phases[1].end), ("VERI", 26, 43));
     assert_eq!(phases[0].bits + phases[1].bits, replayed.total_bits());
+}
+
+/// The golden schedule is engine-independent: the struct-of-arrays core
+/// reproduces the exact pinned send rounds, and its full traced execution
+/// (trace bytes, ledgers, telemetry) matches the classic engine's.
+#[test]
+fn golden_schedule_is_pinned_on_both_engines() {
+    let run = |kind: EngineKind| -> AnyEngine<Envelope, PairNode<Sum>> {
+        let g = topology::path(4);
+        let inst =
+            Instance::new(g, NodeId(0), vec![1, 2, 3, 4], FailureSchedule::none(), 4).unwrap();
+        let params = PairParams {
+            model: Model { n: 4, root: NodeId(0), d: 3, c: 1, max_input: 4 },
+            t: 1,
+            run_veri: true,
+            tweaks: Tweaks::default(),
+        };
+        let inputs = inst.inputs.clone();
+        let mut eng = AnyEngine::new(kind, inst.graph.clone(), FailureSchedule::none(), |v| {
+            PairNode::new(params, Sum, v, inputs[v.index()])
+        });
+        eng.enable_trace();
+        eng.run(params.total_rounds());
+        eng
+    };
+    let classic = run(EngineKind::Classic);
+    let soa = run(EngineKind::Soa);
+    // The pinned Algorithms 2/3 schedule, straight from the SoA trace.
+    let t = soa.trace().expect("tracing enabled");
+    assert_eq!(t.send_rounds(NodeId(1)), vec![2, 3, 10, 16, 22, 27, 35], "node 1 schedule");
+    assert_eq!(t.send_rounds(NodeId(2)), vec![4, 5, 9, 17, 23, 28, 34], "node 2 schedule");
+    assert_eq!(t.send_rounds(NodeId(3)), vec![6, 7, 8, 18, 24, 29, 33], "node 3 schedule");
+    assert_equivalent(&capture(&classic), &capture(&soa), "golden instance");
 }
 
 #[test]

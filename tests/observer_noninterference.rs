@@ -81,8 +81,8 @@ impl NodeLogic<Ping> for Probe {
         let r = ctx.round();
         self.active_rounds.push(r);
         for m in ctx.inbox() {
-            let Received { from, msg, .. } = m;
-            self.received.push((*from, msg.sent_round, r));
+            let Received { from, msg } = m;
+            self.received.push((from, msg.sent_round, r));
         }
         if sends_in(self.seed, self.me, r) {
             ctx.send(Ping { from: self.me, sent_round: r });

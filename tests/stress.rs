@@ -122,6 +122,65 @@ fn stress_fast_slice_corpus_replay() {
     assert!(replayed >= 3, "expected the promoted corpus, found {replayed} entries");
 }
 
+/// Tier-1 slice: large-N smoke for the SoA hot path — a single-origin
+/// flood over a hypercube with N ≈ 10⁵ nodes under a handful of crashes,
+/// wall-time-bounded. On a clean run every node forwards the token once,
+/// so deliveries = Σ degrees = dim·2^dim; each crashed node forfeits at
+/// most its `dim` forwards and its `dim` inbound deliveries. Catches
+/// accidental O(N²) scans or per-delivery allocations the small-N
+/// equivalence matrix can't see.
+#[test]
+fn stress_fast_slice_large_n_smoke() {
+    use netsim::{FailureSchedule, Message, NodeLogic, Round, RoundCtx, SoaEngine};
+
+    #[derive(Clone, Debug)]
+    struct Tok;
+    impl Message for Tok {
+        fn bit_len(&self) -> u64 {
+            32
+        }
+    }
+    struct Flood {
+        origin: bool,
+        seen: bool,
+    }
+    impl NodeLogic<Tok> for Flood {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Tok>) {
+            if (ctx.round() == 1 && self.origin) || (!self.seen && !ctx.inbox().is_empty()) {
+                self.seen = true;
+                ctx.send(Tok);
+            }
+        }
+    }
+
+    let dim = 17u32; // N = 131_072
+    let n: u64 = 1 << dim;
+    let start = std::time::Instant::now();
+    let mut schedule = FailureSchedule::none();
+    for j in 1..=8u64 {
+        schedule.crash(NodeId((j * (n / 9)) as u32), 2 + (j % 4));
+    }
+    let mut eng = SoaEngine::new(topology::hypercube(dim), schedule, |v| Flood {
+        origin: v == NodeId(0),
+        seen: false,
+    });
+    eng.use_lean_metrics();
+    eng.run(Round::from(dim) + 2);
+    let clean = u64::from(dim) * n;
+    let deliveries = eng.telemetry().deliveries;
+    assert!(
+        deliveries <= clean && deliveries >= clean - 2 * 8 * u64::from(dim),
+        "flood at N = {n}: {deliveries} deliveries, clean bound {clean}"
+    );
+    // Every live node broadcasts the 32-bit token exactly once; the 8
+    // crashed nodes never get to.
+    assert_eq!(eng.metrics().total_bits(), 32 * (n - 8), "bit meter tracks broadcasts");
+    let wall = start.elapsed();
+    // Generous even for an unoptimized debug build; an O(N²) regression
+    // blows far past it.
+    assert!(wall.as_secs() < 30, "large-N smoke took {wall:?}");
+}
+
 #[test]
 #[ignore = "heavy: ~2000 randomized executions"]
 fn stress_table2_two_thousand_runs() {
