@@ -3,7 +3,7 @@
 //! sweep executed at that scale.
 //!
 //! ```text
-//! fig1_e6 [--quick]
+//! fig1_e6 [--quick] [--force-violation] [--flight-out PATH]
 //! ```
 //!
 //! Part 1 is the engine-scaling table: a single-origin flood (node 0's
@@ -23,14 +23,24 @@
 //! the paper's Theorem 1 / Theorem 2 curves. The measured point must sit
 //! at or below the upper curve at every `b`; the bin exits nonzero if not.
 //!
+//! Every Part 2 run is *recorded* with the production rig: a telemetry
+//! hub observes each round through the engine's round stream, and a
+//! deterministic 1-in-16 sampler feeds a flight recorder keeping the
+//! last rounds of sampled send events. `--force-violation` arms a
+//! watchdog (on the full stream) with an absurd 1-bit budget so the
+//! first send trips it; with `--flight-out PATH` the violating run's
+//! black box is dumped as replayable v2 JSONL
+//! (`ftagg-cli explain --input PATH`) and the bin exits 1.
+//!
 //! `--quick` shrinks both parts (dim 12, f = 64) for CI smoke; the full
 //! run completes at N = 1,048,576 on one box.
 
 use ftagg::bounds;
 use ftagg_bench::{f, Table};
 use netsim::{
-    topology, AnyEngine, BitFlood, EngineKind, FailureSchedule, Graph, Message, NodeId, NodeLogic,
-    Round, RoundCtx, SoaEngine,
+    round_observer, topology, AnyEngine, BitFlood, EngineKind, FailureSchedule, FlightRecorder,
+    Graph, Message, MonitorConfig, NodeId, NodeLogic, Round, RoundCtx, SamplingSink, SoaEngine,
+    TeeSink, TelemetryHub, Watchdog,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -129,10 +139,29 @@ fn flood_once(graph: Graph, d: u32, kind: EngineKind) -> (f64, u64, f64) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    if std::env::args().skip(1).any(|a| a != "--quick") {
-        eprintln!("usage: fig1_e6 [--quick]");
-        std::process::exit(2);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut force_violation = false;
+    let mut flight_out: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--force-violation" => force_violation = true,
+            "--flight-out" => {
+                i += 1;
+                let Some(p) = argv.get(i) else {
+                    eprintln!("--flight-out needs a path");
+                    std::process::exit(2);
+                };
+                flight_out = Some(p.clone());
+            }
+            _ => {
+                eprintln!("usage: fig1_e6 [--quick] [--force-violation] [--flight-out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
     }
 
     // ── Part 1: engine scaling on hypercubes ──────────────────────────
@@ -218,6 +247,9 @@ fn main() {
         "wall s",
     ]);
     let mut violations = 0usize;
+    let mut forced_violations = 0u64;
+    let mut flight_dumped = false;
+    let mut tele_lines: Vec<String> = Vec::new();
     for &b in bs {
         let groups = (f_bound as u64).div_ceil(b) as usize;
         assert!(groups <= 64, "group mask is a u64");
@@ -246,9 +278,81 @@ fn main() {
         let t0 = Instant::now();
         let mut eng = SoaEngine::new(topology::hypercube(dim), schedule, factory);
         eng.use_lean_metrics();
+        // Every Part-2 run is recorded with the production rig: the
+        // telemetry hub observes each round through the round stream
+        // (O(1) per round), and a deterministic 1-in-16 sampler feeds a
+        // flight recorder keeping the last 8 rounds of sampled send
+        // events (deliveries excluded, so the hot delivery loop stays
+        // untouched) — the < 5% overhead configuration the snapshot's
+        // interleaved A/B pins.
+        let hub = Arc::new(TelemetryHub::new());
+        eng.stream_rounds(round_observer(&hub));
+        let recorder = FlightRecorder::new(8).without_delivers();
+        let flight = recorder.handle();
+        let sampled = SamplingSink::new(Box::new(recorder), 16, 7);
+        if force_violation {
+            // An absurd 1-bit per-node ceiling over the whole window:
+            // the very first summary send trips it, exercising the
+            // dump-on-violation path at scale. The watchdog taps the
+            // full stream (budgets must see real counts); only the
+            // black box sits behind the sampler.
+            let cfg = MonitorConfig::new(n).budget(
+                "forced (absurd 1-bit ceiling)",
+                1..=Round::from(dim) + 2,
+                1,
+            );
+            eng.set_sink(Box::new(
+                TeeSink::new().with(Box::new(Watchdog::new(cfg))).with(Box::new(sampled)),
+            ));
+        } else {
+            eng.set_sink(Box::new(sampled));
+        }
         let report = eng.run(Round::from(dim) + 2);
         let wall = t0.elapsed().as_secs_f64();
         let cc = eng.metrics().max_bits();
+        if force_violation {
+            let mut sink = eng.take_sink().expect("the tee we installed");
+            let tee =
+                sink.as_any_mut().downcast_mut::<TeeSink>().expect("forced runs install a TeeSink");
+            let verdict = tee.sinks_mut()[0]
+                .as_any_mut()
+                .downcast_mut::<Watchdog>()
+                .expect("first teed sink is the Watchdog")
+                .finish();
+            forced_violations += verdict.total;
+            if !verdict.is_clean() && !flight_dumped {
+                if let Some(path) = &flight_out {
+                    match flight.dump_once(std::path::Path::new(path)) {
+                        Ok(Some(stats)) => {
+                            flight_dumped = true;
+                            eprintln!(
+                                "flight recorder: dumped {} events over rounds {}..={} to {path}",
+                                stats.events_buffered, stats.oldest_round, stats.newest_round
+                            );
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("flight recorder: dump to {path} failed: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+        }
+        let fs = flight.stats();
+        tele_lines.push(format!(
+            "b = {b:>4}: rounds = {}, deliveries = {}, bits = {}, in-flight peak = {}; \
+             flight ring rounds {}..={} ({} events, {} bytes, {} evicted)",
+            hub.counter("engine_rounds_total").get(),
+            hub.counter("engine_deliveries_total").get(),
+            hub.counter("engine_bits_total").get(),
+            hub.gauge("engine_inflight_peak").get(),
+            fs.oldest_round,
+            fs.newest_round,
+            fs.events_buffered,
+            fs.bytes_buffered,
+            fs.evicted_rounds,
+        ));
         let upper = bounds::upper_bound_simple(n, f_bound, b);
         if cc as f64 > upper {
             violations += 1;
@@ -265,6 +369,26 @@ fn main() {
         ]);
     }
     t2.print();
+
+    println!("\nrecorded telemetry (hub counters + flight-recorder ring, per budget):");
+    for line in &tele_lines {
+        println!("  {line}");
+    }
+
+    if force_violation {
+        if forced_violations == 0 {
+            eprintln!("\nERROR: --force-violation tripped nothing (the absurd budget must fire)");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "\nforced violation: watchdog collected {forced_violations} violation(s){}",
+            match &flight_out {
+                Some(p) if flight_dumped => format!("; black box at {p}"),
+                _ => String::new(),
+            }
+        );
+        std::process::exit(1);
+    }
 
     if violations > 0 {
         eprintln!("\nVIOLATION: measured CC above the Theorem 1 curve at {violations} point(s)");

@@ -27,12 +27,14 @@ use caaf::Sum;
 use ftagg::tradeoff::{run_tradeoff, run_tradeoff_monitored, TradeoffConfig};
 use ftagg::Instance;
 use netsim::{
-    topology, AnyEngine, BitFlood, EngineKind, FailureSchedule, FloodState, Message, MonitorConfig,
-    NodeId, NodeLogic, Round, RoundCtx, Runner, SoaEngine, Telemetry, Watchdog,
+    round_observer, topology, AnyEngine, BitFlood, EngineKind, FailureSchedule, FlightRecorder,
+    FloodState, Message, MonitorConfig, NodeId, NodeLogic, RecorderStats, Round, RoundCtx, Runner,
+    SampleFactor, SamplingSink, SoaEngine, Telemetry, TelemetryHub, Watchdog,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag written into every snapshot.
@@ -161,6 +163,43 @@ pub fn flood_hypercube_soa(dim: u32) -> (Telemetry, u64) {
     (eng.telemetry().clone(), bits)
 }
 
+/// Sampling rate of the production recording rig (1-in-16 nodes per
+/// stratum) and the deterministic admission seed the snapshot pins.
+pub const RECORDED_SAMPLE_K: u64 = 16;
+/// Seed of the recorded rig's deterministic node-admission hash.
+pub const RECORDED_SAMPLE_SEED: u64 = 7;
+
+/// [`flood_hypercube_soa`] with the production recording rig attached:
+/// a telemetry hub observing the engine's round stream, plus sampled
+/// tracing (a deterministic 1-in-[`RECORDED_SAMPLE_K`] [`SamplingSink`])
+/// feeding a deliver-less [`FlightRecorder`] black box. Returns the
+/// engine telemetry, total bits, the hub, the flight ring's final stats,
+/// and the sampler's scale-up factors — the `exact.*` instrument
+/// readings the snapshot pins.
+pub fn flood_hypercube_soa_recorded(
+    dim: u32,
+) -> (Telemetry, u64, Arc<TelemetryHub>, RecorderStats, Vec<SampleFactor>) {
+    let g = topology::hypercube(dim);
+    let mut eng = SoaEngine::new(g, FailureSchedule::none(), SingleFlood::new);
+    eng.use_lean_metrics();
+    let hub = Arc::new(TelemetryHub::new());
+    eng.stream_rounds(round_observer(&hub));
+    let rec = FlightRecorder::new(8).without_delivers();
+    let flight = rec.handle();
+    eng.set_sink(Box::new(SamplingSink::new(
+        Box::new(rec),
+        RECORDED_SAMPLE_K,
+        RECORDED_SAMPLE_SEED,
+    )));
+    eng.run(Round::from(dim) + 2);
+    let bits = eng.metrics().total_bits();
+    let factors = eng
+        .take_sink()
+        .and_then(|mut s| s.as_any_mut().downcast_mut::<SamplingSink>().map(|s| s.factors()))
+        .unwrap_or_default();
+    (eng.telemetry().clone(), bits, hub, flight.stats(), factors)
+}
+
 /// One parsed (or freshly collected) benchmark snapshot.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
@@ -192,9 +231,58 @@ impl Snapshot {
 
         s.collect_engine(quick);
         s.collect_soa(quick);
+        s.collect_telemetry(quick);
         s.collect_sweep(quick);
         s.collect_runner(quick);
         s
+    }
+
+    /// Telemetry overhead A/B: the production recording rig (hub on the
+    /// round stream + 1-in-16 sampled tracing into a deliver-less flight
+    /// recorder) against the plain engine on the identical single-origin
+    /// hypercube flood, with the arms interleaved inside each rep so
+    /// thermal and cache drift hit both equally. `exact.telemetry.*`
+    /// pins the deterministic instrument readings (the hub must agree
+    /// with the engine's own meters bit for bit; the sampler's full-
+    /// stream meters and deterministic admission are pinned too);
+    /// `perf.telemetry.recorded_ratio` is recorded-on / off throughput —
+    /// the < 5% overhead acceptance at N = 2²⁰ reads as ratio ≥ 0.95 on
+    /// the full workload.
+    fn collect_telemetry(&mut self, quick: bool) {
+        let dim = if quick { 12 } else { 20 };
+        // More reps than the other lanes: the overhead gate reads a
+        // ratio of two ~0.8 s arms, so both maxes need to converge.
+        let reps = if quick { 2 } else { 5 };
+        let (mut off_dps, mut on_dps) = (0.0f64, 0.0f64);
+        let mut readings = None;
+        for _ in 0..reps {
+            let (t, _) = flood_hypercube_soa(dim);
+            off_dps = off_dps.max(t.deliveries_per_sec());
+            let (t, bits, hub, fs, factors) = flood_hypercube_soa_recorded(dim);
+            on_dps = on_dps.max(t.deliveries_per_sec());
+            readings = Some((t.deliveries, bits, hub, fs, factors));
+        }
+        let (deliveries, bits, hub, fs, factors) = readings.expect("at least one rep ran");
+        let hub_deliveries = hub.counter("engine_deliveries_total").get();
+        let hub_bits = hub.counter("engine_bits_total").get();
+        assert_eq!(hub_deliveries, deliveries, "hub must agree with the engine's meters");
+        assert_eq!(hub_bits, bits, "hub must agree with the engine's meters");
+        // The sampler meters the full stream, so its per-stratum totals
+        // are exact even though only 1-in-k nodes reach the black box.
+        let sends_total: u64 = factors.iter().map(|f| f.total_events).sum();
+        let sends_sampled: u64 = factors.iter().map(|f| f.sampled_events).sum();
+        self.exact
+            .insert("exact.telemetry.rounds".into(), hub.counter("engine_rounds_total").get());
+        self.exact.insert("exact.telemetry.deliveries".into(), hub_deliveries);
+        self.exact.insert("exact.telemetry.bits".into(), hub_bits);
+        self.exact.insert("exact.telemetry.send_events".into(), sends_total);
+        self.exact.insert("exact.telemetry.sampled_events".into(), sends_sampled);
+        self.exact.insert("exact.telemetry.flight_rounds".into(), fs.rounds_buffered);
+        self.exact.insert("exact.telemetry.flight_events".into(), fs.events_buffered);
+        self.perf.insert(
+            "perf.telemetry.recorded_ratio".into(),
+            if off_dps > 0.0 { on_dps / off_dps } else { 0.0 },
+        );
     }
 
     /// Engine flood throughput, plain and monitored (best of `reps`).
@@ -715,6 +803,18 @@ mod tests {
         assert!(s.perf["perf.flood.deliveries_per_sec"] > 0.0);
         assert!(s.exact["exact.e6.deliveries"] > 0);
         assert!(s.perf["perf.e6.deliveries_per_sec"] > 0.0);
+        // The recorded run's instruments agree with the plain run's meters.
+        assert_eq!(s.exact["exact.telemetry.deliveries"], s.exact["exact.e6.deliveries"]);
+        assert_eq!(s.exact["exact.telemetry.bits"], s.exact["exact.e6.total_bits"]);
+        // Every node floods exactly once, so the sampler's full-stream
+        // meter must equal N, and the 1-in-16 admission keeps a strict,
+        // non-empty subset of the black box's input.
+        assert_eq!(s.exact["exact.telemetry.send_events"], 1 << 12);
+        assert!(s.exact["exact.telemetry.sampled_events"] > 0);
+        assert!(s.exact["exact.telemetry.sampled_events"] < s.exact["exact.telemetry.send_events"]);
+        assert!(s.exact["exact.telemetry.flight_events"] > 0);
+        assert!(s.exact["exact.telemetry.flight_rounds"] > 0);
+        assert!(s.perf["perf.telemetry.recorded_ratio"] > 0.0);
         // The exact group must be reproducible within one process.
         let again = Snapshot::collect(true);
         assert_eq!(s.exact, again.exact);

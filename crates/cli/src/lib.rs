@@ -55,10 +55,15 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut it = raw.into_iter().peekable();
         let command = it.next().ok_or(
-            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds)",
+            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds | mine | top | telemetry)",
         )?;
-        // `bench` takes one sub-action positional (snapshot | compare).
-        let sub = if command == "bench" { it.next_if(|a| !a.starts_with("--")) } else { None };
+        // `bench` and `telemetry` take one sub-action positional
+        // (`bench snapshot | compare`, `telemetry export`).
+        let sub = if command == "bench" || command == "telemetry" {
+            it.next_if(|a| !a.starts_with("--"))
+        } else {
+            None
+        };
         // `diff` takes its two trace paths as positionals.
         let takes_positionals = command == "diff";
         let mut positional = Vec::new();
@@ -148,6 +153,8 @@ pub fn dispatch_full(args: &Args) -> Result<CmdOutput, String> {
         "bench" => cmd_bench(args).map(CmdOutput::ok),
         "bounds" => cmd_bounds(args).map(CmdOutput::ok),
         "mine" => cmd_mine(args),
+        "top" => cmd_top(args).map(CmdOutput::ok),
+        "telemetry" => cmd_telemetry(args).map(CmdOutput::ok),
         "help" | "--help" | "-h" => Ok(CmdOutput::ok(USAGE.to_string())),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -180,6 +187,9 @@ commands:
                  --threads T --top K --monitor yes (run under the watchdog)
           file:  --input TRACE.jsonl [--render yes] --top K
                  [--monitor yes] (replay through the invariant watchdog)
+          --sampled K (replay the events through the 1-in-K node sampler
+          and print per-stratum scale-up factors, scaled estimates next
+          to the exact meters, and ~95% confidence bands)
           exits 1 when --monitor finds violations
   explain causal provenance of one Algorithm 1 run: critical path into the
           decision, per-node per-kind CC blame, coverage audit
@@ -220,6 +230,16 @@ commands:
           --crash NODE@ROUND (seed the search from this schedule)
           --corpus-out PATH --name NAME (write a tests/corpus entry)
           exits 1 on correctness counterexamples or watchdog violations
+  top     run one AGG+VERI pair with live telemetry: a throttled stats
+          line on stderr while the run is in flight, a deterministic
+          summary table on stdout, and a flight recorder riding along
+          --topology SPEC --engine classic|soa --c C --t T --seed S
+          --crash NODE@ROUND (repeatable)   --refresh-ms MS (stderr rate)
+          --ring R (flight-recorder rounds retained, default 64)
+          --flight-out PATH (dump the black box on exit and on panic)
+  telemetry  export the telemetry registry of one instrumented run
+          telemetry export [--format prom|json] [--out PATH]
+          (run options as top: --topology --engine --c --t --seed --crash)
 ";
 
 fn cmd_run(args: &Args) -> Result<String, String> {
@@ -392,6 +412,234 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// One instrumented AGG+VERI pair: the shared workload behind `top` and
+/// `telemetry export`. The telemetry hub observes every round through the
+/// engine's round stream; when `flight_rounds > 0` a [`netsim::FlightRecorder`]
+/// (deliveries excluded, so the per-delivery path stays untouched) rides
+/// as the engine sink, with the panic hook armed when `flight_out` names
+/// a dump path.
+struct ObservedRun {
+    hub: std::sync::Arc<netsim::TelemetryHub>,
+    flight: Option<netsim::FlightRecorderHandle>,
+    n: usize,
+    rounds: netsim::Round,
+}
+
+fn run_observed_pair(
+    args: &Args,
+    flight_rounds: usize,
+    flight_out: Option<&std::path::Path>,
+    extra: Option<Box<dyn FnMut(netsim::RoundFlow)>>,
+) -> Result<ObservedRun, String> {
+    use caaf::Sum;
+    use ftagg::msg::Envelope;
+    use ftagg::pair::{PairNode, PairParams, Tweaks};
+    use netsim::AnyEngine;
+    use std::sync::Arc;
+
+    let seed: u64 = args.num("seed", 0)?;
+    let engine = netsim::EngineKind::parse(args.get("engine").unwrap_or("soa"))?;
+    let graph = spec::parse_topology(args.get("topology").unwrap_or("grid:16x16"), seed)?;
+    let n = graph.len();
+    let schedule = spec::parse_crashes(args.get_all("crash"))?;
+    schedule.validate(&graph, NodeId(0))?;
+    let c: u32 = args.num("c", 2)?;
+    let t: u32 = args.num("t", 1)?;
+    let params = PairParams {
+        model: ftagg::Model {
+            n,
+            root: NodeId(0),
+            d: graph.diameter().max(1),
+            c,
+            max_input: n as u64,
+        },
+        t,
+        run_veri: true,
+        tweaks: Tweaks::default(),
+    };
+    let mut eng: AnyEngine<Envelope, PairNode<Sum>> =
+        AnyEngine::new(engine, graph, schedule, |v| PairNode::new(params, Sum, v, u64::from(v.0)));
+    eng.use_lean_metrics();
+    let hub = Arc::new(netsim::TelemetryHub::new());
+    let mut obs = netsim::round_observer(&hub);
+    let mut extra = extra;
+    eng.stream_rounds(move |flow| {
+        obs(flow);
+        if let Some(cb) = extra.as_mut() {
+            cb(flow);
+        }
+    });
+    let flight = if flight_rounds > 0 {
+        let rec = netsim::FlightRecorder::new(flight_rounds).without_delivers();
+        let handle = rec.handle();
+        if let Some(path) = flight_out {
+            handle.install_panic_hook(path.to_path_buf());
+        }
+        eng.set_sink(Box::new(rec));
+        Some(handle)
+    } else {
+        None
+    };
+    eng.enter_phase("AGG");
+    eng.run(params.agg_rounds());
+    eng.exit_phase();
+    eng.enter_phase("VERI");
+    eng.run(params.total_rounds());
+    eng.exit_phase();
+    Ok(ObservedRun { hub, flight, n, rounds: eng.round() })
+}
+
+/// `top` — one instrumented pair run with a throttled live stats line on
+/// stderr (rounds/s, deliveries/s, bits so far) and a deterministic
+/// telemetry summary on stdout. A flight recorder rides along; `--flight-out`
+/// dumps it on exit and arms the panic hook so a crash mid-run leaves the
+/// same artifact.
+fn cmd_top(args: &Args) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let refresh: u64 = args.num("refresh-ms", 200)?;
+    let ring: usize = args.num("ring", 64)?;
+    if ring == 0 {
+        return Err("--ring needs a capacity >= 1".into());
+    }
+    let flight_out = args.get("flight-out").map(std::path::PathBuf::from);
+
+    // The live line is wall-clock-throttled and rate-bearing, so it goes
+    // to stderr only; stdout stays byte-deterministic.
+    let start = std::time::Instant::now();
+    let mut last: Option<std::time::Instant> = None;
+    let mut deliveries: u64 = 0;
+    let mut bits: u64 = 0;
+    let live: Box<dyn FnMut(netsim::RoundFlow)> = Box::new(move |f| {
+        deliveries += f.deliveries;
+        bits += f.bits;
+        if last.is_none_or(|t| t.elapsed().as_millis() >= u128::from(refresh)) {
+            last = Some(std::time::Instant::now());
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            eprint!(
+                "\r  top: round {:>7} | {:>9.0} rounds/s | {:>11.0} deliveries/s | {:>13} bits   ",
+                f.round,
+                f.round as f64 / secs,
+                deliveries as f64 / secs,
+                bits
+            );
+        }
+    });
+    let run = run_observed_pair(args, ring, flight_out.as_deref(), Some(live))?;
+    eprintln!();
+
+    let hub = &run.hub;
+    let mut out = String::new();
+    let _ = writeln!(out, "top: AGG+VERI pair over {} nodes, {} rounds", run.n, run.rounds);
+    let _ = writeln!(
+        out,
+        "rounds = {}, deliveries = {}, messages = {}, bits = {}",
+        hub.counter("engine_rounds_total").get(),
+        hub.counter("engine_deliveries_total").get(),
+        hub.counter("engine_logical_messages_total").get(),
+        hub.counter("engine_bits_total").get(),
+    );
+    let _ = writeln!(
+        out,
+        "in-flight last = {}, peak = {}",
+        hub.gauge("engine_inflight_last").get(),
+        hub.gauge("engine_inflight_peak").get(),
+    );
+    for name in ["engine_round_bits", "engine_round_deliveries"] {
+        let h = hub.histogram(name).snapshot();
+        let _ = writeln!(
+            out,
+            "{name:<24} p50 = {:>8}  p90 = {:>8}  p99 = {:>8}  max = {:>8}",
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max(),
+        );
+    }
+    if let Some(flight) = &run.flight {
+        let s = flight.stats();
+        let _ = writeln!(
+            out,
+            "flight recorder: rounds {}..={} buffered ({} events, {} bytes), {} rounds evicted",
+            s.oldest_round, s.newest_round, s.events_buffered, s.bytes_buffered, s.evicted_rounds,
+        );
+        if let Some(path) = &flight_out {
+            if let Some(dumped) = flight.dump_once(path)? {
+                let _ = writeln!(
+                    out,
+                    "wrote flight dump ({} events) to {}",
+                    dumped.events_buffered,
+                    path.display()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `telemetry export` — run the instrumented workload and export the hub's
+/// registry as Prometheus-style text (`--format prom`, the default) or
+/// JSON (`--format json`), to stdout or `--out PATH`.
+fn cmd_telemetry(args: &Args) -> Result<String, String> {
+    match args.sub.as_deref() {
+        Some("export") => {
+            let format = args.get("format").unwrap_or("prom");
+            let run = run_observed_pair(args, 0, None, None)?;
+            let text = match format {
+                "prom" | "prometheus" => run.hub.render_prometheus(),
+                "json" => run.hub.render_json(),
+                other => return Err(format!("unknown --format '{other}' (prom | json)")),
+            };
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &text)
+                        .map_err(|e| format!("cannot write telemetry file '{path}': {e}"))?;
+                    Ok(format!("wrote telemetry ({format}) to {path}\n"))
+                }
+                None => Ok(text),
+            }
+        }
+        other => Err(format!("telemetry needs a sub-action: export (got {other:?})\n{USAGE}")),
+    }
+}
+
+/// The `report --sampled K` section: replay the trace's events through a
+/// 1-in-K node-stratified [`netsim::SamplingSink`] and print, per stratum,
+/// the sampled volume, the unbiased scale-up factor, the scaled bit
+/// estimate next to the exact meter, and the ~95% relative confidence
+/// band (`1.96 / sqrt(sampled events)`).
+fn sampled_section(events: &[netsim::Event], k: u64, seed: u64) -> String {
+    use netsim::TraceSink as _;
+    use std::fmt::Write as _;
+    // An empty tee is the null sink: the sampler still meters every
+    // stratum, we just discard the admitted events.
+    let mut sink = netsim::SamplingSink::new(Box::new(netsim::TeeSink::new()), k, seed);
+    for e in events {
+        sink.record(e);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\nsampled telemetry (1-in-{k} nodes per stratum, seed {seed}):");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9} {:>7} {:>14} {:>14} {:>9}",
+        "stratum", "sampled", "total", "scale", "est. bits", "exact bits", "band"
+    );
+    for f in sink.factors() {
+        let est = f.sampled_bits as f64 * f.scale();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>9} {:>7.2} {:>14.0} {:>14} {:>8.1}%",
+            f.stratum,
+            f.sampled_events,
+            f.total_events,
+            f.scale(),
+            est,
+            f.total_bits,
+            100.0 * 1.96 * f.rel_error(),
+        );
+    }
+    out
+}
+
 /// `bench snapshot | compare` — collect or diff machine-readable
 /// `BENCH_*.json` snapshots (see `ftagg_bench::snapshot`).
 fn cmd_bench(args: &Args) -> Result<String, String> {
@@ -440,7 +688,7 @@ fn cmd_report(args: &Args) -> Result<CmdOutput, String> {
 /// the trace and the largest node id it mentions.
 fn load_trace(path: &str) -> Result<(netsim::Trace, u32), String> {
     use netsim::Event;
-    const MAX_REPLAY_NODES: u32 = 1_000_000;
+    const MAX_REPLAY_NODES: u32 = 2_097_152;
     const MAX_REPLAY_ROUND: netsim::Round = 50_000_000;
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
     let trace = netsim::Trace::from_jsonl(std::io::BufReader::new(file))
@@ -623,6 +871,12 @@ fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<CmdOutput, S
         }
     }
 
+    if args.get("sampled").is_some() {
+        let k: u64 = args.num("sampled", 16)?;
+        let seed: u64 = args.num("seed", 0)?;
+        out.push_str(&sampled_section(trace.events(), k, seed));
+    }
+
     if args.get("monitor").is_some() {
         use netsim::TraceSink as _;
         let n = (max_id as usize) + 1;
@@ -701,7 +955,7 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
     // distribution over adversaries and inputs, not a single execution.
     let horizon = b * u64::from(graph.diameter().max(1));
     let seeds: Vec<u64> = (0..trials).map(|i| seed.wrapping_add(i)).collect();
-    let results = Runner::new(threads).run(&seeds, |s| {
+    let make_trial = |s: u64| {
         let mut rng = StdRng::seed_from_u64(s);
         let mut schedule = netsim::FailureSchedule::none();
         for _ in 0..50 {
@@ -721,7 +975,10 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
         let inst = Instance::new(graph.clone(), NodeId(0), inputs, schedule, 100)
             .expect("topology and inputs are valid by construction")
             .with_engine(engine);
-        let cfg = TradeoffConfig { b, c, f, seed: s };
+        (inst, TradeoffConfig { b, c, f, seed: s })
+    };
+    let results = Runner::new(threads).run(&seeds, |s| {
+        let (inst, cfg) = make_trial(s);
         let (r, violations) = if monitor {
             let (r, m) = run_tradeoff_monitored(&Sum, &inst, &cfg, false);
             (r, m.total)
@@ -793,6 +1050,16 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
             "  n{v:<5} {bits:>10} bits total, bottleneck in {}/{} trials",
             bottleneck_hits[v], trials
         );
+    }
+    if args.get("sampled").is_some() {
+        use ftagg::tradeoff::run_tradeoff_traced;
+        let k: u64 = args.num("sampled", 16)?;
+        // One traced rerun of the first trial, replayed through the
+        // sampler, so the scaled estimates sit next to exact meters the
+        // reader can check them against.
+        let (inst, cfg) = make_trial(seeds[0]);
+        let (_, trace) = run_tradeoff_traced(&Sum, &inst, &cfg);
+        out.push_str(&sampled_section(trace.events(), k, seeds[0]));
     }
     let mut code = 0;
     if monitor && summary.sum_violations > 0 {
@@ -2103,6 +2370,114 @@ mod tests {
         assert!(dispatch(&args(&["mine", "--accept", "perhaps"])).is_err());
         // Seeding from an invalid schedule (root crash) is a usage error.
         assert!(dispatch(&args(&["mine", "--crash", "0@5"])).is_err());
+    }
+
+    #[test]
+    fn top_prints_the_summary_and_dumps_a_replayable_flight_recording() {
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let flight = dir.join("top_flight.jsonl");
+        let flight_s = flight.to_str().unwrap();
+        let out = dispatch(&args(&[
+            "top",
+            "--topology",
+            "grid:6x6",
+            "--crash",
+            "7@3",
+            "--ring",
+            "16",
+            "--flight-out",
+            flight_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("top: AGG+VERI pair over 36 nodes"), "{out}");
+        assert!(out.contains("in-flight last = "), "{out}");
+        assert!(out.contains("engine_round_bits"), "{out}");
+        assert!(out.contains("flight recorder: rounds"), "{out}");
+        assert!(out.contains("wrote flight dump"), "{out}");
+        // The dump replays through the offline explain path, exit 0.
+        let explain = dispatch_full(&args(&["explain", "--input", flight_s])).unwrap();
+        assert_eq!(explain.code, 0, "{}", explain.text);
+        assert!(explain.text.contains("explain: saved trace"), "{}", explain.text);
+        std::fs::remove_file(&flight).ok();
+        // Engines agree on the deterministic counters.
+        let soa = dispatch(&args(&["top", "--topology", "grid:6x6", "--engine", "soa"])).unwrap();
+        let classic =
+            dispatch(&args(&["top", "--topology", "grid:6x6", "--engine", "classic"])).unwrap();
+        assert_eq!(soa, classic);
+        assert!(dispatch(&args(&["top", "--ring", "0"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_export_prom_and_json() {
+        let base = ["telemetry", "export", "--topology", "grid:5x5"];
+        let prom = dispatch(&args(&base)).unwrap();
+        assert!(prom.contains("# TYPE engine_bits_total counter"), "{prom}");
+        assert!(prom.contains("engine_round_bits{quantile=\"0.99\"}"), "{prom}");
+        assert!(prom.contains("engine_inflight_peak"), "{prom}");
+        let mut json_args = base.to_vec();
+        json_args.extend_from_slice(&["--format", "json"]);
+        let json = dispatch(&args(&json_args)).unwrap();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"engine_deliveries_total\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+
+        // --out writes the file instead of stdout.
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry_export.prom");
+        let path_s = path.to_str().unwrap();
+        let mut out_args = base.to_vec();
+        out_args.extend_from_slice(&["--out", path_s]);
+        let out = dispatch(&args(&out_args)).unwrap();
+        assert!(out.contains("wrote telemetry"), "{out}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), prom);
+        std::fs::remove_file(&path).ok();
+
+        assert!(dispatch(&args(&["telemetry"])).is_err());
+        assert!(dispatch(&args(&["telemetry", "publish"])).is_err());
+        assert!(dispatch(&args(&["telemetry", "export", "--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn report_sampled_prints_factors_and_bands() {
+        // File mode: k=1 admits everything, so every stratum's estimate
+        // equals its exact meter.
+        let dir = std::env::temp_dir().join("ftagg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report_sampled.jsonl");
+        let path_s = path.to_str().unwrap();
+        dispatch(&args(&["trace", "--topology", "grid:5x5", "--jsonl", path_s])).unwrap();
+        let out = dispatch(&args(&["report", "--input", path_s, "--sampled", "1", "--top", "2"]))
+            .unwrap();
+        assert!(out.contains("sampled telemetry (1-in-1"), "{out}");
+        assert!(out.contains("deliver"), "{out}");
+        assert!(out.contains("send/"), "{out}");
+        for line in out.lines().filter(|l| l.starts_with("send/") || l.starts_with("deliver")) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cols[1], cols[2], "k=1 samples everything: {line}");
+            assert_eq!(cols[3], "1.00", "k=1 scale is exactly 1: {line}");
+        }
+        std::fs::remove_file(&path).ok();
+
+        // Live mode: the section renders after the trial summary.
+        let out = dispatch(&args(&[
+            "report",
+            "--topology",
+            "grid:4x4",
+            "--trials",
+            "2",
+            "--b",
+            "42",
+            "--f",
+            "3",
+            "--sampled",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("run report: 2 tradeoff trials"), "{out}");
+        assert!(out.contains("sampled telemetry (1-in-4"), "{out}");
+        assert!(out.contains('%'), "{out}");
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod tradeoff;
 pub use config::{Instance, Model};
 pub use monitored::{
     decide_envelope, pair_monitor_config, run_pair_engine_monitored, run_pair_monitored,
-    MonitoredPair,
+    run_pair_recorded, MonitoredPair, RecordedPair,
 };
 pub use pair::{AggOutcome, NodeSnapshot, PairNode, PairParams};
 pub use run::{run_pair, run_pair_traced, run_pair_with_schedule, run_pair_with_sink, PairReport};

@@ -17,7 +17,8 @@ use crate::pair::{PairNode, PairParams, Tweaks};
 use crate::run::{run_pair_with_sink, PairReport};
 use caaf::Caaf;
 use netsim::{
-    AnyEngine, DecideCheck, FailureSchedule, MonitorConfig, MonitorReport, Round, Watchdog,
+    AnyEngine, DecideCheck, FailureSchedule, FlightRecorder, FlightRecorderHandle, MonitorConfig,
+    MonitorReport, Round, TeeSink, Watchdog,
 };
 
 /// A [`MonitorConfig`] enforcing one AGG(+VERI) pair's invariants:
@@ -122,6 +123,56 @@ pub fn run_pair_monitored<C: Caaf + 'static>(
     );
     let monitor = finish_watchdog(&mut sink);
     MonitoredPair { report, monitor }
+}
+
+/// A monitored pair execution with a black box attached: the report, the
+/// watchdog's verdict, and a handle onto the flight recorder that rode
+/// along (dump it when `monitor` is dirty — see
+/// [`FlightRecorderHandle::dump_once`]).
+pub struct RecordedPair {
+    /// The ordinary driver report (identical to the unmonitored run).
+    pub report: PairReport,
+    /// What the watchdog observed.
+    pub monitor: MonitorReport,
+    /// The black box: the last `ring_rounds` rounds of events, dumpable
+    /// as replayable v2 JSONL.
+    pub flight: FlightRecorderHandle,
+}
+
+/// [`run_pair_monitored`] with a [`FlightRecorder`] teed alongside the
+/// watchdog: the recorder retains the last `ring_rounds` rounds of
+/// full-fidelity events, so a violating run leaves a replayable artifact.
+/// Never strict — a violation should dump the black box, not panic past
+/// it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_recorded<C: Caaf + 'static>(
+    op: &C,
+    inst: &Instance,
+    schedule: FailureSchedule,
+    c: u32,
+    t: u32,
+    run_veri: bool,
+    global_offset: Round,
+    ring_rounds: usize,
+) -> RecordedPair {
+    let cfg = pair_monitor_config(inst, c, t, run_veri).decide_check(decide_envelope(
+        op,
+        inst,
+        global_offset,
+    ));
+    let recorder = FlightRecorder::new(ring_rounds);
+    let flight = recorder.handle();
+    let tee = TeeSink::new().with(Box::new(Watchdog::new(cfg))).with(Box::new(recorder));
+    let (report, mut sink) =
+        run_pair_with_sink(op, inst, schedule, c, t, run_veri, global_offset, Box::new(tee));
+    let tee =
+        sink.as_any_mut().downcast_mut::<TeeSink>().expect("recorded drivers install a TeeSink");
+    let monitor = tee.sinks_mut()[0]
+        .as_any_mut()
+        .downcast_mut::<Watchdog>()
+        .expect("first teed sink is the Watchdog")
+        .finish();
+    RecordedPair { report, monitor, flight }
 }
 
 /// [`crate::run::run_pair_engine`] under a watchdog, for white-box
@@ -232,6 +283,23 @@ mod tests {
         let (plain, _) = run_pair_engine(&Sum, &i, i.schedule.clone(), 1, 1, true);
         assert_eq!(eng.metrics().max_bits(), plain.metrics().max_bits());
         assert_eq!(eng.metrics().total_bits(), plain.metrics().total_bits());
+    }
+
+    #[test]
+    fn recorded_pair_run_is_identical_and_its_dump_replays() {
+        let i = inst(6);
+        let r = run_pair_recorded(&Sum, &i, i.schedule.clone(), 1, 1, true, 0, 8);
+        assert!(r.monitor.is_clean(), "{}", r.monitor.render());
+        let plain = run_pair_with_schedule(&Sum, &i, i.schedule.clone(), 1, 1, true, 0);
+        assert_eq!(r.report.result(), plain.result());
+        assert_eq!(r.report.metrics.total_bits(), plain.metrics.total_bits());
+        // The black box holds the tail of the run and replays as a trace.
+        let stats = r.flight.stats();
+        assert!(stats.rounds_buffered > 0 && stats.rounds_buffered <= 8);
+        assert!(stats.events_buffered > 0);
+        let jsonl = r.flight.snapshot_jsonl().expect("segments decode");
+        let trace = netsim::Trace::from_jsonl(jsonl.as_bytes()).expect("dump must replay");
+        assert_eq!(trace.events().len() as u64, stats.events_buffered);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::adversary::{FailureSchedule, Round};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Metrics;
+use crate::soa::RoundFlow;
 use crate::trace::{Event, EventId, Trace, TraceSink};
 use std::fmt;
 use std::rc::Rc;
@@ -491,6 +492,13 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     /// Scratch: per-kind accumulation of one node's outbox
     /// (kind, bits, logical, event id).
     kind_acc: Vec<(&'static str, u64, u64, EventId)>,
+    /// Per-round flow observer, if any (see [`Engine::stream_rounds`]).
+    round_stream: Option<Box<dyn FnMut(RoundFlow)>>,
+    /// Cached [`TraceSink::wants_delivers`] of the installed sink,
+    /// refreshed at [`Engine::set_sink`]. `true` while no sink is
+    /// installed so the `sink.is_some() && deliver_interest` guards
+    /// reduce to the plain one-branch sink check.
+    deliver_interest: bool,
 }
 
 impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
@@ -541,7 +549,27 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             send_ids: Vec::new(),
             causes: Vec::new(),
             kind_acc: Vec::new(),
+            round_stream: None,
+            deliver_interest: true,
         }
+    }
+
+    /// Switches to lean [`Metrics`] (no per-round ledger), matching the
+    /// SoA engine's large-N configuration; call before the first step.
+    /// Pair with [`Engine::stream_rounds`] when per-round flow still
+    /// matters.
+    pub fn use_lean_metrics(&mut self) -> &mut Self {
+        self.metrics = Metrics::lean(self.graph.len());
+        self
+    }
+
+    /// Installs a per-round flow observer: `cb` receives one
+    /// [`RoundFlow`] row as each round retires — the O(rounds) feed the
+    /// telemetry layer ([`crate::telemetry::round_observer`]) uses
+    /// instead of per-delivery events. Replaces any previous observer.
+    pub fn stream_rounds(&mut self, cb: impl FnMut(RoundFlow) + 'static) -> &mut Self {
+        self.round_stream = Some(Box::new(cb));
+        self
     }
 
     /// Turns on event tracing into an in-memory [`Trace`]; call before the
@@ -555,6 +583,10 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
     /// custom [`TraceSink`]); call before the first step. Replaces any
     /// previously installed sink.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> &mut Self {
+        // Delivery interest is sampled once per installation: deliveries
+        // dominate event volume at scale, and a sink that does not want
+        // them lets the engine skip building them entirely.
+        self.deliver_interest = sink.wants_delivers();
         self.sink = Some(sink);
         self
     }
@@ -562,6 +594,7 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
     /// Removes and returns the installed sink (e.g. to
     /// [`crate::trace::JsonlSink::finish`] it after the run).
     pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.deliver_interest = true;
         self.sink.take()
     }
 
@@ -686,12 +719,19 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             kind_acc,
             src_ids,
             next_src_ids,
+            round_stream,
+            deliver_interest,
             ..
         } = self;
-        let tracing = sink.is_some();
+        // `tracing` gates only the per-delivery work (Deliver events and
+        // the src-id side channel); sends/crashes/phases still reach a
+        // sink that declined deliveries.
+        let tracing = sink.is_some() && *deliver_interest;
         metrics.note_round(r);
         telemetry.rounds += 1;
         let mut enqueued: u64 = 0;
+        let mut round_bits: u64 = 0;
+        let mut round_logical: u64 = 0;
         for i in 0..n {
             let me = NodeId(i as u32);
             if r >= crash_round[i] {
@@ -704,7 +744,7 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                 continue;
             }
             delivery_ids.clear();
-            if let Some(t) = sink.as_deref_mut() {
+            if let (true, Some(t)) = (tracing, sink.as_deref_mut()) {
                 // Deliveries are logged when the node consumes its inbox
                 // (this round), keeping the event log round-ordered. Each
                 // gets a fresh id and points back at the producing send.
@@ -744,6 +784,8 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             }
             let bits: u64 = outbox.iter().map(Message::bit_len).sum();
             metrics.record_send(me, r, bits, outbox.len() as u64);
+            round_bits += bits;
+            round_logical += outbox.len() as u64;
             send_ids.clear();
             if let Some(t) = sink.as_deref_mut() {
                 // Group the outbox by message kind and emit one Send event
@@ -814,6 +856,14 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         }
         telemetry.deliveries += enqueued;
         telemetry.peak_inflight = telemetry.peak_inflight.max(enqueued);
+        if let Some(cb) = round_stream.as_deref_mut() {
+            cb(RoundFlow {
+                round: r,
+                bits: round_bits,
+                logical: round_logical,
+                deliveries: enqueued,
+            });
+        }
         self.round = r;
         if stop {
             self.stop_requested = true;

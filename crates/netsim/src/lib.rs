@@ -58,6 +58,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod runner;
 pub mod soa;
+pub mod telemetry;
 pub mod testkit;
 pub mod topology;
 pub mod trace;
@@ -80,6 +81,10 @@ pub use runner::{
     ConsoleProgress, Histogram, PhaseAgg, Progress, ProgressSink, Runner, TrialStats, TrialSummary,
 };
 pub use soa::{AnyEngine, BitFlood, BitFloodReport, RoundFlow, SoaEngine};
+pub use telemetry::{
+    round_observer, Counter, FlightRecorder, FlightRecorderHandle, Gauge, HistCell, RecorderStats,
+    Reservoir, SampleFactor, SamplingSink, TeeSink, TeleHist, TelemetryHub,
+};
 pub use trace::{
     DeltaSink, Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,
     TRACE_SCHEMA_VERSION,

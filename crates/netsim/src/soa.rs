@@ -124,6 +124,10 @@ pub struct SoaEngine<M: Message, L: NodeLogic<M>> {
     kind_acc: Vec<(&'static str, u64, u64, EventId)>,
     /// Per-round flow observer, if any (see [`SoaEngine::stream_rounds`]).
     round_stream: Option<Box<dyn FnMut(RoundFlow)>>,
+    /// Cached [`TraceSink::wants_delivers`] of the installed sink,
+    /// refreshed at [`SoaEngine::set_sink`]. `true` while no sink is
+    /// installed.
+    deliver_interest: bool,
 }
 
 impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
@@ -178,6 +182,7 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
             causes: Vec::new(),
             kind_acc: Vec::new(),
             round_stream: None,
+            deliver_interest: true,
         }
     }
 
@@ -208,12 +213,18 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
     /// Installs an event sink; call before the first step. Replaces any
     /// previously installed sink.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> &mut Self {
+        // Delivery interest is sampled once per installation: at N = 2²⁰
+        // deliveries dominate event volume, and a sink that does not want
+        // them (e.g. a flight recorder) lets the engine skip building
+        // them — and the src-id column — entirely.
+        self.deliver_interest = sink.wants_delivers();
         self.sink = Some(sink);
         self
     }
 
     /// Removes and returns the installed sink.
     pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.deliver_interest = true;
         self.sink.take()
     }
 
@@ -328,9 +339,13 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
             causes,
             kind_acc,
             round_stream,
+            deliver_interest,
             ..
         } = self;
-        let tracing = sink.is_some();
+        // `tracing` gates only the per-delivery work (Deliver events and
+        // the src-id column); sends/crashes/phases still reach a sink
+        // that declined deliveries.
+        let tracing = sink.is_some() && *deliver_interest;
         metrics.note_round(r);
         telemetry.rounds += 1;
         sends.clear();
@@ -352,7 +367,7 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
             let lo = cur_off[i] as usize;
             let hi = cur_off[i + 1] as usize;
             delivery_ids.clear();
-            if let Some(t) = sink.as_deref_mut() {
+            if let (true, Some(t)) = (tracing, sink.as_deref_mut()) {
                 // Deliveries are logged when the node consumes its inbox
                 // (this round), keeping the event log round-ordered. Each
                 // gets a fresh id and points back at the producing send.
@@ -415,7 +430,12 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
                     };
                     kind_acc[slot].1 += m.bit_len();
                     kind_acc[slot].2 += 1;
-                    send_ids.push(kind_acc[slot].3);
+                    if tracing {
+                        // The per-message id column only feeds the
+                        // delivery-side src pointers, which a deaf sink
+                        // never sees.
+                        send_ids.push(kind_acc[slot].3);
+                    }
                 }
                 for &(k, kind_bits, logical, id) in kind_acc.iter() {
                     t.record(&Event::Send {
@@ -612,6 +632,20 @@ impl<M: Message, L: NodeLogic<M>> AnyEngine<M, L> {
     /// Turns on event tracing into an in-memory [`Trace`].
     pub fn enable_trace(&mut self) -> &mut Self {
         on_engine!(self, e => { e.enable_trace(); });
+        self
+    }
+
+    /// Switches to lean [`Metrics`] (see [`SoaEngine::use_lean_metrics`]).
+    pub fn use_lean_metrics(&mut self) -> &mut Self {
+        on_engine!(self, e => { e.use_lean_metrics(); });
+        self
+    }
+
+    /// Installs a per-round flow observer (see
+    /// [`SoaEngine::stream_rounds`]).
+    pub fn stream_rounds(&mut self, cb: impl FnMut(RoundFlow) + 'static) -> &mut Self {
+        let boxed: Box<dyn FnMut(RoundFlow)> = Box::new(cb);
+        on_engine!(self, e => { e.stream_rounds(boxed); });
         self
     }
 

@@ -406,6 +406,21 @@ pub trait TraceSink: Any {
     /// Receives one event. Events arrive in non-decreasing round order.
     fn record(&mut self, e: &Event);
 
+    /// Whether this sink needs per-delivery [`Event::Deliver`] records.
+    ///
+    /// The engines consult this **once, at sink installation**, and skip
+    /// building delivery events (and their src-id side channels) entirely
+    /// when the answer is `false` — at N = 2²⁰ deliveries outnumber sends
+    /// by orders of magnitude, so this bit is the difference between a
+    /// few percent of overhead and a multiple. Defaults to `true`;
+    /// sampling/recording sinks that only need sends, crashes, phases,
+    /// and decides (replay, metrics, and blame are send-driven) override
+    /// it. A `false` answer changes only which events this sink sees,
+    /// never the execution.
+    fn wants_delivers(&self) -> bool {
+        true
+    }
+
     /// Upcast for downcasting a boxed sink back to its concrete type.
     fn as_any(&self) -> &dyn Any;
 
@@ -807,6 +822,7 @@ impl<W: Write + 'static> TraceSink for JsonlSink<W> {
     }
 }
 
+#[inline]
 fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
@@ -816,6 +832,44 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
             return;
         }
         buf.push(byte | 0x80);
+    }
+}
+
+/// A fixed stack buffer for one event's worth of varints, flushed into the
+/// stream with a single `extend_from_slice` — the flight-recorder hot path
+/// encodes ~10⁶ send events per million-node round, and per-byte `Vec`
+/// pushes are the dominant cost there.
+struct Scratch {
+    buf: [u8; 192],
+    len: usize,
+}
+
+impl Scratch {
+    #[inline]
+    fn new() -> Scratch {
+        Scratch { buf: [0; 192], len: 0 }
+    }
+
+    /// Appends one LEB128 varint; callers bound their field count so the
+    /// 192-byte scratch (19 maximal varints) can never overflow.
+    #[inline]
+    fn put(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf[self.len] = byte;
+                self.len += 1;
+                return;
+            }
+            self.buf[self.len] = byte | 0x80;
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
     }
 }
 
@@ -896,7 +950,7 @@ impl DeltaSink {
     }
 
     fn put_string(&mut self, s: &str) {
-        match self.strings.iter().position(|t| t == s) {
+        match self.intern_index(s) {
             Some(i) => put_varint(&mut self.buf, i as u64),
             None => {
                 put_varint(&mut self.buf, self.strings.len() as u64);
@@ -905,6 +959,14 @@ impl DeltaSink {
                 self.strings.push(s.to_string());
             }
         }
+    }
+
+    /// The in-stream table index of `s`, if already interned. The table
+    /// stays tiny (message kinds + phase labels), so a linear scan wins
+    /// over any map.
+    #[inline]
+    fn intern_index(&self, s: &str) -> Option<usize> {
+        self.strings.iter().position(|t| t == s)
     }
 
     /// Round delta (monotone in well-formed traces, zigzag for safety)
@@ -1046,6 +1108,30 @@ impl TraceSink for DeltaSink {
         self.events += 1;
         match e {
             Event::Send { round, node, bits, logical, id, kind, causes } => {
+                // Hot path (interned kind, short cause list): stage the
+                // whole record on the stack, append with one memcpy.
+                if causes.len() <= 8 {
+                    if let Some(ki) = self.intern_index(kind) {
+                        let mut s = Scratch::new();
+                        s.put(DELTA_TAG_SEND);
+                        s.put(zigzag(*round as i64 - self.prev_round as i64));
+                        self.prev_round = *round;
+                        s.put(u64::from(node.0));
+                        s.put(*bits);
+                        s.put(*logical);
+                        s.put(zigzag(id.0 as i64 - self.prev_id as i64));
+                        if id.0 != 0 {
+                            self.prev_id = id.0;
+                        }
+                        s.put(ki as u64);
+                        s.put(causes.len() as u64);
+                        for c in causes {
+                            s.put(zigzag(id.0 as i64 - c.0 as i64));
+                        }
+                        self.buf.extend_from_slice(s.bytes());
+                        return;
+                    }
+                }
                 put_varint(&mut self.buf, DELTA_TAG_SEND);
                 self.put_round(*round);
                 put_varint(&mut self.buf, u64::from(node.0));
@@ -1059,19 +1145,25 @@ impl TraceSink for DeltaSink {
                 }
             }
             Event::Deliver { round, node, from, bits, id, src } => {
-                put_varint(&mut self.buf, DELTA_TAG_DELIVER);
-                self.put_round(*round);
-                put_varint(&mut self.buf, u64::from(node.0));
-                put_varint(&mut self.buf, u64::from(from.0));
-                put_varint(&mut self.buf, *bits);
-                self.put_id(*id);
+                let mut s = Scratch::new();
+                s.put(DELTA_TAG_DELIVER);
+                s.put(zigzag(*round as i64 - self.prev_round as i64));
+                self.prev_round = *round;
+                s.put(u64::from(node.0));
+                s.put(u64::from(from.0));
+                s.put(*bits);
+                s.put(zigzag(id.0 as i64 - self.prev_id as i64));
+                if id.0 != 0 {
+                    self.prev_id = id.0;
+                }
                 // src: 0 = NONE, else 1 + zigzag distance — unambiguous
                 // even for adversarial id/src pairs.
                 if src.is_some() {
-                    put_varint(&mut self.buf, 1 + zigzag(id.0 as i64 - src.0 as i64));
+                    s.put(1 + zigzag(id.0 as i64 - src.0 as i64));
                 } else {
-                    put_varint(&mut self.buf, 0);
+                    s.put(0);
                 }
+                self.buf.extend_from_slice(s.bytes());
             }
             Event::Crash { round, node } => {
                 put_varint(&mut self.buf, DELTA_TAG_CRASH);

@@ -7,12 +7,14 @@
 //! byte-identical across the three.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use caaf::Sum;
 use ftagg::{run_pair, run_pair_with_sink, Instance, PairReport};
 use netsim::{
-    adversary::schedules, topology, Engine, FailureSchedule, Graph, JsonlSink, Message, Metrics,
-    NodeId, NodeLogic, PhaseStats, Received, Round, RoundCtx, Trace, TraceSink,
+    adversary::schedules, round_observer, topology, Engine, FailureSchedule, FlightRecorder, Graph,
+    JsonlSink, Message, Metrics, NodeId, NodeLogic, PhaseStats, Received, Round, RoundCtx,
+    SamplingSink, SoaEngine, TeeSink, TelemetryHub, Trace, TraceSink,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -157,6 +159,117 @@ fn engine_observers_do_not_perturb_deliveries_or_metrics() {
         let bytes = jsonl.finish().unwrap();
         let parsed = Trace::from_jsonl(&bytes[..]).unwrap();
         assert_eq!(parsed.events(), trace.events(), "sinks diverged on seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 1b: the struct-of-arrays engine under the full observer stack —
+// samplers, flight recorders, tees, and the telemetry hub must all
+// leave its execution byte-identical too.
+// ---------------------------------------------------------------------
+
+fn run_probes_soa(
+    seed: u64,
+    observe: impl FnOnce(&mut SoaEngine<Ping, Probe>),
+) -> (ProbeObservation, SoaEngine<Ping, Probe>) {
+    let (g, s, horizon) = probe_setup(seed);
+    let mut eng = SoaEngine::new(g, s, |v| Probe {
+        me: v,
+        seed,
+        active_rounds: Vec::new(),
+        received: Vec::new(),
+    });
+    observe(&mut eng);
+    eng.run(horizon);
+    let per_node = eng
+        .graph()
+        .nodes()
+        .map(|v| {
+            let p = eng.node(v);
+            (p.active_rounds.clone(), p.received.clone())
+        })
+        .collect();
+    let fp = fingerprint(eng.metrics());
+    ((per_node, fp), eng)
+}
+
+#[test]
+fn soa_engine_observer_stack_does_not_perturb() {
+    for seed in 0..12u64 {
+        let (quiet, quiet_eng) = run_probes_soa(seed, |_| {});
+
+        // Reference event stream: the plain in-memory trace.
+        let (with_trace, mut eng_t) = run_probes_soa(seed, |e| {
+            e.set_sink(Box::new(Trace::new()));
+        });
+        assert_eq!(with_trace, quiet, "Trace sink perturbed the SoA engine on seed {seed}");
+        let trace =
+            eng_t.take_sink().map(|s| *(s as Box<dyn Any>).downcast::<Trace>().unwrap()).unwrap();
+
+        // A 1-in-1 sampler is a transparent pipe: unperturbed execution,
+        // and its inner sink sees every event the plain trace saw.
+        let (with_sampler, mut eng_s) = run_probes_soa(seed, |e| {
+            e.set_sink(Box::new(SamplingSink::new(Box::new(Trace::new()), 1, seed)));
+        });
+        assert_eq!(with_sampler, quiet, "SamplingSink perturbed the SoA engine on seed {seed}");
+        let sampler = eng_s
+            .take_sink()
+            .map(|s| *(s as Box<dyn Any>).downcast::<SamplingSink>().unwrap())
+            .unwrap();
+        let sampled = *(sampler.into_inner() as Box<dyn Any>).downcast::<Trace>().unwrap();
+        assert_eq!(sampled.events(), trace.events(), "k=1 sampler dropped events on seed {seed}");
+
+        // A flight recorder whose ring outlives the run is a faithful
+        // ledger: unperturbed execution, and the delta-encoded ring
+        // decodes back into the exact event stream.
+        let recorder = FlightRecorder::new(64);
+        let flight = recorder.handle();
+        let (with_rec, _eng_r) = run_probes_soa(seed, move |e| {
+            e.set_sink(Box::new(recorder));
+        });
+        assert_eq!(with_rec, quiet, "FlightRecorder perturbed the SoA engine on seed {seed}");
+        let ring = Trace::from_jsonl(flight.snapshot_jsonl().unwrap().as_bytes()).unwrap();
+        assert_eq!(ring.events(), trace.events(), "flight ring diverged on seed {seed}");
+
+        // A deaf recorder (delivery events suppressed at the source via
+        // `wants_delivers`) takes the engine down its skip-deliveries
+        // fast path — which must still deliver every message.
+        let (with_deaf, _eng_d) = run_probes_soa(seed, |e| {
+            e.set_sink(Box::new(FlightRecorder::new(64).without_delivers()));
+        });
+        assert_eq!(with_deaf, quiet, "deaf FlightRecorder perturbed the SoA engine on seed {seed}");
+
+        // The whole stack at once: tee fanning out to a trace and a deaf
+        // recorder, plus a telemetry hub fed from the round stream. Still
+        // byte-identical, the teed trace still exact, and the hub's
+        // counters agree with the engine's own accounting.
+        let hub = Arc::new(TelemetryHub::new());
+        let obs = round_observer(&hub);
+        let (with_tee, mut eng_tee) = run_probes_soa(seed, move |e| {
+            e.stream_rounds(obs);
+            e.set_sink(Box::new(
+                TeeSink::new()
+                    .with(Box::new(Trace::new()))
+                    .with(Box::new(FlightRecorder::new(64).without_delivers())),
+            ));
+        });
+        assert_eq!(with_tee, quiet, "tee + hub perturbed the SoA engine on seed {seed}");
+        assert_eq!(
+            hub.counter("engine_bits_total").get(),
+            quiet.1.total_bits,
+            "hub bit counter disagrees with Metrics on seed {seed}"
+        );
+        assert_eq!(
+            hub.counter("engine_deliveries_total").get(),
+            quiet_eng.telemetry().deliveries,
+            "hub delivery counter disagrees with engine telemetry on seed {seed}"
+        );
+        let tee = eng_tee
+            .take_sink()
+            .map(|s| *(s as Box<dyn Any>).downcast::<TeeSink>().unwrap())
+            .unwrap();
+        let teed_trace = *(tee.into_sinks().remove(0) as Box<dyn Any>).downcast::<Trace>().unwrap();
+        assert_eq!(teed_trace.events(), trace.events(), "teed trace diverged on seed {seed}");
     }
 }
 
