@@ -3,25 +3,38 @@
 //! `ftagg-cli bench compare` for the diff side).
 //!
 //! ```text
-//! bench_snapshot [--out PATH] [--quick]
+//! bench_snapshot [--out PATH] [--quick] [--ledger PATH|off]
 //! ```
 //!
 //! With no `--out`, writes `BENCH_<today>.json` in the current directory.
 //! `--quick` shrinks the workloads for CI; quick and full snapshots are
-//! not comparable to each other.
+//! not comparable to each other. Every run also appends one record to the
+//! run ledger (default `.ftagg/ledger.jsonl`; `--ledger off` disables)
+//! carrying all collected `perf.*`/`exact.*` stats, so `ftagg-cli trend`
+//! can chart them across runs.
 
+use ftagg_bench::ledger::{self, LedgerRecord};
 use ftagg_bench::snapshot::{default_snapshot_name, Snapshot};
+use std::time::Instant;
 
 fn main() {
     let mut out_path: Option<String> = None;
     let mut quick = false;
+    let mut ledger_arg: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next(),
             "--quick" => quick = true,
+            "--ledger" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--ledger needs a path (or 'off')");
+                    std::process::exit(2);
+                };
+                ledger_arg = Some(v);
+            }
             "--help" | "-h" => {
-                println!("usage: bench_snapshot [--out PATH] [--quick]");
+                println!("usage: bench_snapshot [--out PATH] [--quick] [--ledger PATH|off]");
                 return;
             }
             other => {
@@ -35,11 +48,24 @@ fn main() {
         "collecting {} snapshot (engine flood, monitored overhead, tradeoff sweep, runner scaling)...",
         if quick { "quick" } else { "full" }
     );
+    let start = Instant::now();
     let snap = Snapshot::collect(quick);
     let json = snap.to_json();
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("cannot write '{path}': {e}");
         std::process::exit(2);
+    }
+    if let Some(lpath) = ledger::resolve_path(ledger_arg.as_deref()) {
+        let mut rec = LedgerRecord::new("bench");
+        rec.note("workload", if quick { "quick" } else { "full" }).note("out", &path);
+        for (k, v) in &snap.perf {
+            rec.metric(k, *v);
+        }
+        for (k, v) in &snap.exact {
+            rec.metric(k, *v as f64);
+        }
+        rec.record_resources(start.elapsed());
+        ledger::append_soft(&lpath, &rec);
     }
     print!("{json}");
     eprintln!("wrote {path}");

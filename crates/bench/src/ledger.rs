@@ -1,0 +1,497 @@
+//! # Run ledger — one JSONL record per harness invocation
+//!
+//! Every sweep/mine/bench/e6 run appends one compact, schema-versioned
+//! line to `.ftagg/ledger.jsonl` (see [`DEFAULT_LEDGER_PATH`]): what ran
+//! ([`LedgerRecord::kind`]), where (host/os/arch/cpus fingerprint,
+//! matching the snapshot fingerprint fields), which build, the merged
+//! [`TelemetryHub`] summary, watchdog violation counts, and wall/CPU
+//! time plus peak RSS. Records are content-addressed: the `run` id is
+//! the FNV-1a hash of the record body, so a ledger line that was edited
+//! or truncated after the fact fails [`load`] with a one-line error —
+//! the same read-guard discipline as `ftagg-cli report` and the bench
+//! snapshots.
+//!
+//! The ledger is the durable input of the cross-run trend engine
+//! ([`crate::trend`]): grown over days of runs it becomes the per-
+//! fingerprint time series that `ftagg-cli trend` charts and gates on.
+
+use crate::snapshot::{escape, hostname, parse_entry, split_top_level, today_utc};
+use netsim::TelemetryHub;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// Schema tag stamped on every ledger line.
+pub const LEDGER_SCHEMA: &str = "ftagg-ledger";
+/// Version bumped on breaking record-shape changes.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+/// Where the CLI and the experiment bins append by default, relative to
+/// the working directory. The directory is created on first append.
+pub const DEFAULT_LEDGER_PATH: &str = ".ftagg/ledger.jsonl";
+
+/// One run of a harness entry point, as recorded in the ledger.
+///
+/// `info` holds free-form strings (seed ranges, topology, config
+/// fingerprints); `metrics` holds numbers (hub counters and gauges,
+/// histogram summaries, violation counts, resource usage). Both are
+/// covered by the content-addressed run id.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LedgerRecord {
+    /// What ran: `sweep`, `mine`, `bench`, `e6`, `frontier`, `report`.
+    pub kind: String,
+    /// UTC date of the run (`yyyy-mm-dd`).
+    pub date: String,
+    /// Hostname at collection time.
+    pub host: String,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism at collection time.
+    pub cpus: u64,
+    /// Build id: crate version, plus the short git commit when available
+    /// (`0.1.0+g1a2b3c4d5e6f`).
+    pub build: String,
+    /// Free-form configuration strings.
+    pub info: BTreeMap<String, String>,
+    /// Numeric measurements (finite values only).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl LedgerRecord {
+    /// A record stamped with today's date and this machine's identity.
+    pub fn new(kind: &str) -> LedgerRecord {
+        LedgerRecord {
+            kind: kind.to_string(),
+            date: today_utc(),
+            host: hostname(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            build: build_id(),
+            info: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches a free-form configuration string.
+    pub fn note(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.info.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Attaches a numeric measurement. Non-finite values are dropped —
+    /// the flat JSON form has no spelling for them.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        if value.is_finite() {
+            self.metrics.insert(key.to_string(), value);
+        }
+        self
+    }
+
+    /// Folds a merged [`TelemetryHub`] into the metrics: counters and
+    /// gauges verbatim, histograms as `_count`/`_p50`/`_p99`/`_max`
+    /// summaries.
+    pub fn record_hub(&mut self, hub: &TelemetryHub) -> &mut Self {
+        for (name, v) in hub.sorted_counters() {
+            self.metric(&name, v as f64);
+        }
+        for (name, v) in hub.sorted_gauges() {
+            self.metric(&name, v as f64);
+        }
+        for (name, h) in hub.sorted_hists() {
+            self.metric(&format!("{name}_count"), h.count() as f64);
+            self.metric(&format!("{name}_p50"), h.quantile(0.5) as f64);
+            self.metric(&format!("{name}_p99"), h.quantile(0.99) as f64);
+            self.metric(&format!("{name}_max"), h.max() as f64);
+        }
+        self
+    }
+
+    /// Folds a runner's per-worker breakdown into the metrics
+    /// (`worker<i>_trials`, `_steals`, `_busy_ms`, `_idle_ms`). Wall
+    /// times vary run to run, so these series only ever produce advisory
+    /// trend notes.
+    pub fn record_workers(&mut self, workers: &[netsim::WorkerLoad]) -> &mut Self {
+        for w in workers {
+            self.metric(&format!("worker{}_trials", w.worker), w.trials as f64);
+            self.metric(&format!("worker{}_steals", w.worker), w.steals as f64);
+            self.metric(&format!("worker{}_busy_ms", w.worker), w.busy.as_secs_f64() * 1000.0);
+            self.metric(&format!("worker{}_idle_ms", w.worker), w.idle.as_secs_f64() * 1000.0);
+        }
+        self
+    }
+
+    /// Records resource usage: wall time, and on Linux the process CPU
+    /// time (`/proc/self/stat`, assuming the usual 100 Hz tick) and peak
+    /// RSS (`/proc/self/status` VmHWM).
+    pub fn record_resources(&mut self, wall: Duration) -> &mut Self {
+        self.metric("wall_secs", wall.as_secs_f64());
+        if let Some(cpu) = cpu_secs() {
+            self.metric("cpu_secs", cpu);
+        }
+        if let Some(rss) = peak_rss_mb() {
+            self.metric("peak_rss_mb", rss);
+        }
+        self
+    }
+
+    /// The machine fingerprint this run's perf figures are comparable
+    /// under, e.g. `linux/x86_64/8cpu` — same fields as the bench
+    /// snapshot fingerprint.
+    pub fn fingerprint(&self) -> String {
+        format!("{}/{}/{}cpu", self.os, self.arch, self.cpus)
+    }
+
+    /// The content-addressed run id: FNV-1a over the serialized record
+    /// body, as 16 hex digits.
+    pub fn run_id(&self) -> String {
+        format!("{:016x}", fnv64(self.body().as_bytes()))
+    }
+
+    /// The record body — everything the run id covers.
+    fn body(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "\"kind\": \"{}\", \"date\": \"{}\", \"host\": \"{}\", \"os\": \"{}\", \
+             \"arch\": \"{}\", \"cpus\": {}, \"build\": \"{}\"",
+            escape(&self.kind),
+            escape(&self.date),
+            escape(&self.host),
+            escape(&self.os),
+            escape(&self.arch),
+            self.cpus,
+            escape(&self.build),
+        );
+        for (k, v) in &self.info {
+            let _ = write!(out, ", \"info.{}\": \"{}\"", escape(k), escape(v));
+        }
+        for (k, v) in &self.metrics {
+            let _ = write!(out, ", \"metric.{}\": {}", escape(k), v);
+        }
+        out
+    }
+
+    /// Renders the record as its one-line JSON ledger form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\": \"{LEDGER_SCHEMA}\", \"v\": {LEDGER_SCHEMA_VERSION}, \
+             \"run\": \"{}\", {}}}",
+            self.run_id(),
+            self.body(),
+        )
+    }
+
+    /// Parses one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on malformed JSON, a wrong schema tag,
+    /// an unsupported version, or a run id that does not match the
+    /// record content (an edited or corrupted line).
+    pub fn from_json(line: &str) -> Result<LedgerRecord, String> {
+        let body = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or("ledger record is not a JSON object")?;
+        let mut r = LedgerRecord::default();
+        let (mut schema, mut version, mut run) = (None, None, None);
+        for entry in split_top_level(body) {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = parse_entry(entry)?;
+            match key.as_str() {
+                "schema" => schema = Some(value),
+                "v" => {
+                    version =
+                        Some(value.parse::<u64>().map_err(|_| format!("bad version {value:?}"))?);
+                }
+                "run" => run = Some(value),
+                "kind" => r.kind = value,
+                "date" => r.date = value,
+                "host" => r.host = value,
+                "os" => r.os = value,
+                "arch" => r.arch = value,
+                "cpus" => {
+                    r.cpus = value.parse().map_err(|_| format!("bad cpu count {value:?}"))?;
+                }
+                "build" => r.build = value,
+                k if k.starts_with("info.") => {
+                    r.info.insert(k["info.".len()..].to_string(), value);
+                }
+                k if k.starts_with("metric.") => {
+                    let v = value.parse().map_err(|_| format!("bad number for {k:?}"))?;
+                    r.metrics.insert(k["metric.".len()..].to_string(), v);
+                }
+                other => return Err(format!("unknown ledger key {other:?}")),
+            }
+        }
+        match (schema.as_deref(), version) {
+            (Some(LEDGER_SCHEMA), Some(LEDGER_SCHEMA_VERSION)) => {}
+            (Some(LEDGER_SCHEMA), v) => {
+                return Err(format!(
+                    "unsupported ledger version {v:?} (this build reads v{LEDGER_SCHEMA_VERSION})"
+                ));
+            }
+            (got, _) => return Err(format!("not a {LEDGER_SCHEMA} record (schema tag {got:?})")),
+        }
+        let run = run.ok_or("ledger record has no run id")?;
+        if run != r.run_id() {
+            return Err(format!(
+                "run id {run:?} does not match record content (expected {:?}; \
+                 line edited or truncated?)",
+                r.run_id()
+            ));
+        }
+        Ok(r)
+    }
+}
+
+/// Appends one record to the ledger at `path`, creating parent
+/// directories as needed. The record is written as a single line, so
+/// concurrent appenders on a POSIX filesystem interleave whole records.
+///
+/// # Errors
+///
+/// Returns a one-line message when the directory or file cannot be
+/// created or written.
+pub fn append(path: &Path, record: &LedgerRecord) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let line = format!("{}\n", record.to_json());
+    f.write_all(line.as_bytes()).map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
+/// Best-effort [`append`] for the default CLI paths: a ledger problem
+/// warns on stderr instead of failing the run that produced the results.
+pub fn append_soft(path: &Path, record: &LedgerRecord) {
+    if let Err(e) = append(path, record) {
+        eprintln!("ledger: {e} (run not recorded)");
+    }
+}
+
+/// Resolves a `--ledger` argument shared by the CLI and the experiment
+/// bins: absent → the default [`DEFAULT_LEDGER_PATH`], the literal
+/// `off` → disabled (`None`), anything else → that path.
+pub fn resolve_path(arg: Option<&str>) -> Option<std::path::PathBuf> {
+    match arg {
+        Some("off") => None,
+        Some(p) => Some(p.into()),
+        None => Some(DEFAULT_LEDGER_PATH.into()),
+    }
+}
+
+/// Loads every record of the ledger at `path`, in append order. A
+/// missing file is an empty ledger (no history yet); blank lines are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns a one-line `file:line: message` error for the first corrupt,
+/// truncated, tampered, or version-skewed record.
+pub fn load(path: &Path) -> Result<Vec<LedgerRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r = LedgerRecord::from_json(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        records.push(r);
+    }
+    Ok(records)
+}
+
+/// FNV-1a over raw bytes (the ledger's content hash).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Crate version plus the short git commit when a repo is reachable,
+/// e.g. `0.1.0+g1a2b3c4d5e6f`.
+fn build_id() -> String {
+    let version = env!("CARGO_PKG_VERSION");
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map_or_else(|| version.to_string(), |g| format!("{version}+g{g}"))
+}
+
+/// Process CPU time in seconds from `/proc/self/stat` (utime + stime at
+/// the conventional 100 Hz tick), when readable.
+fn cpu_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; fields resume after the last ')'.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Peak resident set in MB from `/proc/self/status` VmHWM, when readable.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ftagg-ledger-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn sample() -> LedgerRecord {
+        let mut r = LedgerRecord::new("sweep");
+        r.note("seeds", "0..16").note("topology", "grid:16x16");
+        r.metric("violations", 0.0).metric("trials", 16.0);
+        r
+    }
+
+    #[test]
+    fn record_round_trips_and_is_content_addressed() {
+        let r = sample();
+        let id = r.run_id();
+        assert_eq!(id.len(), 16);
+        assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+        let line = r.to_json();
+        assert_eq!(line.lines().count(), 1);
+        let parsed = LedgerRecord::from_json(&line).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.run_id(), id);
+
+        // Same content, same id; different content, different id.
+        assert_eq!(sample().run_id(), id);
+        let mut other = sample();
+        other.metric("trials", 17.0);
+        assert_ne!(other.run_id(), id);
+    }
+
+    #[test]
+    fn hub_summary_lands_in_metrics() {
+        let hub = TelemetryHub::new();
+        hub.counter("engine_bits_total").add(4096);
+        hub.gauge("engine_inflight_peak").set(7);
+        let h = hub.histogram("runner_trial_micros");
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let mut r = LedgerRecord::new("e6");
+        r.record_hub(&hub);
+        assert_eq!(r.metrics["engine_bits_total"], 4096.0);
+        assert_eq!(r.metrics["engine_inflight_peak"], 7.0);
+        assert_eq!(r.metrics["runner_trial_micros_count"], 3.0);
+        assert!(r.metrics["runner_trial_micros_p50"] > 0.0);
+        assert!(r.metrics["runner_trial_micros_max"] >= 30.0);
+        // The summary survives the JSON round trip.
+        let parsed = LedgerRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.metrics, r.metrics);
+    }
+
+    #[test]
+    fn resources_and_identity_are_stamped() {
+        let mut r = LedgerRecord::new("bench");
+        r.record_resources(Duration::from_millis(1500));
+        assert!((r.metrics["wall_secs"] - 1.5).abs() < 1e-9);
+        assert!(r.cpus >= 1);
+        assert!(!r.build.is_empty());
+        assert!(r.fingerprint().contains(&r.os));
+        assert!(r.fingerprint().ends_with("cpu"));
+        assert_eq!(r.date.len(), 10);
+    }
+
+    #[test]
+    fn non_finite_metrics_are_dropped() {
+        let mut r = LedgerRecord::new("mine");
+        r.metric("ok", 1.5).metric("nan", f64::NAN).metric("inf", f64::INFINITY);
+        assert_eq!(r.metrics.len(), 1);
+        let parsed = LedgerRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.metrics["ok"], 1.5);
+    }
+
+    #[test]
+    fn append_and_load_round_trip() {
+        let path = temp_path("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load(&path).unwrap(), Vec::new());
+        let (a, mut b) = (sample(), sample());
+        b.kind = "mine".into();
+        append(&path, &a).unwrap();
+        append(&path, &b).unwrap();
+        let got = load(&path).unwrap();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn load_guards_reject_corruption_with_one_line_errors() {
+        let good = sample().to_json();
+
+        // Truncated line: the record body was cut mid-write.
+        let path = temp_path("truncated.jsonl");
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.lines().count(), 1);
+        assert!(err.contains("truncated.jsonl:1:"), "{err}");
+
+        // Version skew: a future record shape.
+        let path = temp_path("version.jsonl");
+        std::fs::write(&path, good.replace("\"v\": 1", "\"v\": 9")).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("unsupported ledger version"), "{err}");
+        assert!(err.contains("v1"), "{err}");
+
+        // Wrong schema tag entirely.
+        let path = temp_path("schema.jsonl");
+        std::fs::write(&path, good.replace("ftagg-ledger", "mystery-format")).unwrap();
+        assert!(load(&path).unwrap_err().contains("not a ftagg-ledger record"));
+
+        // Tampered content: the run id no longer matches.
+        let path = temp_path("tampered.jsonl");
+        std::fs::write(&path, good.replace("\"metric.trials\": 16", "\"metric.trials\": 99"))
+            .unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("does not match record content"), "{err}");
+
+        // The bad line is located even after good ones.
+        let path = temp_path("second.jsonl");
+        std::fs::write(&path, format!("{good}\nnot json at all\n")).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("second.jsonl:2:"), "{err}");
+    }
+}

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod ledger;
 pub mod radar;
 pub mod search;
 pub mod snapshot;
+pub mod trend;
 
 use netsim::{adversary::schedules, FailureSchedule, Graph, NodeId, Round};
 use rand::rngs::StdRng;

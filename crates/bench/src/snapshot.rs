@@ -431,6 +431,27 @@ impl Snapshot {
         self.exact.insert("exact.runner.sum_cc".into(), ccs.iter().sum());
         self.perf.insert("perf.runner.speedup_2t".into(), if t2 > 0.0 { t1 / t2 } else { 0.0 });
         self.perf.insert("perf.runner.speedup_4t".into(), if t4 > 0.0 { t1 / t4 } else { 0.0 });
+
+        // Per-worker telemetry overhead: plain vs instrumented runs
+        // interleaved within each rep, best-of-reps each arm, ratio
+        // plain/instrumented (1.0 = free, < 1.0 = instrumented slower).
+        let reps = if quick { 2 } else { 3 };
+        let (mut best_plain, mut best_instr) = (f64::INFINITY, f64::INFINITY);
+        let mut instr_trials = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let _ = Runner::new(0).run(&trials, trial);
+            best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let (_, tele) = Runner::new(0).run_instrumented(&trials, trial);
+            best_instr = best_instr.min(t0.elapsed().as_secs_f64());
+            instr_trials = tele.trials();
+        }
+        self.exact.insert("exact.runner.telemetry_trials".into(), instr_trials);
+        self.perf.insert(
+            "perf.runner.telemetry_ratio".into(),
+            if best_instr > 0.0 { best_plain / best_instr } else { 0.0 },
+        );
     }
 
     /// Renders the snapshot as its canonical JSON form: one flat object,
@@ -510,6 +531,21 @@ impl Snapshot {
     fn fingerprint(&self) -> Vec<Option<&String>> {
         ["info.os", "info.arch", "info.cpus"].iter().map(|k| self.info.get(*k)).collect()
     }
+
+    /// The recorded `info.cpus` (available parallelism at collection
+    /// time), if present and numeric.
+    pub fn cpus(&self) -> Option<u64> {
+        self.info.get("info.cpus").and_then(|c| c.parse().ok())
+    }
+}
+
+/// The thread count a thread-scaling perf key measures
+/// (`perf.runner.speedup_4t` → 4), or `None` for ordinary perf keys.
+/// Scaling figures measured on a host with fewer cores than the thread
+/// count are scheduler noise, not signal — `compare` and the trend
+/// engine skip them with a soft warning instead of failing.
+pub fn scaling_threads(key: &str) -> Option<u64> {
+    key.strip_prefix("perf.runner.speedup_")?.strip_suffix('t')?.parse().ok()
 }
 
 /// Diffs `candidate` against `baseline`.
@@ -569,9 +605,21 @@ pub fn compare(
             }
         }
     }
+    let host_cpus = candidate.cpus();
     for (k, bv) in &baseline.perf {
         match candidate.perf.get(k) {
             Some(cv) => {
+                if let Some(n) = scaling_threads(k) {
+                    if host_cpus.is_none_or(|c| c < n) {
+                        let _ = writeln!(
+                            out,
+                            "  skipped  {k}: {bv:.2} -> {cv:.2} (host has {} cores, \
+                             {n}-thread scaling not meaningful)",
+                            host_cpus.map_or("?".into(), |c| c.to_string()),
+                        );
+                        continue;
+                    }
+                }
                 let ratio = if *bv > 0.0 { cv / bv } else { 1.0 };
                 let regressed = ratio < 1.0 - tolerance;
                 let verdict = match (regressed, enforce) {
@@ -614,7 +662,7 @@ pub fn default_snapshot_name() -> String {
     format!("BENCH_{}.json", today_utc())
 }
 
-fn hostname() -> String {
+pub(crate) fn hostname() -> String {
     if let Ok(h) = std::env::var("HOSTNAME") {
         if !h.trim().is_empty() {
             return h.trim().to_string();
@@ -628,7 +676,7 @@ fn hostname() -> String {
 }
 
 /// Today's UTC date as `yyyy-mm-dd` (civil-from-days; no external crates).
-fn today_utc() -> String {
+pub(crate) fn today_utc() -> String {
     let secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -651,7 +699,7 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
     (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => vec!['\\', '"'],
@@ -663,7 +711,7 @@ fn escape(s: &str) -> String {
 
 /// Splits a JSON object body into `"key": value` entries at top level
 /// (commas inside quoted strings do not split).
-fn split_top_level(body: &str) -> Vec<String> {
+pub(crate) fn split_top_level(body: &str) -> Vec<String> {
     let mut entries = Vec::new();
     let mut cur = String::new();
     let (mut in_str, mut esc) = (false, false);
@@ -696,7 +744,7 @@ fn split_top_level(body: &str) -> Vec<String> {
 
 /// Parses one `"key": value` entry; string values are unquoted and
 /// unescaped, numeric values returned as their raw text.
-fn parse_entry(entry: &str) -> Result<(String, String), String> {
+pub(crate) fn parse_entry(entry: &str) -> Result<(String, String), String> {
     let rest = entry.trim().strip_prefix('"').ok_or_else(|| format!("bad entry {entry:?}"))?;
     let end = rest.find('"').ok_or_else(|| format!("unterminated key in {entry:?}"))?;
     let key = rest[..end].to_string();
@@ -778,6 +826,33 @@ mod tests {
     }
 
     #[test]
+    fn compare_skips_thread_scaling_beyond_host_cores() {
+        assert_eq!(scaling_threads("perf.runner.speedup_4t"), Some(4));
+        assert_eq!(scaling_threads("perf.runner.speedup_2t"), Some(2));
+        assert_eq!(scaling_threads("perf.engine.rounds_per_sec"), None);
+        assert_eq!(scaling_threads("perf.runner.telemetry_ratio"), None);
+
+        // A 1-cpu host reporting speedup_4t = 0.5 would fail the tolerance
+        // band, but the guard downgrades it to a skip: thread scaling on a
+        // single core is scheduler noise.
+        let mut base = tiny();
+        base.info.insert("info.cpus".into(), "1".into());
+        base.perf.insert("perf.runner.speedup_4t".into(), 1.0);
+        let mut cand = base.clone();
+        cand.perf.insert("perf.runner.speedup_4t".into(), 0.5);
+        let report = compare(&base, &cand, 0.1, false).unwrap();
+        assert!(report.contains("skipped"), "{report}");
+        assert!(report.contains("4-thread scaling not meaningful"), "{report}");
+
+        // On a host with enough cores the same drop still fails.
+        let mut big_base = tiny();
+        big_base.perf.insert("perf.runner.speedup_4t".into(), 1.0);
+        let mut big_cand = big_base.clone();
+        big_cand.perf.insert("perf.runner.speedup_4t".into(), 0.5);
+        assert!(compare(&big_base, &big_cand, 0.1, false).is_err());
+    }
+
+    #[test]
     fn compare_refuses_mismatched_workloads() {
         let base = tiny();
         let mut full = base.clone();
@@ -815,6 +890,9 @@ mod tests {
         assert!(s.exact["exact.telemetry.flight_events"] > 0);
         assert!(s.exact["exact.telemetry.flight_rounds"] > 0);
         assert!(s.perf["perf.telemetry.recorded_ratio"] > 0.0);
+        // The instrumented runner ran the same trial set as the plain one.
+        assert_eq!(s.exact["exact.runner.telemetry_trials"], s.exact["exact.runner.trials"]);
+        assert!(s.perf["perf.runner.telemetry_ratio"] > 0.0);
         // The exact group must be reproducible within one process.
         let again = Snapshot::collect(true);
         assert_eq!(s.exact, again.exact);

@@ -1,0 +1,425 @@
+//! # Cross-run trend engine — charts and changepoints over the ledger
+//!
+//! `ftagg-cli trend` loads the run ledger ([`crate::ledger`]) plus every
+//! `BENCH_*.json` snapshot in a directory into per-fingerprint time
+//! series, renders each as an ASCII sparkline with a min/mean/max band
+//! ([`crate::chart`]), and runs a sliding-window mean-shift changepoint
+//! detector per metric. Tolerance bands reuse the snapshot compare
+//! rules: `perf.*` metrics are higher-is-better and a downshift beyond
+//! tolerance is a **regression** (nonzero exit for CI); every other
+//! metric (resource usage, hub counters) only ever produces advisory
+//! shift notes, so noisy wall-clock series cannot fail a build. The
+//! snapshot core-count guard applies here too: thread-scaling series
+//! measured on hosts with fewer cores than the thread count are skipped
+//! with a soft warning.
+
+use crate::chart::{band_line, short_num, sparkline};
+use crate::ledger::{self, LedgerRecord};
+use crate::snapshot::{scaling_threads, Snapshot};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Detector and gating knobs (CLI flags map onto these).
+#[derive(Clone, Debug)]
+pub struct TrendConfig {
+    /// Sliding mean window on each side of a candidate changepoint
+    /// (clamped to at least 2).
+    pub window: usize,
+    /// Relative tolerance band, e.g. `0.15` = 15% — same meaning as
+    /// `bench snapshot compare`.
+    pub tolerance: f64,
+    /// When set, only metrics with this prefix are analyzed.
+    pub metric_prefix: Option<String>,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig { window: 3, tolerance: 0.15, metric_prefix: None }
+    }
+}
+
+/// One historical run: a ledger record or one bench snapshot file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryRun {
+    /// Run id (ledger) or file name (snapshot).
+    pub label: String,
+    /// `yyyy-mm-dd`, when recorded.
+    pub date: String,
+    /// Machine fingerprint (`os/arch/Ncpu`); series never mix
+    /// fingerprints.
+    pub fingerprint: String,
+    /// Available parallelism at collection time, for the scaling guard.
+    pub cpus: Option<u64>,
+    /// Metric name → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The rendered analysis plus the machine-readable verdict.
+#[derive(Clone, Debug, Default)]
+pub struct TrendReport {
+    /// The full rendered report.
+    pub text: String,
+    /// Number of runs loaded.
+    pub runs: usize,
+    /// Number of series analyzed.
+    pub series: usize,
+    /// One line per detected regression; empty means a passing gate.
+    pub regressions: Vec<String>,
+}
+
+impl TrendReport {
+    /// True when there was not enough history to analyze anything.
+    pub fn not_enough_history(&self) -> bool {
+        self.runs < 2
+    }
+}
+
+/// Ledger records as history runs, in append order.
+pub fn history_from_ledger(records: &[LedgerRecord]) -> Vec<HistoryRun> {
+    records
+        .iter()
+        .map(|r| HistoryRun {
+            label: r.run_id(),
+            date: r.date.clone(),
+            fingerprint: r.fingerprint(),
+            cpus: Some(r.cpus),
+            metrics: r.metrics.clone(),
+        })
+        .collect()
+}
+
+/// Every `BENCH_*.json` in `dir` as a history run (its `perf.*` group),
+/// sorted by recorded date then file name. A missing directory is an
+/// empty history.
+///
+/// # Errors
+///
+/// Returns a one-line `file: message` error for the first unreadable or
+/// unparsable snapshot.
+pub fn history_from_bench_dir(dir: &Path) -> Result<Vec<HistoryRun>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", dir.display())),
+    };
+    let mut runs = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+        let snap = Snapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let g = |k: &str| snap.info.get(k).map_or("?", String::as_str).to_string();
+        runs.push(HistoryRun {
+            label: name,
+            date: g("info.date"),
+            fingerprint: format!("{}/{}/{}cpu", g("info.os"), g("info.arch"), g("info.cpus")),
+            cpus: snap.cpus(),
+            metrics: snap.perf.clone(),
+        });
+    }
+    runs.sort_by(|a, b| (&a.date, &a.label).cmp(&(&b.date, &b.label)));
+    Ok(runs)
+}
+
+/// Loads the combined history: bench snapshots (date order) first, then
+/// the ledger (append order) — the ledger is the newer record, so its
+/// runs sit at the recent end of every series.
+///
+/// # Errors
+///
+/// Propagates the one-line load errors of either source.
+pub fn load_history(
+    ledger_path: &Path,
+    bench_dir: Option<&Path>,
+) -> Result<Vec<HistoryRun>, String> {
+    let mut runs = Vec::new();
+    if let Some(dir) = bench_dir {
+        runs.extend(history_from_bench_dir(dir)?);
+    }
+    runs.extend(history_from_ledger(&ledger::load(ledger_path)?));
+    Ok(runs)
+}
+
+/// Sliding-window mean-shift changepoint: the split `k` (first index of
+/// the after-regime) maximizing the relative shift between the mean of
+/// up to `window` points before and after. `None` when fewer than 4
+/// points — two on each side is the minimum meaningful contrast.
+/// Returns `(k, mean_before, mean_after)`.
+pub fn changepoint(values: &[f64], window: usize) -> Option<(usize, f64, f64)> {
+    let n = values.len();
+    if n < 4 {
+        return None;
+    }
+    let w = window.max(2);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let mut best: Option<(usize, f64, f64, f64)> = None;
+    for k in 2..=n - 2 {
+        let before = mean(&values[k.saturating_sub(w)..k]);
+        let after = mean(&values[k..(k + w).min(n)]);
+        let shift = ((after - before) / before.abs().max(1e-12)).abs();
+        if best.is_none_or(|(_, _, _, s)| shift > s) {
+            best = Some((k, before, after, shift));
+        }
+    }
+    best.map(|(k, b, a, _)| (k, b, a))
+}
+
+/// Analyzes the history: groups per-(fingerprint, metric) series in run
+/// order, charts each, and classifies changepoints. See the module doc
+/// for the gating rules.
+pub fn analyze(runs: &[HistoryRun], cfg: &TrendConfig) -> TrendReport {
+    use std::fmt::Write as _;
+    let mut report = TrendReport { runs: runs.len(), ..TrendReport::default() };
+    if runs.len() < 2 {
+        report.text = format!(
+            "trend: not enough history ({} run{} recorded; need at least 2)\n",
+            runs.len(),
+            if runs.len() == 1 { "" } else { "s" },
+        );
+        return report;
+    }
+
+    type Point = (String, Option<u64>, f64);
+    let mut series: BTreeMap<(String, String), Vec<Point>> = BTreeMap::new();
+    for run in runs {
+        for (metric, value) in &run.metrics {
+            if let Some(prefix) = &cfg.metric_prefix {
+                if !metric.starts_with(prefix.as_str()) {
+                    continue;
+                }
+            }
+            series.entry((run.fingerprint.clone(), metric.clone())).or_default().push((
+                run.label.clone(),
+                run.cpus,
+                *value,
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trend: {} runs, {} series, window {}, tolerance {:.0}%",
+        runs.len(),
+        series.len(),
+        cfg.window.max(2),
+        cfg.tolerance * 100.0,
+    );
+    for ((fingerprint, metric), points) in &series {
+        report.series += 1;
+        let _ = writeln!(out, "  {metric} [{fingerprint}]");
+        if let Some(n) = scaling_threads(metric) {
+            if points.iter().any(|(_, cpus, _)| cpus.is_none_or(|c| c < n)) {
+                let _ = writeln!(
+                    out,
+                    "    skipped: host(s) with fewer cores than {n} threads; \
+                     thread-scaling not meaningful"
+                );
+                continue;
+            }
+        }
+        let values: Vec<f64> = points.iter().map(|(_, _, v)| *v).collect();
+        let _ = writeln!(
+            out,
+            "    {}  n={} · {}",
+            sparkline(&values),
+            values.len(),
+            band_line(&values),
+        );
+        let Some((k, before, after)) = changepoint(&values, cfg.window) else {
+            continue;
+        };
+        let shift = (after - before) / before.abs().max(1e-12);
+        if shift.abs() <= cfg.tolerance {
+            continue;
+        }
+        let (label, _, _) = &points[k];
+        let gated = metric.starts_with("perf.");
+        let verdict = match (gated, shift < 0.0) {
+            (true, true) => "REGRESSION",
+            (true, false) => "improved",
+            (false, _) => "shift (advisory)",
+        };
+        let _ = writeln!(
+            out,
+            "    {verdict} at run {}/{} ({label}): mean {} -> {} ({:+.1}%, tolerance {:.0}%)",
+            k + 1,
+            values.len(),
+            short_num(before),
+            short_num(after),
+            shift * 100.0,
+            cfg.tolerance * 100.0,
+        );
+        if gated && shift < 0.0 {
+            report.regressions.push(format!(
+                "{metric} [{fingerprint}] at run {}/{} ({label})",
+                k + 1,
+                values.len()
+            ));
+        }
+    }
+    if report.regressions.is_empty() {
+        let _ = writeln!(out, "no regressions.");
+    } else {
+        let _ = writeln!(out, "{} regression(s):", report.regressions.len());
+        for r in &report.regressions {
+            let _ = writeln!(out, "  - {r}");
+        }
+    }
+    report.text = out;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(label: &str, cpus: u64, metrics: &[(&str, f64)]) -> HistoryRun {
+        HistoryRun {
+            label: label.into(),
+            date: "2026-08-07".into(),
+            fingerprint: format!("linux/x86_64/{cpus}cpu"),
+            cpus: Some(cpus),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn changepoint_localizes_a_mean_shift() {
+        let flat = [10.0; 8];
+        let (_, b, a) = changepoint(&flat, 3).unwrap();
+        assert_eq!(b, a);
+        let stepped = [10.0, 10.0, 10.0, 10.0, 4.0, 4.0, 4.0, 4.0];
+        let (k, before, after) = changepoint(&stepped, 3).unwrap();
+        assert_eq!(k, 4);
+        assert!((before - 10.0).abs() < 1e-9);
+        assert!((after - 4.0).abs() < 1e-9);
+        assert_eq!(changepoint(&[1.0, 2.0, 3.0], 3), None);
+    }
+
+    #[test]
+    fn flat_series_pass_and_injected_regression_is_localized() {
+        let mut runs: Vec<HistoryRun> = (0..8)
+            .map(|i| run(&format!("r{i}"), 1, &[("perf.e6.deliveries_per_sec", 100.0)]))
+            .collect();
+        let report = analyze(&runs, &TrendConfig::default());
+        assert!(report.regressions.is_empty(), "{}", report.text);
+        assert!(report.text.contains("no regressions."), "{}", report.text);
+
+        // Inject a 40% drop from run 5 on: the changepoint must land on r5.
+        for r in runs.iter_mut().skip(5) {
+            r.metrics.insert("perf.e6.deliveries_per_sec".into(), 60.0);
+        }
+        let report = analyze(&runs, &TrendConfig::default());
+        assert_eq!(report.regressions.len(), 1, "{}", report.text);
+        assert!(report.regressions[0].contains("run 6/8 (r5)"), "{}", report.text);
+        assert!(report.text.contains("REGRESSION"), "{}", report.text);
+
+        // The same shift upward is an improvement, not a failure.
+        for r in runs.iter_mut().skip(5) {
+            r.metrics.insert("perf.e6.deliveries_per_sec".into(), 160.0);
+        }
+        let report = analyze(&runs, &TrendConfig::default());
+        assert!(report.regressions.is_empty(), "{}", report.text);
+        assert!(report.text.contains("improved"), "{}", report.text);
+    }
+
+    #[test]
+    fn non_perf_metrics_are_advisory_only() {
+        let runs: Vec<HistoryRun> = (0..8)
+            .map(|i| run(&format!("r{i}"), 1, &[("wall_secs", if i < 4 { 1.0 } else { 5.0 })]))
+            .collect();
+        let report = analyze(&runs, &TrendConfig::default());
+        assert!(report.regressions.is_empty(), "{}", report.text);
+        assert!(report.text.contains("shift (advisory)"), "{}", report.text);
+    }
+
+    #[test]
+    fn scaling_series_skip_on_small_hosts() {
+        let runs: Vec<HistoryRun> = (0..6)
+            .map(|i| {
+                run(
+                    &format!("r{i}"),
+                    1,
+                    &[("perf.runner.speedup_4t", if i < 3 { 1.0 } else { 0.5 })],
+                )
+            })
+            .collect();
+        let report = analyze(&runs, &TrendConfig::default());
+        assert!(report.regressions.is_empty(), "{}", report.text);
+        assert!(report.text.contains("skipped"), "{}", report.text);
+
+        // With enough cores the same series gates.
+        let runs: Vec<HistoryRun> = (0..6)
+            .map(|i| {
+                run(
+                    &format!("r{i}"),
+                    8,
+                    &[("perf.runner.speedup_4t", if i < 3 { 1.0 } else { 0.5 })],
+                )
+            })
+            .collect();
+        let report = analyze(&runs, &TrendConfig::default());
+        assert_eq!(report.regressions.len(), 1, "{}", report.text);
+    }
+
+    #[test]
+    fn not_enough_history_is_explicit() {
+        let report = analyze(&[], &TrendConfig::default());
+        assert!(report.not_enough_history());
+        assert!(report.text.contains("not enough history"), "{}", report.text);
+        let one = [run("only", 1, &[("perf.x", 1.0)])];
+        let report = analyze(&one, &TrendConfig::default());
+        assert!(report.not_enough_history());
+        assert!(report.text.contains("1 run recorded"), "{}", report.text);
+    }
+
+    #[test]
+    fn prefix_filter_narrows_series() {
+        let runs: Vec<HistoryRun> = (0..4)
+            .map(|i| run(&format!("r{i}"), 1, &[("perf.a", 1.0), ("wall_secs", 2.0)]))
+            .collect();
+        let all = analyze(&runs, &TrendConfig::default());
+        assert_eq!(all.series, 2, "{}", all.text);
+        let cfg = TrendConfig { metric_prefix: Some("perf.".into()), ..TrendConfig::default() };
+        let only = analyze(&runs, &cfg);
+        assert_eq!(only.series, 1, "{}", only.text);
+        assert!(!only.text.contains("wall_secs"), "{}", only.text);
+    }
+
+    #[test]
+    fn ledger_and_bench_histories_share_fingerprints() {
+        let mut rec = crate::ledger::LedgerRecord::new("sweep");
+        rec.metric("trials", 16.0);
+        let history = history_from_ledger(&[rec.clone()]);
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].label, rec.run_id());
+        assert_eq!(history[0].fingerprint, rec.fingerprint());
+
+        // A bench dir with one snapshot file loads its perf group.
+        let dir = std::env::temp_dir().join("ftagg-trend-test-bench");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = "{\"schema\": \"ftagg-bench\", \"v\": 1, \
+                    \"info.os\": \"linux\", \"info.arch\": \"x86_64\", \"info.cpus\": \"4\", \
+                    \"info.date\": \"2026-08-01\", \"info.workload\": \"full\", \
+                    \"perf.e6.deliveries_per_sec\": 123.0}";
+        std::fs::write(dir.join("BENCH_2026-08-01.json"), json).unwrap();
+        std::fs::write(dir.join("README.txt"), "ignored").unwrap();
+        let runs = history_from_bench_dir(&dir).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].fingerprint, "linux/x86_64/4cpu");
+        assert_eq!(runs[0].cpus, Some(4));
+        assert_eq!(runs[0].metrics["perf.e6.deliveries_per_sec"], 123.0);
+
+        // A corrupt snapshot yields a one-line error naming the file.
+        std::fs::write(dir.join("BENCH_bad.json"), "{oops").unwrap();
+        let err = history_from_bench_dir(&dir).unwrap_err();
+        assert_eq!(err.lines().count(), 1);
+        assert!(err.contains("BENCH_bad.json"), "{err}");
+    }
+}

@@ -55,7 +55,7 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut it = raw.into_iter().peekable();
         let command = it.next().ok_or(
-            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds | mine | top | telemetry)",
+            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds | mine | top | telemetry | trend)",
         )?;
         // `bench` and `telemetry` take one sub-action positional
         // (`bench snapshot | compare`, `telemetry export`).
@@ -155,6 +155,7 @@ pub fn dispatch_full(args: &Args) -> Result<CmdOutput, String> {
         "mine" => cmd_mine(args),
         "top" => cmd_top(args).map(CmdOutput::ok),
         "telemetry" => cmd_telemetry(args).map(CmdOutput::ok),
+        "trend" => cmd_trend(args),
         "help" | "--help" | "-h" => Ok(CmdOutput::ok(USAGE.to_string())),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -190,6 +191,8 @@ commands:
           --sampled K (replay the events through the 1-in-K node sampler
           and print per-stratum scale-up factors, scaled estimates next
           to the exact meters, and ~95% confidence bands)
+          --workers yes (append the per-worker runner load table; wall
+          times vary run to run, so this is off by default)
           exits 1 when --monitor finds violations
   explain causal provenance of one Algorithm 1 run: critical path into the
           decision, per-node per-kind CC blame, coverage audit
@@ -237,9 +240,26 @@ commands:
           --crash NODE@ROUND (repeatable)   --refresh-ms MS (stderr rate)
           --ring R (flight-recorder rounds retained, default 64)
           --flight-out PATH (dump the black box on exit and on panic)
+          --trials K --threads T (fleet mode: run K instrumented copies
+          through the work-stealing runner and print the merged hub
+          totals plus the per-worker load table)
   telemetry  export the telemetry registry of one instrumented run
           telemetry export [--format prom|json] [--out PATH]
           (run options as top: --topology --engine --c --t --seed --crash)
+  trend   chart per-fingerprint metric series over the run ledger plus
+          every BENCH_*.json in a directory, and run a sliding-window
+          mean-shift changepoint detector per metric; perf.* downshifts
+          beyond tolerance gate (thread-scaling series are skipped on
+          hosts with fewer cores than the measured thread count)
+          --ledger PATH (default .ftagg/ledger.jsonl) --bench-dir DIR
+          --window K (default 3) --tolerance T (default 0.15)
+          --metric PREFIX (only series with this prefix)
+          exits 1 on a detected regression; 0 on flat or short history
+
+run ledger: sweep, report, mine, top, and bench snapshot append one
+JSONL record per invocation (run id, fingerprint, telemetry summary,
+resources) to .ftagg/ledger.jsonl — --ledger PATH redirects it,
+--ledger off disables recording. `trend` reads it back.
 ";
 
 fn cmd_run(args: &Args) -> Result<String, String> {
@@ -496,6 +516,10 @@ fn run_observed_pair(
 /// same artifact.
 fn cmd_top(args: &Args) -> Result<String, String> {
     use std::fmt::Write as _;
+    if args.get("trials").is_some() {
+        return top_trials(args);
+    }
+    let t0 = std::time::Instant::now();
     let refresh: u64 = args.num("refresh-ms", 200)?;
     let ring: usize = args.num("ring", 64)?;
     if ring == 0 {
@@ -573,6 +597,65 @@ fn cmd_top(args: &Args) -> Result<String, String> {
             }
         }
     }
+    if let Some(path) = ledger_path(args) {
+        let mut rec = ftagg_bench::ledger::LedgerRecord::new("top");
+        rec.record_hub(hub).record_resources(t0.elapsed());
+        ftagg_bench::ledger::append_soft(&path, &rec);
+    }
+    Ok(out)
+}
+
+/// `top --trials K` — K instrumented copies of the observed pair
+/// workload through the work-stealing runner: the merged hub totals are
+/// exactly K× the single-run meters for any `--threads`, and the
+/// per-worker load table (trials, steals, busy/idle wall time, trial
+/// latency quantiles) shows how the pool divided them.
+fn top_trials(args: &Args) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let t0 = std::time::Instant::now();
+    let trials: u64 = args.num("trials", 4)?;
+    if trials == 0 {
+        return Err("need --trials >= 1".into());
+    }
+    let threads: usize = args.num("threads", 0)?;
+    let seeds: Vec<u64> = (0..trials).collect();
+    let runner = netsim::Runner::new(threads);
+    let (runs, tele) = runner.run_instrumented(&seeds, |_s| run_observed_pair(args, 0, None, None));
+    let total = netsim::TelemetryHub::new();
+    let (mut n, mut rounds): (usize, netsim::Round) = (0, 0);
+    for run in runs {
+        let run = run?;
+        total.merge_from(&run.hub);
+        n = run.n;
+        rounds = run.rounds;
+    }
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "top: {trials} AGG+VERI pair trials over {n} nodes, {rounds} rounds each");
+    let _ = writeln!(
+        out,
+        "rounds = {}, deliveries = {}, messages = {}, bits = {}",
+        total.counter("engine_rounds_total").get(),
+        total.counter("engine_deliveries_total").get(),
+        total.counter("engine_logical_messages_total").get(),
+        total.counter("engine_bits_total").get(),
+    );
+    let _ =
+        writeln!(out, "trial latency p50 = {}us  p99 = {}us", tele.p50_micros(), tele.p99_micros());
+    out.push_str("\nper-worker load (wall times vary run to run):\n");
+    out.push_str(&tele.workers_table());
+    if let Some(w) = tele.straggler() {
+        let _ = writeln!(out, "straggler: worker {w} (busy > 2x the mean)");
+    }
+    if let Some(path) = ledger_path(args) {
+        let mut rec = ftagg_bench::ledger::LedgerRecord::new("top");
+        rec.note("trials", trials.to_string())
+            .record_hub(&total)
+            .record_hub(&tele.hub)
+            .record_workers(&tele.workers)
+            .record_resources(t0.elapsed());
+        ftagg_bench::ledger::append_soft(&path, &rec);
+    }
     Ok(out)
 }
 
@@ -646,12 +729,25 @@ fn cmd_bench(args: &Args) -> Result<String, String> {
     use ftagg_bench::snapshot::{compare, default_snapshot_name, Snapshot};
     match args.sub.as_deref() {
         Some("snapshot") => {
+            let start = std::time::Instant::now();
             let quick = args.get("quick").is_some();
             let path = args.get("out").map(str::to_string).unwrap_or_else(default_snapshot_name);
             let snap = Snapshot::collect(quick);
             let json = snap.to_json();
             std::fs::write(&path, &json)
                 .map_err(|e| format!("cannot write snapshot '{path}': {e}"))?;
+            if let Some(ledger) = ledger_path(args) {
+                let mut rec = ftagg_bench::ledger::LedgerRecord::new("bench");
+                rec.note("workload", if quick { "quick" } else { "full" }).note("out", &path);
+                for (k, v) in &snap.perf {
+                    rec.metric(k, *v);
+                }
+                for (k, v) in &snap.exact {
+                    rec.metric(k, *v as f64);
+                }
+                rec.record_resources(start.elapsed());
+                ftagg_bench::ledger::append_soft(&ledger, &rec);
+            }
             Ok(format!("{json}wrote {path}\n"))
         }
         Some("compare") => {
@@ -670,6 +766,37 @@ fn cmd_bench(args: &Args) -> Result<String, String> {
             Err(format!("bench needs a sub-action: snapshot | compare (got {other:?})\n{USAGE}"))
         }
     }
+}
+
+/// Where run-ledger records go: `--ledger off` disables recording,
+/// `--ledger PATH` redirects, default [`ftagg_bench::ledger::DEFAULT_LEDGER_PATH`].
+fn ledger_path(args: &Args) -> Option<std::path::PathBuf> {
+    ftagg_bench::ledger::resolve_path(args.get("ledger"))
+}
+
+/// `trend` — the cross-run trend engine over the ledger plus a directory
+/// of `BENCH_*.json` snapshots (see `ftagg_bench::trend`). Exits 1 when a
+/// `perf.*` series shows a mean downshift beyond tolerance; flat series
+/// and too-short history exit 0.
+fn cmd_trend(args: &Args) -> Result<CmdOutput, String> {
+    use ftagg_bench::trend::{analyze, load_history, TrendConfig};
+    let ledger: std::path::PathBuf =
+        args.get("ledger").unwrap_or(ftagg_bench::ledger::DEFAULT_LEDGER_PATH).into();
+    let bench_dir = args.get("bench-dir").map(std::path::PathBuf::from);
+    let cfg = TrendConfig {
+        window: args.num("window", 3usize)?,
+        tolerance: args.num("tolerance", 0.15f64)?,
+        metric_prefix: args.get("metric").map(str::to_string),
+    };
+    if cfg.window < 2 {
+        return Err("--window needs at least 2 points per side".into());
+    }
+    if !(0.0..1.0).contains(&cfg.tolerance) {
+        return Err("--tolerance must be in [0, 1)".into());
+    }
+    let runs = load_history(&ledger, bench_dir.as_deref())?;
+    let report = analyze(&runs, &cfg);
+    Ok(CmdOutput { text: report.text, code: i32::from(!report.regressions.is_empty()) })
 }
 
 fn cmd_report(args: &Args) -> Result<CmdOutput, String> {
@@ -935,6 +1062,7 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
     use rand::{Rng, SeedableRng};
     use std::fmt::Write as _;
 
+    let start = std::time::Instant::now();
     let monitor = args.get("monitor").is_some();
     let seed: u64 = args.num("seed", 0)?;
     let topo_spec = args.get("topology").unwrap_or("grid:5x5").to_string();
@@ -977,7 +1105,10 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
             .with_engine(engine);
         (inst, TradeoffConfig { b, c, f, seed: s })
     };
-    let results = Runner::new(threads).run(&seeds, |s| {
+    // The instrumented runner returns identical seed-ordered results for
+    // any thread count; the per-worker breakdown rides along for the
+    // summary, the `--workers` table, and the run-ledger record.
+    let (results, tele) = Runner::new(threads).run_instrumented(&seeds, |s| {
         let (inst, cfg) = make_trial(s);
         let (r, violations) = if monitor {
             let (r, m) = run_tradeoff_monitored(&Sum, &inst, &cfg, false);
@@ -1003,6 +1134,7 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
         }
         all_correct &= correct;
     }
+    summary.set_workers(tele.workers.clone());
 
     let mut out = String::new();
     let _ = writeln!(
@@ -1051,6 +1183,12 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
             bottleneck_hits[v], trials
         );
     }
+    // Worker wall times vary run to run, so the breakdown is opt-in:
+    // the default report stays byte-identical for every --threads value.
+    if args.get("workers").is_some() {
+        out.push_str("\nper-worker load:\n");
+        out.push_str(&tele.workers_table());
+    }
     if args.get("sampled").is_some() {
         use ftagg::tradeoff::run_tradeoff_traced;
         let k: u64 = args.num("sampled", 16)?;
@@ -1069,6 +1207,17 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
             summary.sum_violations, summary.violation_trials
         );
         code = 1;
+    }
+    if let Some(path) = ledger_path(args) {
+        let mut rec = ftagg_bench::ledger::LedgerRecord::new("report");
+        rec.note("topology", &topo_spec)
+            .note("seed", seed.to_string())
+            .note("trials", trials.to_string())
+            .metric("violations", summary.sum_violations as f64)
+            .record_hub(&tele.hub)
+            .record_workers(&tele.workers)
+            .record_resources(start.elapsed());
+        ftagg_bench::ledger::append_soft(&path, &rec);
     }
     Ok(CmdOutput { text: out, code })
 }
@@ -1318,8 +1467,10 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
     use rand::{Rng, SeedableRng};
     use std::fmt::Write as _;
 
+    let start = std::time::Instant::now();
     let seed: u64 = args.num("seed", 0)?;
-    let graph = spec::parse_topology(args.get("topology").unwrap_or("caterpillar:20x1"), seed)?;
+    let topo_spec = args.get("topology").unwrap_or("caterpillar:20x1").to_string();
+    let graph = spec::parse_topology(&topo_spec, seed)?;
     let n = graph.len();
     let c: u32 = args.num("c", 2)?;
     let f: usize = args.num("f", n / 8)?;
@@ -1377,14 +1528,28 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
             r.correct
         )
     };
+    // The instrumented runner returns the identical seed-ordered rows and
+    // additionally hands back the merged per-worker telemetry for the
+    // run-ledger record; the `--progress` line gains p50/p99 trial
+    // latency and a straggler flag from the same instruments.
     let runner = netsim::Runner::new(threads);
-    let rows = if args.get("progress").is_some() {
-        runner.run_progress(&points_idx, point, &netsim::ConsoleProgress::new())
+    let (rows, tele) = if args.get("progress").is_some() {
+        runner.run_progress_instrumented(&points_idx, point, &netsim::ConsoleProgress::new())
     } else {
-        runner.run(&points_idx, point)
+        runner.run_instrumented(&points_idx, point)
     };
     for row in rows {
         out.push_str(&row);
+    }
+    if let Some(path) = ledger_path(args) {
+        let mut rec = ftagg_bench::ledger::LedgerRecord::new("sweep");
+        rec.note("topology", &topo_spec)
+            .note("seed", seed.to_string())
+            .note("b_range", format!("{from}..{to}x{points}"))
+            .record_hub(&tele.hub)
+            .record_workers(&tele.workers)
+            .record_resources(start.elapsed());
+        ftagg_bench::ledger::append_soft(&path, &rec);
     }
     Ok(out)
 }
@@ -1470,6 +1635,7 @@ fn cmd_mine(args: &Args) -> Result<CmdOutput, String> {
     use ftagg_bench::search::{Acceptance, MineConfig, MineProgress, MineProtocol, Objective};
     use std::fmt::Write as _;
 
+    let start = std::time::Instant::now();
     let seed: u64 = args.num("seed", 0)?;
     let graph = spec::parse_topology(args.get("topology").unwrap_or("caterpillar:30x1"), seed)?;
     let n = graph.len();
@@ -1629,6 +1795,19 @@ fn cmd_mine(args: &Args) -> Result<CmdOutput, String> {
     );
     let _ = writeln!(out, "}}");
 
+    if let Some(path) = ledger_path(args) {
+        let mut rec = ftagg_bench::ledger::LedgerRecord::new("mine");
+        rec.note("objective", cfg.objective.tag())
+            .note("protocol", cfg.protocol.tag())
+            .note("seed", seed.to_string())
+            .metric("iterations", cfg.iterations as f64)
+            .metric("evaluations", r.evaluations as f64)
+            .metric("best_value", r.value as f64)
+            .metric("counterexamples", r.counterexamples.len() as f64)
+            .metric("violations", outcome.monitor_violations as f64)
+            .record_resources(start.elapsed());
+        ftagg_bench::ledger::append_soft(&path, &rec);
+    }
     let code = i32::from(!r.counterexamples.is_empty() || outcome.monitor_violations > 0);
     Ok(CmdOutput { text: out, code })
 }
@@ -2487,5 +2666,155 @@ mod tests {
         assert!(dispatch(&args(&["run", "--topology", "blob:3"])).is_err());
         let help = dispatch(&args(&["help"])).unwrap();
         assert!(help.contains("usage"));
+    }
+
+    fn temp_ledger(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ftagg-cli-ledger-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn sweep_appends_a_ledger_record_and_off_disables_it() {
+        let path = temp_ledger("sweep.jsonl");
+        let ledger = path.to_str().unwrap();
+        let sweep = |extra: &[&str]| {
+            let mut a = vec![
+                "sweep",
+                "--topology",
+                "grid:4x4",
+                "--f",
+                "3",
+                "--from",
+                "42",
+                "--to",
+                "42",
+                "--points",
+                "1",
+            ];
+            a.extend_from_slice(extra);
+            dispatch(&args(&a)).unwrap()
+        };
+        let with = sweep(&["--ledger", ledger]);
+        let without = sweep(&["--ledger", "off"]);
+        // Recording never touches stdout.
+        assert_eq!(with, without);
+        let records = ftagg_bench::ledger::load(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert_eq!(rec.kind, "sweep");
+        assert_eq!(rec.info["topology"], "grid:4x4");
+        // The per-worker runner instruments landed in the record.
+        assert_eq!(rec.metrics["runner_trials_total"], 1.0);
+        assert_eq!(rec.metrics["runner_trial_micros_count"], 1.0);
+        assert_eq!(rec.metrics["worker0_trials"], 1.0);
+        assert!(rec.metrics["wall_secs"] >= 0.0);
+        // A second run appends, never truncates.
+        sweep(&["--ledger", ledger]);
+        assert_eq!(ftagg_bench::ledger::load(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn report_workers_table_is_gated_and_summary_carries_workers() {
+        let base = ["report", "--topology", "grid:4x4", "--trials", "3", "--b", "42", "--f", "2"];
+        let mut quiet = base.to_vec();
+        quiet.extend_from_slice(&["--ledger", "off"]);
+        let out = dispatch(&args(&quiet)).unwrap();
+        assert!(!out.contains("per-worker load"), "{out}");
+        let mut loud = quiet.clone();
+        loud.extend_from_slice(&["--workers", "yes"]);
+        let out = dispatch(&args(&loud)).unwrap();
+        assert!(out.contains("per-worker load"), "{out}");
+        assert!(out.contains("worker"), "{out}");
+        assert!(out.contains("busy_ms"), "{out}");
+    }
+
+    #[test]
+    fn top_trials_mode_reports_worker_loads_and_scales_totals() {
+        let single =
+            dispatch(&args(&["top", "--topology", "grid:6x6", "--t", "1", "--ledger", "off"]))
+                .unwrap();
+        let bits_of = |out: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with("rounds = "))
+                .and_then(|l| l.rsplit_once("bits = "))
+                .and_then(|(_, v)| v.trim().parse().ok())
+                .expect("summary line")
+        };
+        let path = temp_ledger("top.jsonl");
+        let fleet = dispatch(&args(&[
+            "top",
+            "--topology",
+            "grid:6x6",
+            "--t",
+            "1",
+            "--trials",
+            "3",
+            "--threads",
+            "2",
+            "--ledger",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Merged totals are exactly trials × the single-run meters.
+        assert_eq!(bits_of(&fleet), 3 * bits_of(&single), "{fleet}");
+        assert!(fleet.contains("per-worker load"), "{fleet}");
+        assert!(fleet.contains("trial latency p50"), "{fleet}");
+        let records = ftagg_bench::ledger::load(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, "top");
+        assert_eq!(records[0].metrics["runner_trials_total"], 3.0);
+    }
+
+    #[test]
+    fn trend_command_gates_on_injected_regression() {
+        use ftagg_bench::ledger::{append, LedgerRecord};
+        let path = temp_ledger("trend.jsonl");
+        let mk = |v: f64| {
+            let mut r = LedgerRecord::new("bench");
+            r.metric("perf.e6.deliveries_per_sec", v);
+            r
+        };
+        // Flat history: exit 0, no regressions.
+        for _ in 0..8 {
+            append(&path, &mk(100.0)).unwrap();
+        }
+        let flat = dispatch_full(&args(&["trend", "--ledger", path.to_str().unwrap()])).unwrap();
+        assert_eq!(flat.code, 0, "{}", flat.text);
+        assert!(flat.text.contains("no regressions."), "{}", flat.text);
+        assert!(flat.text.contains("▁"), "sparkline expected: {}", flat.text);
+
+        // Inject a 40% downshift: exit 1, changepoint localized to run 7.
+        let path = temp_ledger("trend-regressed.jsonl");
+        for i in 0..10 {
+            append(&path, &mk(if i < 6 { 100.0 } else { 60.0 })).unwrap();
+        }
+        let bad = dispatch_full(&args(&["trend", "--ledger", path.to_str().unwrap()])).unwrap();
+        assert_eq!(bad.code, 1, "{}", bad.text);
+        assert!(bad.text.contains("REGRESSION at run 7/10"), "{}", bad.text);
+    }
+
+    #[test]
+    fn trend_short_history_and_corrupt_ledger() {
+        use ftagg_bench::ledger::{append, LedgerRecord};
+        // Empty (missing) ledger: exit 0 with the explicit message.
+        let path = temp_ledger("trend-empty.jsonl");
+        let out = dispatch_full(&args(&["trend", "--ledger", path.to_str().unwrap()])).unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("not enough history"), "{}", out.text);
+        // One entry: still exit 0.
+        let mut r = LedgerRecord::new("sweep");
+        r.metric("perf.x", 1.0);
+        append(&path, &r).unwrap();
+        let out = dispatch_full(&args(&["trend", "--ledger", path.to_str().unwrap()])).unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("1 run recorded"), "{}", out.text);
+        // A corrupt line is a one-line error on the Err path (exit 2).
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = dispatch_full(&args(&["trend", "--ledger", path.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.lines().count(), 1, "{err}");
+        assert!(err.contains("trend-empty.jsonl:1:"), "{err}");
     }
 }

@@ -1,0 +1,72 @@
+//! Golden snapshot of `ftagg-cli telemetry export` (Prometheus format) on
+//! the default observed AGG+VERI pair — byte for byte — plus a lint that
+//! every exported metric name is a legal Prometheus identifier.
+//!
+//! Any drift here means the telemetry surface changed observably: a
+//! metric was added, renamed, retyped, or its value moved. If the change
+//! is intentional, regenerate the fixture from the `crates/cli`
+//! directory:
+//!
+//! ```text
+//! cargo run -p ftagg-cli -- telemetry export --ledger off \
+//!     > tests/fixtures/golden_telemetry_prom.txt
+//! ```
+
+use ftagg_cli::{dispatch_full, Args};
+
+const GOLDEN: &str = include_str!("fixtures/golden_telemetry_prom.txt");
+
+fn export_prom() -> ftagg_cli::CmdOutput {
+    let args =
+        Args::parse(["telemetry", "export", "--ledger", "off"].into_iter().map(String::from))
+            .expect("valid args");
+    dispatch_full(&args).expect("the default observed pair runs")
+}
+
+#[test]
+fn prometheus_export_matches_the_pinned_fixture() {
+    let out = export_prom();
+    assert_eq!(out.code, 0, "{}", out.text);
+    assert_eq!(
+        out.text, GOLDEN,
+        "telemetry export drifted from the golden fixture — if intentional, \
+         regenerate it (see this file's header)"
+    );
+}
+
+#[test]
+fn every_exported_metric_name_is_a_legal_prometheus_identifier() {
+    // The exposition format interleaves `# TYPE <name> <kind>` headers
+    // with `<name>[{labels}] <value>` sample lines; lint the name on
+    // every one of them.
+    let mut names_seen = 0usize;
+    for line in GOLDEN.lines() {
+        let name = if let Some(rest) = line.strip_prefix("# TYPE ") {
+            rest.split_whitespace().next().unwrap_or("")
+        } else {
+            line.split(['{', ' ']).next().unwrap_or("")
+        };
+        assert!(!name.is_empty(), "unparseable exposition line: {line:?}");
+        assert!(
+            netsim::is_valid_metric_name(name),
+            "exported metric name {name:?} is not a legal Prometheus identifier (line: {line:?})"
+        );
+        names_seen += 1;
+    }
+    assert!(names_seen >= 20, "the fixture should cover the full engine instrument set");
+}
+
+#[test]
+fn golden_fixture_pins_the_engine_instrument_set() {
+    // The fixture must carry the core engine meters (counter, gauge, and
+    // summary kinds all present), not some accidental subset.
+    for needle in [
+        "# TYPE engine_bits_total counter",
+        "# TYPE engine_inflight_peak gauge",
+        "# TYPE engine_round_bits summary",
+        "engine_round_bits{quantile=\"0.5\"}",
+        "engine_round_bits_count",
+    ] {
+        assert!(GOLDEN.contains(needle), "fixture lost {needle:?}");
+    }
+}

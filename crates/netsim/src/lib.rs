@@ -78,12 +78,14 @@ pub use monitor::{
     BudgetRule, DecideCheck, MonitorConfig, MonitorReport, Violation, ViolationKind, Watchdog,
 };
 pub use runner::{
-    ConsoleProgress, Histogram, PhaseAgg, Progress, ProgressSink, Runner, TrialStats, TrialSummary,
+    ConsoleProgress, Histogram, PhaseAgg, Progress, ProgressSink, Runner, RunnerTelemetry,
+    TrialStats, TrialSummary, WorkerLoad,
 };
 pub use soa::{AnyEngine, BitFlood, BitFloodReport, RoundFlow, SoaEngine};
 pub use telemetry::{
-    round_observer, Counter, FlightRecorder, FlightRecorderHandle, Gauge, HistCell, RecorderStats,
-    Reservoir, SampleFactor, SamplingSink, TeeSink, TeleHist, TelemetryHub,
+    is_valid_metric_name, round_observer, Counter, FlightRecorder, FlightRecorderHandle, Gauge,
+    HistCell, RecorderStats, Reservoir, SampleFactor, SamplingSink, TeeSink, TeleHist,
+    TelemetryHub,
 };
 pub use trace::{
     DeltaSink, Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,

@@ -68,6 +68,18 @@ fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Whether `name` is a valid Prometheus metric identifier
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`). Everything this crate registers in a
+/// [`TelemetryHub`] must pass, or the exported exposition text is not
+/// scrapeable; the CLI's export golden test lints every exported name
+/// through this.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    let Some(first) = bytes.next() else { return false };
+    let head_ok = first.is_ascii_alphabetic() || first == b'_' || first == b':';
+    head_ok && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
 // ---------------------------------------------------------------------------
 // Counters, gauges, histograms
 // ---------------------------------------------------------------------------
@@ -259,6 +271,12 @@ impl HistCell {
     pub fn snapshot(&self) -> TeleHist {
         lock_ok(&self.inner).clone()
     }
+
+    /// Merges an already-aggregated [`TeleHist`] into the cell (bucket
+    /// counts add exactly; reservoirs merge deterministically).
+    pub fn absorb(&self, other: &TeleHist) {
+        lock_ok(&self.inner).merge(other);
+    }
 }
 
 /// A lock-free-ish registry of named counters, gauges, and histogram
@@ -315,21 +333,44 @@ impl TelemetryHub {
         h
     }
 
-    fn sorted_counters(&self) -> Vec<(String, u64)> {
+    /// Merges every instrument of `other` into this hub: counters add,
+    /// gauges keep the maximum, histograms merge bucket-exactly. The
+    /// merge walks `other`'s instruments in sorted-name order, so folding
+    /// a fixed set of hubs (e.g. one per runner worker, in worker order)
+    /// produces a deterministic registry regardless of how each hub's
+    /// instruments were first touched. Totals (counter sums, histogram
+    /// counts) are therefore identical across thread counts whenever the
+    /// per-hub totals partition the same work.
+    pub fn merge_from(&self, other: &TelemetryHub) {
+        for (name, v) in other.sorted_counters() {
+            self.counter(&name).add(v);
+        }
+        for (name, v) in other.sorted_gauges() {
+            self.gauge(&name).raise(v);
+        }
+        for (name, h) in other.sorted_hists() {
+            self.histogram(&name).absorb(&h);
+        }
+    }
+
+    /// Every counter as `(name, value)`, sorted by name.
+    pub fn sorted_counters(&self) -> Vec<(String, u64)> {
         let mut v: Vec<(String, u64)> =
             lock_ok(&self.counters).iter().map(|(n, c)| (n.clone(), c.get())).collect();
         v.sort();
         v
     }
 
-    fn sorted_gauges(&self) -> Vec<(String, u64)> {
+    /// Every gauge as `(name, value)`, sorted by name.
+    pub fn sorted_gauges(&self) -> Vec<(String, u64)> {
         let mut v: Vec<(String, u64)> =
             lock_ok(&self.gauges).iter().map(|(n, g)| (n.clone(), g.get())).collect();
         v.sort();
         v
     }
 
-    fn sorted_hists(&self) -> Vec<(String, TeleHist)> {
+    /// A snapshot of every histogram as `(name, hist)`, sorted by name.
+    pub fn sorted_hists(&self) -> Vec<(String, TeleHist)> {
         let mut v: Vec<(String, TeleHist)> =
             lock_ok(&self.hists).iter().map(|(n, h)| (n.clone(), h.snapshot())).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
@@ -948,6 +989,44 @@ mod tests {
         hub.histogram("h").record(10);
         hub.histogram("h").record(20);
         assert_eq!(hub.histogram("h").snapshot().count(), 2);
+    }
+
+    #[test]
+    fn hub_merge_adds_counters_raises_gauges_and_merges_hists() {
+        let a = TelemetryHub::new();
+        a.counter("trials_total").add(3);
+        a.gauge("peak").set(10);
+        a.histogram("lat").record(4);
+        a.histogram("lat").record(8);
+        let b = TelemetryHub::new();
+        b.counter("trials_total").add(5);
+        b.counter("steals_total").add(2);
+        b.gauge("peak").set(7);
+        b.histogram("lat").record(100);
+        let merged = TelemetryHub::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.counter("trials_total").get(), 8);
+        assert_eq!(merged.counter("steals_total").get(), 2);
+        assert_eq!(merged.gauge("peak").get(), 10, "gauges merge by max");
+        let lat = merged.histogram("lat").snapshot();
+        assert_eq!(lat.count(), 3);
+        assert_eq!(lat.max(), 100);
+        // Merging in either order gives the same rendered registry.
+        let flipped = TelemetryHub::new();
+        flipped.merge_from(&b);
+        flipped.merge_from(&a);
+        assert_eq!(flipped.render_prometheus(), merged.render_prometheus());
+    }
+
+    #[test]
+    fn metric_name_lint_accepts_prom_identifiers_only() {
+        for ok in ["engine_bits_total", "_hidden", "a:b:c", "x9", "Runner_p99"] {
+            assert!(is_valid_metric_name(ok), "{ok}");
+        }
+        for bad in ["", "9lives", "has space", "dash-ed", "dot.ted", "ütf"] {
+            assert!(!is_valid_metric_name(bad), "{bad}");
+        }
     }
 
     #[test]

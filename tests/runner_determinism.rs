@@ -184,3 +184,35 @@ fn soa_runner_matches_classic_serial_loop_at_1_2_4_threads() {
         assert_eq!(soa, reference, "soa threads = {threads}");
     }
 }
+
+/// Per-worker instrumentation is observation only: `run_instrumented`
+/// returns the same seed-ordered records as the plain runner at every
+/// thread count, and the merged per-worker hubs land on exact totals —
+/// the trial counter and the latency histogram population both equal the
+/// seed count at 1, 2, and 4 workers, and the per-worker breakdown
+/// partitions the trials without gaps or double counting.
+#[test]
+fn instrumented_runner_observes_without_perturbing_at_1_2_4_threads() {
+    let seeds: Vec<u64> = (0..12).collect();
+    let reference: Vec<Record> = seeds.iter().map(|&s| tradeoff_trial(s)).collect();
+    for threads in [1usize, 2, 4] {
+        let (records, tele) = Runner::exact(threads).run_instrumented(&seeds, tradeoff_trial);
+        assert_eq!(records, reference, "instrumented threads = {threads}");
+        assert_eq!(
+            tele.hub.counter("runner_trials_total").get(),
+            seeds.len() as u64,
+            "merged trial counter, threads = {threads}"
+        );
+        assert_eq!(
+            tele.hub.histogram("runner_trial_micros").snapshot().count(),
+            seeds.len() as u64,
+            "merged latency histogram population, threads = {threads}"
+        );
+        assert_eq!(tele.workers.len(), threads, "one load row per worker");
+        assert_eq!(
+            tele.workers.iter().map(|w| w.trials).sum::<u64>(),
+            seeds.len() as u64,
+            "worker breakdown partitions the trials, threads = {threads}"
+        );
+    }
+}
