@@ -120,6 +120,39 @@ pub fn delta_table(deltas: &[Delta]) -> Table {
     t
 }
 
+/// The timeline self-time table rendered by `ftagg-cli timeline --top`:
+/// one row per `(span kind, label)` aggregate, ranked by self time (the
+/// wall time inside the span but outside its direct children), with the
+/// inclusive total alongside.
+pub fn self_time_table(rows: &[netsim::SelfTimeRow], top: usize) -> Table {
+    let mut t = Table::new(vec!["kind", "label", "count", "self", "total"]);
+    for r in rows.iter().take(top) {
+        t.row(vec![
+            format!("{:?}", r.kind).to_lowercase(),
+            r.label.clone(),
+            r.count.to_string(),
+            human_ns(r.self_ns),
+            human_ns(r.total_ns),
+        ]);
+    }
+    t
+}
+
+/// Wall-clock nanoseconds in the largest unit that keeps three or fewer
+/// integral digits (`842ns`, `13.1us`, `2.50ms`, `1.20s`).
+pub fn human_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
 /// A [`Histogram`] rendered as `[lo, hi]  ###` bucket lines (one `#` per
 /// sample), as the CLI report prints CC/round distributions.
 pub fn histogram_lines(hist: &Histogram) -> String {

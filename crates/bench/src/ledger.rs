@@ -361,8 +361,20 @@ fn cpu_secs() -> Option<f64> {
 
 /// Peak resident set in MB from `/proc/self/status` VmHWM, when readable.
 fn peak_rss_mb() -> Option<f64> {
+    status_mb("VmHWM:")
+}
+
+/// Current resident set in MB from `/proc/self/status` VmRSS, when
+/// readable. Unlike [`LedgerRecord::record_resources`]'s peak figure this
+/// is a point sample, so the timeline profiler can chart it as a counter
+/// track over the run.
+pub fn current_rss_mb() -> Option<f64> {
+    status_mb("VmRSS:")
+}
+
+fn status_mb(field: &str) -> Option<f64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
     let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb / 1024.0)
 }

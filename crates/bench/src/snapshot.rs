@@ -29,7 +29,8 @@ use ftagg::Instance;
 use netsim::{
     round_observer, topology, AnyEngine, BitFlood, EngineKind, FailureSchedule, FlightRecorder,
     FloodState, Message, MonitorConfig, NodeId, NodeLogic, RecorderStats, Round, RoundCtx, Runner,
-    SampleFactor, SamplingSink, SoaEngine, Telemetry, TelemetryHub, Watchdog,
+    SampleFactor, SamplingSink, SoaEngine, SpanKind, Telemetry, TelemetryHub, Timeline,
+    TimelineData, Watchdog,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -200,6 +201,23 @@ pub fn flood_hypercube_soa_recorded(
     (eng.telemetry().clone(), bits, hub, flight.stats(), factors)
 }
 
+/// [`flood_hypercube_soa`] with the timeline profiler installed on
+/// lane 1 — per-round engine-stage spans into the bounded ring, no flow
+/// sink, matching the default `ftagg-cli timeline` rig (flow arrows are
+/// opt-in because any sink turns on the per-delivery tracing path).
+/// Returns the engine telemetry, total bits, and the captured timeline.
+pub fn flood_hypercube_soa_timed(dim: u32) -> (Telemetry, u64, TimelineData) {
+    let g = topology::hypercube(dim);
+    let mut eng = SoaEngine::new(g, FailureSchedule::none(), SingleFlood::new);
+    eng.use_lean_metrics();
+    let tl = Timeline::new();
+    tl.name_lane(1, "worker 0");
+    eng.set_timeline(&tl, 1);
+    eng.run(Round::from(dim) + 2);
+    let bits = eng.metrics().total_bits();
+    (eng.telemetry().clone(), bits, tl.snapshot())
+}
+
 /// One parsed (or freshly collected) benchmark snapshot.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
@@ -232,6 +250,7 @@ impl Snapshot {
         s.collect_engine(quick);
         s.collect_soa(quick);
         s.collect_telemetry(quick);
+        s.collect_timeline(quick);
         s.collect_sweep(quick);
         s.collect_runner(quick);
         s
@@ -281,6 +300,42 @@ impl Snapshot {
         self.exact.insert("exact.telemetry.flight_events".into(), fs.events_buffered);
         self.perf.insert(
             "perf.telemetry.recorded_ratio".into(),
+            if off_dps > 0.0 { on_dps / off_dps } else { 0.0 },
+        );
+    }
+
+    /// Timeline profiler overhead A/B: the SoA engine with per-round
+    /// stage spans recorded into the bounded ring (the default
+    /// `ftagg-cli timeline` rig — no flow sink, so the per-delivery
+    /// tracing path stays cold) against the bare engine on the identical
+    /// single-origin hypercube flood, arms interleaved inside each rep.
+    /// `exact.timeline.*` pins the deterministic span inventory — one
+    /// `Round` span per simulated round, nothing evicted — and the
+    /// instrumented run's meters bit-identical to the bare run's (the
+    /// profiler is a pure observer). `perf.timeline.recorded_ratio` is
+    /// timeline-on / off throughput; the ≥ 0.95 acceptance reads
+    /// directly off the full workload.
+    fn collect_timeline(&mut self, quick: bool) {
+        let dim = if quick { 12 } else { 20 };
+        let reps = if quick { 2 } else { 5 };
+        let (mut off_dps, mut on_dps) = (0.0f64, 0.0f64);
+        let mut captured = None;
+        for _ in 0..reps {
+            let (t, bits_off) = flood_hypercube_soa(dim);
+            off_dps = off_dps.max(t.deliveries_per_sec());
+            let (t, bits, data) = flood_hypercube_soa_timed(dim);
+            on_dps = on_dps.max(t.deliveries_per_sec());
+            captured = Some((t.deliveries, bits, bits_off, data));
+        }
+        let (deliveries, bits, bits_off, data) = captured.expect("at least one rep ran");
+        assert_eq!(bits, bits_off, "the timeline must not change simulated behavior");
+        let round_spans = data.spans.iter().filter(|s| s.kind == SpanKind::Round).count() as u64;
+        self.exact.insert("exact.timeline.round_spans".into(), round_spans);
+        self.exact.insert("exact.timeline.deliveries".into(), deliveries);
+        self.exact.insert("exact.timeline.bits".into(), bits);
+        self.exact.insert("exact.timeline.dropped_spans".into(), data.dropped_spans);
+        self.perf.insert(
+            "perf.timeline.recorded_ratio".into(),
             if off_dps > 0.0 { on_dps / off_dps } else { 0.0 },
         );
     }
@@ -890,6 +945,14 @@ mod tests {
         assert!(s.exact["exact.telemetry.flight_events"] > 0);
         assert!(s.exact["exact.telemetry.flight_rounds"] > 0);
         assert!(s.perf["perf.telemetry.recorded_ratio"] > 0.0);
+        // The timeline profiler is a pure observer: the instrumented run
+        // reproduces the bare run's meters bit for bit, records exactly
+        // one Round span per simulated round, and evicts nothing.
+        assert_eq!(s.exact["exact.timeline.deliveries"], s.exact["exact.e6.deliveries"]);
+        assert_eq!(s.exact["exact.timeline.bits"], s.exact["exact.e6.total_bits"]);
+        assert_eq!(s.exact["exact.timeline.round_spans"], s.exact["exact.telemetry.rounds"]);
+        assert_eq!(s.exact["exact.timeline.dropped_spans"], 0);
+        assert!(s.perf["perf.timeline.recorded_ratio"] > 0.0);
         // The instrumented runner ran the same trial set as the plain one.
         assert_eq!(s.exact["exact.runner.telemetry_trials"], s.exact["exact.runner.trials"]);
         assert!(s.perf["perf.runner.telemetry_ratio"] > 0.0);

@@ -16,9 +16,14 @@
 //! ftagg-cli bounds --n 1024 --f 128 --b 42
 //! ```
 
-#![forbid(unsafe_code)]
+// The optional counting allocator is the crate's single unsafe item
+// (`unsafe impl GlobalAlloc`); every other configuration keeps the
+// blanket ban.
+#![cfg_attr(not(feature = "alloc-telemetry"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-telemetry", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc_meter;
 pub mod spec;
 
 use caaf::Caaf;
@@ -55,7 +60,7 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut it = raw.into_iter().peekable();
         let command = it.next().ok_or(
-            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds | mine | top | telemetry | trend)",
+            "missing subcommand (run | topo | trace | sweep | report | explain | diff | radar | bench | bounds | mine | top | telemetry | timeline | trend)",
         )?;
         // `bench` and `telemetry` take one sub-action positional
         // (`bench snapshot | compare`, `telemetry export`).
@@ -155,6 +160,7 @@ pub fn dispatch_full(args: &Args) -> Result<CmdOutput, String> {
         "mine" => cmd_mine(args),
         "top" => cmd_top(args).map(CmdOutput::ok),
         "telemetry" => cmd_telemetry(args).map(CmdOutput::ok),
+        "timeline" => cmd_timeline(args),
         "trend" => cmd_trend(args),
         "help" | "--help" | "-h" => Ok(CmdOutput::ok(USAGE.to_string())),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
@@ -246,6 +252,22 @@ commands:
   telemetry  export the telemetry registry of one instrumented run
           telemetry export [--format prom|json] [--out PATH]
           (run options as top: --topology --engine --c --t --seed --crash)
+  timeline  wall-clock profiler: run the instrumented AGG+VERI pair
+          workload (or replay a saved trace) under a span timeline and
+          export Chrome Trace Event JSON for Perfetto / chrome://tracing
+          live:  --trials K --threads T (per-worker lanes; trial spans
+                 wrap round ▸ stage spans; counter tracks: bits/round,
+                 messages/round, in-flight, rss_mb, heap with the
+                 alloc-telemetry feature; --flows yes adds sampled
+                 send->deliver arrows at per-delivery tracing cost)
+                 (run options as top: --topology --engine --c --t
+                 --seed --crash)
+          file:  --input TRACE.jsonl (synthetic 1us-per-event timebase)
+          check: --validate PATH [--min-spans N] [--min-counters N]
+                 [--min-lanes N] (structural + coverage gate, exits 1
+                 on a malformed or under-covered trace)
+          --out PATH (default timeline.trace.json)
+          --top K (self-time table)  --cap N (span ring capacity)
   trend   chart per-fingerprint metric series over the run ledger plus
           every BENCH_*.json in a directory, and run a sliding-window
           mean-shift changepoint detector per metric; perf.* downshifts
@@ -445,11 +467,17 @@ struct ObservedRun {
     rounds: netsim::Round,
 }
 
+/// How often the timeline's process-wide counter tracks (RSS, heap)
+/// are sampled, in rounds. The per-round tracks (bits, deliveries,
+/// in-flight) are exact.
+const TIMELINE_PROC_SAMPLE_ROUNDS: u64 = 64;
+
 fn run_observed_pair(
     args: &Args,
     flight_rounds: usize,
     flight_out: Option<&std::path::Path>,
     extra: Option<Box<dyn FnMut(netsim::RoundFlow)>>,
+    timeline: Option<(&netsim::Timeline, u32)>,
 ) -> Result<ObservedRun, String> {
     use caaf::Sum;
     use ftagg::msg::Envelope;
@@ -483,12 +511,34 @@ fn run_observed_pair(
     let hub = Arc::new(netsim::TelemetryHub::new());
     let mut obs = netsim::round_observer(&hub);
     let mut extra = extra;
+    // With a timeline installed, every round feeds the exact counter
+    // tracks and (every TIMELINE_PROC_SAMPLE_ROUNDS rounds) the
+    // process-wide RSS/heap samples. One branch per round otherwise.
+    let tl_counters = timeline.map(|(tl, _)| tl.clone());
+    let mut proc_tick: u64 = 0;
     eng.stream_rounds(move |flow| {
         obs(flow);
+        if let Some(tl) = &tl_counters {
+            tl.counter("bits/round", flow.bits as f64);
+            tl.counter("messages/round", flow.logical as f64);
+            tl.counter("in-flight", flow.deliveries as f64);
+            if proc_tick.is_multiple_of(TIMELINE_PROC_SAMPLE_ROUNDS) {
+                if let Some(mb) = ftagg_bench::ledger::current_rss_mb() {
+                    tl.counter("rss_mb", mb);
+                }
+                if let Some(mb) = crate::alloc_meter::live_mb() {
+                    tl.counter("heap_live_mb", mb);
+                }
+            }
+            proc_tick += 1;
+        }
         if let Some(cb) = extra.as_mut() {
             cb(flow);
         }
     });
+    if let Some((tl, lane)) = timeline {
+        eng.set_timeline(tl, lane);
+    }
     let flight = if flight_rounds > 0 {
         let rec = netsim::FlightRecorder::new(flight_rounds).without_delivers();
         let handle = rec.handle();
@@ -497,15 +547,30 @@ fn run_observed_pair(
         }
         eng.set_sink(Box::new(rec));
         Some(handle)
+    } else if let (Some((tl, lane)), true) = (timeline, args.get("flows").is_some()) {
+        // `--flows yes` and no flight recorder competing for the sink
+        // slot: sample causal send→deliver flows into the timeline
+        // (rendered as arrows between rounds in the Perfetto view).
+        // Opt-in because any sink turns on the engine's per-delivery
+        // event path, which the span profiler otherwise leaves cold.
+        let seed: u64 = args.num("seed", 0)?;
+        eng.set_sink(Box::new(netsim::TimelineFlowSink::new(tl.clone(), lane, 64, seed)));
+        None
     } else {
         None
     };
     eng.enter_phase("AGG");
     eng.run(params.agg_rounds());
     eng.exit_phase();
+    if let Some(mb) = crate::alloc_meter::live_mb() {
+        hub.gauge("alloc_live_mb_after_agg").set(mb.round().max(0.0) as u64);
+    }
     eng.enter_phase("VERI");
     eng.run(params.total_rounds());
     eng.exit_phase();
+    if let Some(mb) = crate::alloc_meter::peak_mb() {
+        hub.gauge("alloc_peak_mb").set(mb.round().max(0.0) as u64);
+    }
     Ok(ObservedRun { hub, flight, n, rounds: eng.round() })
 }
 
@@ -548,7 +613,7 @@ fn cmd_top(args: &Args) -> Result<String, String> {
             );
         }
     });
-    let run = run_observed_pair(args, ring, flight_out.as_deref(), Some(live))?;
+    let run = run_observed_pair(args, ring, flight_out.as_deref(), Some(live), None)?;
     eprintln!();
 
     let hub = &run.hub;
@@ -620,7 +685,8 @@ fn top_trials(args: &Args) -> Result<String, String> {
     let threads: usize = args.num("threads", 0)?;
     let seeds: Vec<u64> = (0..trials).collect();
     let runner = netsim::Runner::new(threads);
-    let (runs, tele) = runner.run_instrumented(&seeds, |_s| run_observed_pair(args, 0, None, None));
+    let (runs, tele) =
+        runner.run_instrumented(&seeds, |_s| run_observed_pair(args, 0, None, None, None));
     let total = netsim::TelemetryHub::new();
     let (mut n, mut rounds): (usize, netsim::Round) = (0, 0);
     for run in runs {
@@ -666,7 +732,7 @@ fn cmd_telemetry(args: &Args) -> Result<String, String> {
     match args.sub.as_deref() {
         Some("export") => {
             let format = args.get("format").unwrap_or("prom");
-            let run = run_observed_pair(args, 0, None, None)?;
+            let run = run_observed_pair(args, 0, None, None, None)?;
             let text = match format {
                 "prom" | "prometheus" => run.hub.render_prometheus(),
                 "json" => run.hub.render_json(),
@@ -683,6 +749,266 @@ fn cmd_telemetry(args: &Args) -> Result<String, String> {
         }
         other => Err(format!("telemetry needs a sub-action: export (got {other:?})\n{USAGE}")),
     }
+}
+
+/// `timeline` — the wall-clock profiler driver. Three modes:
+///
+/// - **live** (default): run `--trials` copies of the instrumented
+///   AGG+VERI pair workload through the work-stealing runner with a
+///   [`netsim::Timeline`] installed — trial spans on per-worker lanes,
+///   round/stage/phase spans nested inside, counter tracks (bits,
+///   messages, in-flight, RSS, heap when `alloc-telemetry` is on) and
+///   sampled send→deliver flow arrows — then export Chrome Trace Event
+///   JSON to `--out` (open in Perfetto / `chrome://tracing`).
+/// - **replay** (`--input TRACE.jsonl`): rebuild the same view from a
+///   saved event log on a synthetic 1 µs-per-event timebase.
+/// - **validate** (`--validate PATH`): structurally check an exported
+///   `.trace.json` and enforce `--min-spans/--min-counters/--min-lanes`
+///   coverage floors; exits 1 when the file fails — the CI gate.
+///
+/// `--top K` appends a self-time table (wall time inside a span but
+/// outside its direct children), the flame-graph view in text form.
+fn cmd_timeline(args: &Args) -> Result<CmdOutput, String> {
+    use std::fmt::Write as _;
+    if let Some(path) = args.get("validate") {
+        return timeline_validate(args, path);
+    }
+    let t0 = std::time::Instant::now();
+    let top_k: usize = args.num("top", 0)?;
+    let cap: usize = args.num("cap", 1usize << 18)?;
+    let out_path =
+        args.get("out").map(str::to_string).unwrap_or_else(|| "timeline.trace.json".into());
+    let tl = netsim::Timeline::with_capacity(cap);
+    tl.name_lane(0, "main");
+
+    let mut out = String::new();
+    let (process_name, hub) = if let Some(input) = args.get("input") {
+        let file = std::fs::File::open(input)
+            .map_err(|e| format!("cannot open --input '{input}': {e}"))?;
+        let trace = netsim::Trace::from_jsonl(std::io::BufReader::new(file))
+            .map_err(|e| format!("parsing '{input}': {e}"))?;
+        replay_trace_into_timeline(&trace, &tl);
+        let _ = writeln!(
+            out,
+            "timeline: replayed {} saved events from {input} (synthetic 1us-per-event timebase)",
+            trace.events().len()
+        );
+        (format!("ftagg replay {input}"), None)
+    } else {
+        let trials: u64 = args.num("trials", 1)?;
+        if trials == 0 {
+            return Err("need --trials >= 1".into());
+        }
+        let threads: usize = args.num("threads", 0)?;
+        let run_t0 = tl.now_ns();
+        let seeds: Vec<u64> = (0..trials).collect();
+        let (runs, tele) = netsim::Runner::new(threads).run_instrumented_timeline(
+            &seeds,
+            |_s, lane| run_observed_pair(args, 0, None, None, Some((&tl, lane))),
+            &tl,
+        );
+        let total = netsim::TelemetryHub::new();
+        let (mut n, mut rounds): (usize, netsim::Round) = (0, 0);
+        for run in runs {
+            let run = run?;
+            total.merge_from(&run.hub);
+            n = run.n;
+            rounds = run.rounds;
+        }
+        tl.record_span(
+            netsim::SpanKind::Run,
+            "AGG+VERI pair fleet",
+            0,
+            run_t0,
+            tl.now_ns().saturating_sub(run_t0),
+            Some(trials),
+        );
+        let _ = writeln!(
+            out,
+            "timeline: {trials} AGG+VERI pair trial(s) over {n} nodes, {rounds} rounds each, \
+             {} worker(s)",
+            tele.workers.len()
+        );
+        (format!("ftagg {}", args.get("topology").unwrap_or("grid:16x16")), Some(total))
+    };
+
+    let data = tl.snapshot();
+    let json = netsim::chrome_trace_json(&data, &process_name);
+    std::fs::write(&out_path, &json)
+        .map_err(|e| format!("cannot write trace file '{out_path}': {e}"))?;
+    let tracks: std::collections::BTreeSet<&str> =
+        data.counters.iter().map(|c| c.track.as_str()).collect();
+    let lanes: std::collections::BTreeSet<u32> = data.spans.iter().map(|s| s.lane).collect();
+    let _ = writeln!(
+        out,
+        "wrote {out_path}: {} spans on {} lane(s), {} counter samples on {} track(s), \
+         {} flow endpoint(s)",
+        data.spans.len(),
+        lanes.len(),
+        data.counters.len(),
+        tracks.len(),
+        data.flows.len(),
+    );
+    if data.dropped_spans > 0 || data.dropped_counters > 0 {
+        let _ = writeln!(
+            out,
+            "ring overflow: {} span(s), {} counter sample(s) evicted oldest-first \
+             (raise --cap, currently {cap})",
+            data.dropped_spans, data.dropped_counters,
+        );
+    }
+    if top_k > 0 {
+        let rows = netsim::self_time(&data);
+        out.push_str("\nself time (wall time outside direct children):\n");
+        out.push_str(&ftagg_bench::chart::self_time_table(&rows, top_k).render());
+    }
+    if let (Some(hub), Some(path)) = (&hub, ledger_path(args)) {
+        let mut rec = ftagg_bench::ledger::LedgerRecord::new("timeline");
+        rec.metric("timeline_spans", data.spans.len() as f64)
+            .metric("timeline_dropped_spans", data.dropped_spans as f64)
+            .record_hub(hub)
+            .record_resources(t0.elapsed());
+        if let Some(mb) = alloc_meter::peak_mb() {
+            rec.metric("alloc_peak_mb", mb);
+        }
+        ftagg_bench::ledger::append_soft(&path, &rec);
+    }
+    Ok(CmdOutput::ok(out))
+}
+
+/// `timeline --validate PATH`: parse + structurally check a Chrome
+/// trace JSON export, then enforce the coverage floors. Structural or
+/// coverage failures exit 1 (the report says why); only IO errors take
+/// the usage path.
+fn timeline_validate(args: &Args, path: &str) -> Result<CmdOutput, String> {
+    use std::fmt::Write as _;
+    let min_spans: usize = args.num("min-spans", 1)?;
+    let min_counters: usize = args.num("min-counters", 0)?;
+    let min_lanes: usize = args.num("min-lanes", 0)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read --validate '{path}': {e}"))?;
+    let check = match netsim::validate_chrome_trace(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            return Ok(CmdOutput { text: format!("INVALID Chrome trace '{path}': {e}\n"), code: 1 })
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "valid Chrome trace: {} events ({} duration spans on {} lane(s), {} counter track(s), \
+         {} completed flow(s))",
+        check.events,
+        check.duration_events,
+        check.lanes.len(),
+        check.counter_tracks.len(),
+        check.flows,
+    );
+    let _ = writeln!(out, "categories: {}", check.categories.join(", "));
+    let _ = writeln!(out, "counter tracks: {}", check.counter_tracks.join(", "));
+    let mut problems = Vec::new();
+    if check.duration_events < min_spans {
+        problems
+            .push(format!("{} duration spans < --min-spans {min_spans}", check.duration_events));
+    }
+    if check.counter_tracks.len() < min_counters {
+        problems.push(format!(
+            "{} counter tracks < --min-counters {min_counters}",
+            check.counter_tracks.len()
+        ));
+    }
+    if check.lanes.len() < min_lanes {
+        problems.push(format!("{} lanes < --min-lanes {min_lanes}", check.lanes.len()));
+    }
+    if problems.is_empty() {
+        Ok(CmdOutput::ok(out))
+    } else {
+        for p in &problems {
+            let _ = writeln!(out, "COVERAGE FAILED: {p}");
+        }
+        Ok(CmdOutput { text: out, code: 1 })
+    }
+}
+
+/// Rebuilds a timeline from a saved JSONL event log on a synthetic
+/// timebase (each event advances the clock 1 µs): round spans with
+/// per-stage children (deliveries → absorb, broadcasts → send, crashes
+/// and decisions → inbox-scatter), phase spans from the harness
+/// markers, exact bits/deliveries counter tracks, and sampled
+/// send→deliver flow arrows. Positions are synthetic; event counts,
+/// per-round volumes and causal arrows are the trace's own.
+fn replay_trace_into_timeline(trace: &netsim::Trace, tl: &netsim::Timeline) {
+    use netsim::timeline::{STAGES, STAGE_ABSORB, STAGE_SCATTER, STAGE_SEND};
+    use netsim::{Event, SpanKind};
+    const EVENT_NS: u64 = 1_000;
+    const FLOW_SAMPLE: u64 = 8;
+    const FLOW_CAP: usize = 4096;
+    tl.name_lane(0, "trace");
+    let events = trace.events();
+    let mut cursor: u64 = 0;
+    let run_start = cursor;
+    let mut open_phases: Vec<(String, u64)> = Vec::new();
+    let mut send_at: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut i = 0;
+    while i < events.len() {
+        let round = events[i].round();
+        let round_start = cursor;
+        let mut stage_ns = [0u64; 5];
+        let (mut bits, mut delivers) = (0u64, 0u64);
+        let mut j = i;
+        while j < events.len() && events[j].round() == round {
+            match &events[j] {
+                Event::Deliver { src, .. } => {
+                    stage_ns[STAGE_ABSORB] += EVENT_NS;
+                    delivers += 1;
+                    if let Some(s_ns) = send_at.remove(&src.0) {
+                        tl.flow_at(src.0, 0, s_ns, true);
+                        tl.flow_at(src.0, 0, cursor, false);
+                    }
+                }
+                Event::Send { bits: b, id, .. } => {
+                    stage_ns[STAGE_SEND] += EVENT_NS;
+                    bits += b;
+                    if id.0 != 0 && id.0 % FLOW_SAMPLE == 0 && send_at.len() < FLOW_CAP {
+                        send_at.insert(id.0, cursor);
+                    }
+                }
+                Event::Crash { .. } | Event::Decide { .. } => {
+                    stage_ns[STAGE_SCATTER] += EVENT_NS;
+                }
+                Event::PhaseEnter { label, .. } => open_phases.push((label.clone(), cursor)),
+                Event::PhaseExit { .. } => {
+                    if let Some((label, p0)) = open_phases.pop() {
+                        tl.record_span(
+                            SpanKind::Phase,
+                            &label,
+                            0,
+                            p0,
+                            cursor.saturating_sub(p0).max(EVENT_NS),
+                            None,
+                        );
+                    }
+                }
+            }
+            cursor += EVENT_NS;
+            j += 1;
+        }
+        tl.record_span(SpanKind::Round, "round", 0, round_start, cursor - round_start, Some(round));
+        let mut pos = round_start;
+        for (st, &ns) in stage_ns.iter().enumerate() {
+            if ns > 0 {
+                tl.record_span(SpanKind::Stage, STAGES[st], 0, pos, ns, None);
+                pos += ns;
+            }
+        }
+        tl.counter_at("bits/round", cursor, bits as f64);
+        tl.counter_at("deliveries/round", cursor, delivers as f64);
+        i = j;
+    }
+    for (label, p0) in open_phases.into_iter().rev() {
+        tl.record_span(SpanKind::Phase, &label, 0, p0, cursor.saturating_sub(p0), None);
+    }
+    tl.record_span(SpanKind::Run, "trace replay", 0, run_start, cursor, None);
 }
 
 /// The `report --sampled K` section: replay the trace's events through a
@@ -1000,6 +1326,9 @@ fn report_from_jsonl(args: &Args, path: &str, top: usize) -> Result<CmdOutput, S
 
     if args.get("sampled").is_some() {
         let k: u64 = args.num("sampled", 16)?;
+        if k == 0 {
+            return Err("need --sampled >= 1 (1-in-K node sampling)".into());
+        }
         let seed: u64 = args.num("seed", 0)?;
         out.push_str(&sampled_section(trace.events(), k, seed));
     }
@@ -1074,6 +1403,9 @@ fn report_live(args: &Args, top: usize) -> Result<CmdOutput, String> {
     let trials: u64 = args.num("trials", 16)?;
     if trials == 0 {
         return Err("need --trials >= 1".into());
+    }
+    if args.get("sampled").is_some() && args.num::<u64>("sampled", 16)? == 0 {
+        return Err("need --sampled >= 1 (1-in-K node sampling)".into());
     }
     let threads: usize = args.num("threads", 1)?;
     let engine = netsim::EngineKind::parse(args.get("engine").unwrap_or("classic"))?;
@@ -1533,13 +1865,35 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
     // run-ledger record; the `--progress` line gains p50/p99 trial
     // latency and a straggler flag from the same instruments.
     let runner = netsim::Runner::new(threads);
-    let (rows, tele) = if args.get("progress").is_some() {
-        runner.run_progress_instrumented(&points_idx, point, &netsim::ConsoleProgress::new())
-    } else {
-        runner.run_instrumented(&points_idx, point)
+    // `--timeline PATH` profiles the sweep itself: one Trial span per
+    // point on the executing worker's lane, exported as Chrome trace
+    // JSON. The rows stay byte-identical either way.
+    let tl = args.get("timeline").map(|_| netsim::Timeline::new());
+    let progress = args.get("progress").is_some();
+    let (rows, tele) = match (&tl, progress) {
+        (Some(tl), true) => runner.run_progress_instrumented_timeline(
+            &points_idx,
+            |i, _lane| point(i),
+            &netsim::ConsoleProgress::new(),
+            tl,
+        ),
+        (Some(tl), false) => runner.run_instrumented_timeline(&points_idx, |i, _lane| point(i), tl),
+        (None, true) => {
+            runner.run_progress_instrumented(&points_idx, point, &netsim::ConsoleProgress::new())
+        }
+        (None, false) => runner.run_instrumented(&points_idx, point),
     };
     for row in rows {
         out.push_str(&row);
+    }
+    if let (Some(tl), Some(path)) = (&tl, args.get("timeline")) {
+        tl.name_lane(0, "main");
+        tl.record_span(netsim::SpanKind::Run, "sweep", 0, 0, tl.now_ns(), Some(u64::from(points)));
+        let data = tl.snapshot();
+        let json = netsim::chrome_trace_json(&data, &format!("ftagg sweep {topo_spec}"));
+        std::fs::write(path, &json)
+            .map_err(|e| format!("cannot write timeline file '{path}': {e}"))?;
+        let _ = writeln!(out, "wrote sweep timeline ({} spans) to {path}", data.spans.len());
     }
     if let Some(path) = ledger_path(args) {
         let mut rec = ftagg_bench::ledger::LedgerRecord::new("sweep");
@@ -1686,9 +2040,32 @@ fn cmd_mine(args: &Args) -> Result<CmdOutput, String> {
     }
 
     let show_progress = args.get("progress") == Some("yes");
+    // `--timeline PATH` profiles the search: one span per mutation
+    // iteration plus best/evaluations counter tracks, exported as
+    // Chrome trace JSON after the run (stdout stays pure JSON).
+    let tl = args.get("timeline").map(|_| netsim::Timeline::new());
+    let tl_cb = tl.clone();
+    let mut iter_started = tl.as_ref().map_or(0, netsim::Timeline::now_ns);
     let mut last: Option<std::time::Instant> = None;
     let total_iters = cfg.iterations;
     let mut progress_cb = move |p: &MineProgress| {
+        if let Some(t) = &tl_cb {
+            let now = t.now_ns();
+            t.record_span(
+                netsim::SpanKind::Trial,
+                "iteration",
+                0,
+                iter_started,
+                now.saturating_sub(iter_started),
+                Some(p.iteration as u64),
+            );
+            iter_started = now;
+            t.counter("best", p.best as f64);
+            t.counter("evaluations", p.evaluations as f64);
+        }
+        if !show_progress {
+            return;
+        }
         let due = last.is_none_or(|t| t.elapsed().as_millis() >= 200);
         if due || p.iteration == p.iterations {
             last = Some(std::time::Instant::now());
@@ -1702,7 +2079,7 @@ fn cmd_mine(args: &Args) -> Result<CmdOutput, String> {
         }
     };
     let progress: Option<&mut dyn FnMut(&MineProgress)> =
-        if show_progress { Some(&mut progress_cb) } else { None };
+        if show_progress || tl.is_some() { Some(&mut progress_cb) } else { None };
 
     let name = args.get("name").unwrap_or("mined").to_string();
     macro_rules! with_op {
@@ -1721,6 +2098,25 @@ fn cmd_mine(args: &Args) -> Result<CmdOutput, String> {
         OpSpec::ModSum(o) => with_op!(&o),
     };
     let r = &outcome.result;
+
+    if let (Some(tl), Some(path)) = (&tl, args.get("timeline")) {
+        tl.name_lane(0, "search");
+        tl.record_span(
+            netsim::SpanKind::Run,
+            "mine",
+            0,
+            0,
+            tl.now_ns(),
+            Some(cfg.iterations as u64),
+        );
+        let data = tl.snapshot();
+        let json = netsim::chrome_trace_json(&data, "ftagg mine");
+        std::fs::write(path, &json)
+            .map_err(|e| format!("cannot write timeline file '{path}': {e}"))?;
+        // Stdout is the machine-readable mine JSON; the note goes to
+        // stderr like the progress line.
+        eprintln!("wrote mine timeline ({} spans) to {path}", data.spans.len());
+    }
 
     let corpus_path = match args.get("corpus-out") {
         None => None,

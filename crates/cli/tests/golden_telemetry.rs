@@ -1,28 +1,41 @@
-//! Golden snapshot of `ftagg-cli telemetry export` (Prometheus format) on
-//! the default observed AGG+VERI pair — byte for byte — plus a lint that
-//! every exported metric name is a legal Prometheus identifier.
+//! Golden snapshots of `ftagg-cli telemetry export` on the default
+//! observed AGG+VERI pair — byte for byte in both formats — plus a lint
+//! that every exported metric name is a legal Prometheus identifier.
 //!
 //! Any drift here means the telemetry surface changed observably: a
 //! metric was added, renamed, retyped, or its value moved. If the change
-//! is intentional, regenerate the fixture from the `crates/cli`
+//! is intentional, regenerate the fixtures from the `crates/cli`
 //! directory:
 //!
 //! ```text
 //! cargo run -p ftagg-cli -- telemetry export --ledger off \
 //!     > tests/fixtures/golden_telemetry_prom.txt
+//! cargo run -p ftagg-cli -- telemetry export --format json --ledger off \
+//!     > tests/fixtures/golden_telemetry_json.txt
 //! ```
 
 use ftagg_cli::{dispatch_full, Args};
 
 const GOLDEN: &str = include_str!("fixtures/golden_telemetry_prom.txt");
+#[cfg(not(feature = "alloc-telemetry"))]
+const GOLDEN_JSON: &str = include_str!("fixtures/golden_telemetry_json.txt");
 
-fn export_prom() -> ftagg_cli::CmdOutput {
-    let args =
-        Args::parse(["telemetry", "export", "--ledger", "off"].into_iter().map(String::from))
-            .expect("valid args");
+fn export(extra: &[&str]) -> ftagg_cli::CmdOutput {
+    let argv = ["telemetry", "export", "--ledger", "off"]
+        .into_iter()
+        .chain(extra.iter().copied())
+        .map(String::from);
+    let args = Args::parse(argv).expect("valid args");
     dispatch_full(&args).expect("the default observed pair runs")
 }
 
+fn export_prom() -> ftagg_cli::CmdOutput {
+    export(&[])
+}
+
+// The alloc-telemetry feature adds `alloc_*` gauges to the registry, so
+// the byte-for-byte pin only holds on the default build.
+#[cfg(not(feature = "alloc-telemetry"))]
 #[test]
 fn prometheus_export_matches_the_pinned_fixture() {
     let out = export_prom();
@@ -32,6 +45,31 @@ fn prometheus_export_matches_the_pinned_fixture() {
         "telemetry export drifted from the golden fixture — if intentional, \
          regenerate it (see this file's header)"
     );
+}
+
+// The alloc-telemetry feature adds `alloc_*` gauges to the registry, so
+// the byte-for-byte pin only holds on the default build.
+#[cfg(not(feature = "alloc-telemetry"))]
+#[test]
+fn json_export_matches_the_pinned_fixture() {
+    let out = export(&["--format", "json"]);
+    assert_eq!(out.code, 0, "{}", out.text);
+    assert_eq!(
+        out.text, GOLDEN_JSON,
+        "telemetry export --format json drifted from the golden fixture — if intentional, \
+         regenerate it (see this file's header)"
+    );
+    // The fixture is one well-formed JSON object carrying all three
+    // instrument families; pin the shape, not just the bytes.
+    let line = GOLDEN_JSON.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line:?}");
+    assert_eq!(line.lines().count(), 1, "the export is one scrape-friendly line");
+    for family in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(line.contains(family), "fixture lost the {family} family");
+    }
+    for needle in ["\"engine_bits_total\"", "\"engine_inflight_peak\"", "\"engine_round_bits\""] {
+        assert!(line.contains(needle), "fixture lost {needle}");
+    }
 }
 
 #[test]

@@ -499,6 +499,10 @@ pub struct Engine<M: Message, L: NodeLogic<M>> {
     /// installed so the `sink.is_some() && deliver_interest` guards
     /// reduce to the plain one-branch sink check.
     deliver_interest: bool,
+    /// Wall-clock profiler handle and the lane to record on, if a
+    /// timeline is installed (see [`Engine::set_timeline`]); `None`
+    /// keeps the hot path at one branch per round.
+    timeline: Option<(crate::timeline::Timeline, u32)>,
 }
 
 impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
@@ -551,7 +555,20 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             kind_acc: Vec::new(),
             round_stream: None,
             deliver_interest: true,
+            timeline: None,
         }
+    }
+
+    /// Installs a wall-clock [`crate::timeline::Timeline`]: each round
+    /// emits one round span plus per-stage children (inbox-scatter,
+    /// absorb, send, trace-encode, telemetry) and each closed phase a
+    /// phase span, all on `lane`. Purely observational — simulated
+    /// outcomes, metrics, and events are bit-identical with or without
+    /// a timeline; without one the engine pays a single `Option` test
+    /// per round.
+    pub fn set_timeline(&mut self, tl: &crate::timeline::Timeline, lane: u32) -> &mut Self {
+        self.timeline = Some((tl.clone(), lane));
+        self
     }
 
     /// Switches to lean [`Metrics`] (no per-round ledger), matching the
@@ -635,6 +652,17 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         let round = self.round;
         let (label, end) = self.metrics.exit_phase_at(round)?;
         if let Some((started_label, t0)) = self.phase_started.pop() {
+            if let Some((tl, lane)) = &self.timeline {
+                let dur = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                tl.record_span(
+                    crate::timeline::SpanKind::Phase,
+                    &started_label,
+                    *lane,
+                    tl.ns_of(t0),
+                    dur,
+                    None,
+                );
+            }
             self.telemetry.phase_wall.push((started_label, t0.elapsed()));
         }
         self.annotate(Event::PhaseExit { round: end, label: label.clone() });
@@ -686,6 +714,11 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         }
         let r = self.round + 1;
         let n = self.graph.len();
+        // One `Option` test per round when no timeline is installed;
+        // with one, the chained clock attributes every segment of the
+        // round to a stage (a handful of reads per round, or per live
+        // node when a sink is also installed — see `fine` below).
+        let mut clock = self.timeline.as_ref().map(|(t, _)| t.round_clock());
         // Flip the double buffer: last round's deliveries become this
         // round's input; the other half is cleared in place for refilling.
         std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
@@ -695,6 +728,10 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
         std::mem::swap(&mut self.src_ids, &mut self.next_src_ids);
         for q in &mut self.next_src_ids {
             q.clear();
+        }
+        if let Some(c) = clock.as_mut() {
+            // Inbox buffer management is scatter-side work.
+            c.mark(crate::timeline::STAGE_SCATTER);
         }
         let mut stop = false;
         // Split-borrow the engine so a node's inbox, its logic, and the
@@ -721,12 +758,20 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
             next_src_ids,
             round_stream,
             deliver_interest,
+            timeline,
             ..
         } = self;
         // `tracing` gates only the per-delivery work (Deliver events and
         // the src-id side channel); sends/crashes/phases still reach a
         // sink that declined deliveries.
         let tracing = sink.is_some() && *deliver_interest;
+        // Stage attribution granularity: with a sink installed the loop
+        // already pays per-event encoding costs, so per-node clock reads
+        // disappear into them and buy exact trace/absorb/send/scatter
+        // splits. Without a sink the whole node loop is charged to
+        // `absorb` in one read — per-node reads would dominate idle
+        // nodes on large graphs and sink the <5% overhead budget.
+        let fine = clock.is_some() && sink.is_some();
         metrics.note_round(r);
         telemetry.rounds += 1;
         let mut enqueued: u64 = 0;
@@ -763,6 +808,11 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                         src: src_ids[i].get(j).copied().unwrap_or(EventId::NONE),
                     });
                 }
+                if fine {
+                    if let Some(c) = clock.as_mut() {
+                        c.mark(crate::timeline::STAGE_TRACE);
+                    }
+                }
             }
             outbox.clear();
             causes.clear();
@@ -778,6 +828,11 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                     &mut *causes,
                 );
                 nodes[i].on_round(&mut ctx);
+            }
+            if fine {
+                if let Some(c) = clock.as_mut() {
+                    c.mark(crate::timeline::STAGE_ABSORB);
+                }
             }
             if outbox.is_empty() {
                 continue;
@@ -820,6 +875,11 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                     });
                 }
             }
+            if fine {
+                if let Some(c) = clock.as_mut() {
+                    c.mark(crate::timeline::STAGE_SEND);
+                }
+            }
             // Deliveries for round r + 1. A sender crashing exactly at
             // r + 1 may have its final broadcast restricted to a subset.
             let restriction: Option<&[NodeId]> =
@@ -853,6 +913,16 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                 }
                 enqueued += receivers.len() as u64;
             }
+            if fine {
+                if let Some(c) = clock.as_mut() {
+                    c.mark(crate::timeline::STAGE_SCATTER);
+                }
+            }
+        }
+        if !fine {
+            if let Some(c) = clock.as_mut() {
+                c.mark(crate::timeline::STAGE_ABSORB);
+            }
         }
         telemetry.deliveries += enqueued;
         telemetry.peak_inflight = telemetry.peak_inflight.max(enqueued);
@@ -863,6 +933,12 @@ impl<M: Message, L: NodeLogic<M>> Engine<M, L> {
                 logical: round_logical,
                 deliveries: enqueued,
             });
+        }
+        if let Some(mut c) = clock {
+            c.mark(crate::timeline::STAGE_TELEMETRY);
+            if let Some((tl, lane)) = timeline.as_ref() {
+                tl.push_round(r, *lane, c);
+            }
         }
         self.round = r;
         if stop {

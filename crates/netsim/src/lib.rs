@@ -60,6 +60,7 @@ pub mod runner;
 pub mod soa;
 pub mod telemetry;
 pub mod testkit;
+pub mod timeline;
 pub mod topology;
 pub mod trace;
 
@@ -86,6 +87,10 @@ pub use telemetry::{
     is_valid_metric_name, round_observer, Counter, FlightRecorder, FlightRecorderHandle, Gauge,
     HistCell, RecorderStats, Reservoir, SampleFactor, SamplingSink, TeeSink, TeleHist,
     TelemetryHub,
+};
+pub use timeline::{
+    chrome_trace_json, self_time, validate_chrome_trace, CounterSample, FlowPoint, SelfTimeRow,
+    Span, SpanKind, Timeline, TimelineData, TimelineFlowSink, TraceCheck,
 };
 pub use trace::{
     DeltaSink, Event, EventId, JsonlSink, RingSink, Trace, TraceSink, TRACE_SCHEMA_COMPAT_MIN,

@@ -298,10 +298,12 @@ impl RunnerTelemetry {
 }
 
 /// The straggler rule shared by the live progress line and the final
-/// summary: with at least two workers, the worker whose busy time
-/// exceeds twice the mean busy time.
+/// summary: with at least two workers that actually ran trials, the
+/// worker whose busy time exceeds twice the mean busy time. A lone
+/// active worker (peers all at zero) is not a straggler — it has
+/// nobody to lag behind.
 fn straggler_of(busy_micros: &[u64]) -> Option<usize> {
-    if busy_micros.len() < 2 {
+    if busy_micros.len() < 2 || busy_micros.iter().filter(|&&v| v > 0).count() < 2 {
         return None;
     }
     let mean = busy_micros.iter().sum::<u64>() / busy_micros.len() as u64;
@@ -472,7 +474,7 @@ impl Runner {
         T: Send,
         F: Fn(u64) -> T + Sync,
     {
-        self.run_inner(seeds, trial, None, false).0
+        self.run_inner(seeds, |s, _| trial(s), None, false).0
     }
 
     /// [`Runner::run`] with a live [`ProgressSink`] observing trial
@@ -484,7 +486,7 @@ impl Runner {
         T: Send,
         F: Fn(u64) -> T + Sync,
     {
-        self.run_inner(seeds, trial, Some(sink), false).0
+        self.run_inner(seeds, |s, _| trial(s), Some(sink), false).0
     }
 
     /// [`Runner::run`] with per-worker telemetry: each worker owns a
@@ -498,7 +500,7 @@ impl Runner {
         T: Send,
         F: Fn(u64) -> T + Sync,
     {
-        let (results, tele) = self.run_inner(seeds, trial, None, true);
+        let (results, tele) = self.run_inner(seeds, |s, _| trial(s), None, true);
         (results, tele.expect("instrumented run always yields telemetry"))
     }
 
@@ -515,10 +517,86 @@ impl Runner {
         T: Send,
         F: Fn(u64) -> T + Sync,
     {
-        let (results, tele) = self.run_inner(seeds, trial, Some(sink), true);
+        let (results, tele) = self.run_inner(seeds, |s, _| trial(s), Some(sink), true);
         (results, tele.expect("instrumented run always yields telemetry"))
     }
 
+    /// [`Runner::run_instrumented`] with a wall-clock
+    /// [`crate::timeline::Timeline`] recording one `Trial` span per seed
+    /// on the executing worker's lane. Worker `w` owns lane `w + 1`
+    /// (lane 0 is left to the driver's own spans), and the trial closure
+    /// receives that lane so it can forward it to
+    /// [`crate::engine::Engine::set_timeline`] — nested round/stage
+    /// spans then land on the same track as the enclosing trial.
+    pub fn run_instrumented_timeline<T, F>(
+        &self,
+        seeds: &[u64],
+        trial: F,
+        tl: &crate::timeline::Timeline,
+    ) -> (Vec<T>, RunnerTelemetry)
+    where
+        T: Send,
+        F: Fn(u64, u32) -> T + Sync,
+    {
+        let (results, tele) = self.run_inner(seeds, self.timeline_trial(trial, tl), None, true);
+        (results, tele.expect("instrumented run always yields telemetry"))
+    }
+
+    /// [`Runner::run_instrumented_timeline`] with a live
+    /// [`ProgressSink`].
+    pub fn run_progress_instrumented_timeline<T, F>(
+        &self,
+        seeds: &[u64],
+        trial: F,
+        sink: &dyn ProgressSink,
+        tl: &crate::timeline::Timeline,
+    ) -> (Vec<T>, RunnerTelemetry)
+    where
+        T: Send,
+        F: Fn(u64, u32) -> T + Sync,
+    {
+        let (results, tele) =
+            self.run_inner(seeds, self.timeline_trial(trial, tl), Some(sink), true);
+        (results, tele.expect("instrumented run always yields telemetry"))
+    }
+
+    /// Wraps a lane-aware trial closure so each invocation is bracketed
+    /// by a `Trial` span on the executing worker's lane. Also names the
+    /// worker lanes up front so the export carries readable tracks even
+    /// if a worker never claims a seed.
+    fn timeline_trial<'a, T, F>(
+        &self,
+        trial: F,
+        tl: &crate::timeline::Timeline,
+    ) -> impl Fn(u64, usize) -> T + Sync + 'a
+    where
+        T: Send,
+        F: Fn(u64, u32) -> T + Sync + 'a,
+    {
+        for w in 0..self.threads.max(1) {
+            tl.name_lane(w as u32 + 1, &format!("worker {w}"));
+        }
+        let tl = tl.clone();
+        move |seed: u64, worker: usize| {
+            let lane = worker as u32 + 1;
+            let t0 = tl.now_ns();
+            let out = trial(seed, lane);
+            let dur = tl.now_ns().saturating_sub(t0);
+            tl.record_span(
+                crate::timeline::SpanKind::Trial,
+                &format!("seed {seed}"),
+                lane,
+                t0,
+                dur,
+                Some(seed),
+            );
+            out
+        }
+    }
+
+    /// The shared trial loop. `trial` receives `(seed, worker)` — the
+    /// public entry points either discard the worker index or use it to
+    /// route timeline spans onto per-worker lanes.
     fn run_inner<T, F>(
         &self,
         seeds: &[u64],
@@ -528,7 +606,7 @@ impl Runner {
     ) -> (Vec<T>, Option<RunnerTelemetry>)
     where
         T: Send,
-        F: Fn(u64) -> T + Sync,
+        F: Fn(u64, usize) -> T + Sync,
     {
         let total = seeds.len();
         let started = Instant::now();
@@ -563,8 +641,8 @@ impl Runner {
                 .iter()
                 .map(|&s| {
                     let out = match &mut tele {
-                        Some(t) => t.timed(false, || trial(s), live),
-                        None => trial(s),
+                        Some(t) => t.timed(false, || trial(s, 0), live),
+                        None => trial(s, 0),
                     };
                     observe(0);
                     out
@@ -591,8 +669,8 @@ impl Runner {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&seed) = seeds.get(i) else { break };
                             let r = match &mut tele {
-                                Some(t) => t.timed(i % workers != w, || trial(seed), live),
-                                None => trial(seed),
+                                Some(t) => t.timed(i % workers != w, || trial(seed, w), live),
+                                None => trial(seed, w),
                             };
                             out.push((i, r));
                             observe(w);
@@ -1357,6 +1435,27 @@ mod tests {
     }
 
     #[test]
+    fn timeline_run_records_trial_spans_on_worker_lanes() {
+        use crate::timeline::{SpanKind, Timeline};
+        let tl = Timeline::new();
+        let seeds: Vec<u64> = (0..8).collect();
+        let (got, _tele) =
+            Runner::exact(2).run_instrumented_timeline(&seeds, |s, _lane| s * 3, &tl);
+        assert_eq!(got, seeds.iter().map(|s| s * 3).collect::<Vec<_>>());
+        let data = tl.snapshot();
+        let trials: Vec<_> = data.spans.iter().filter(|s| s.kind == SpanKind::Trial).collect();
+        assert_eq!(trials.len(), seeds.len(), "one Trial span per seed");
+        for s in &trials {
+            assert!(s.lane >= 1, "worker lanes start at 1, got {}", s.lane);
+            assert!(s.arg.is_some(), "trial spans carry the seed");
+        }
+        assert_eq!(data.lanes.get(&1).map(String::as_str), Some("worker 0"));
+        assert_eq!(data.lanes.get(&2).map(String::as_str), Some("worker 1"));
+        // Results stay bit-identical to the unobserved run.
+        assert_eq!(got, Runner::exact(2).run(&seeds, |s| s * 3));
+    }
+
+    #[test]
     fn straggler_rule_flags_only_a_dominant_worker() {
         assert_eq!(straggler_of(&[]), None);
         assert_eq!(straggler_of(&[100]), None, "one worker is never a straggler");
@@ -1364,6 +1463,13 @@ mod tests {
         // Worker 1 carries > 2x the mean (mean 200, max 500).
         assert_eq!(straggler_of(&[50, 500, 50]), Some(1));
         assert_eq!(straggler_of(&[0, 0]), None, "no signal before any work");
+        // Regression: a lone active worker used to flag itself (mean
+        // 250 by integer division, 501 > 500) even though its peers
+        // simply had not claimed a trial yet.
+        assert_eq!(straggler_of(&[501, 0]), None, "only one worker did any work");
+        assert_eq!(straggler_of(&[0, 501, 0, 0]), None, "only one worker did any work");
+        // ...but two active workers with a dominant one still flag.
+        assert_eq!(straggler_of(&[0, 900, 100, 0]), Some(1));
     }
 
     #[test]

@@ -128,6 +128,10 @@ pub struct SoaEngine<M: Message, L: NodeLogic<M>> {
     /// refreshed at [`SoaEngine::set_sink`]. `true` while no sink is
     /// installed.
     deliver_interest: bool,
+    /// Wall-clock profiler handle and lane, if installed (see
+    /// [`SoaEngine::set_timeline`]); `None` keeps the hot path at one
+    /// branch per round.
+    timeline: Option<(crate::timeline::Timeline, u32)>,
 }
 
 impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
@@ -183,7 +187,16 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
             kind_acc: Vec::new(),
             round_stream: None,
             deliver_interest: true,
+            timeline: None,
         }
+    }
+
+    /// Installs a wall-clock [`crate::timeline::Timeline`] recording
+    /// round/stage/phase spans on `lane` (see [`Engine::set_timeline`]
+    /// — the semantics are identical).
+    pub fn set_timeline(&mut self, tl: &crate::timeline::Timeline, lane: u32) -> &mut Self {
+        self.timeline = Some((tl.clone(), lane));
+        self
     }
 
     /// Replaces the metrics with a [`Metrics::lean`] instance that skips
@@ -262,6 +275,17 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
         let round = self.round;
         let (label, end) = self.metrics.exit_phase_at(round)?;
         if let Some((started_label, t0)) = self.phase_started.pop() {
+            if let Some((tl, lane)) = &self.timeline {
+                let dur = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                tl.record_span(
+                    crate::timeline::SpanKind::Phase,
+                    &started_label,
+                    *lane,
+                    tl.ns_of(t0),
+                    dur,
+                    None,
+                );
+            }
             self.telemetry.phase_wall.push((started_label, t0.elapsed()));
         }
         self.annotate(Event::PhaseExit { round: end, label: label.clone() });
@@ -314,6 +338,7 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
         let r = self.round + 1;
         let n = self.graph.len();
         let mut stop = false;
+        let mut clock = self.timeline.as_ref().map(|(t, _)| t.round_clock());
         let SoaEngine {
             graph,
             nodes,
@@ -340,17 +365,29 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
             kind_acc,
             round_stream,
             deliver_interest,
+            timeline,
             ..
         } = self;
         // `tracing` gates only the per-delivery work (Deliver events and
         // the src-id column); sends/crashes/phases still reach a sink
         // that declined deliveries.
         let tracing = sink.is_some() && *deliver_interest;
+        // Stage attribution granularity: with a sink installed the loop
+        // already pays per-delivery encoding costs, so per-node clock
+        // reads (2–3 per live node) disappear into them and buy exact
+        // trace/absorb/send splits. Without a sink the whole node loop
+        // is charged to `absorb` in one read — per-node reads would
+        // dominate idle nodes at N = 2²⁰ and sink the <5% overhead
+        // budget.
+        let fine = clock.is_some() && sink.is_some();
         metrics.note_round(r);
         telemetry.rounds += 1;
         sends.clear();
         pend_arena.clear();
         pend_src.clear();
+        if let Some(c) = clock.as_mut() {
+            c.mark(crate::timeline::STAGE_SCATTER);
+        }
         let mut round_bits: u64 = 0;
         let mut round_logical: u64 = 0;
         for i in 0..n {
@@ -386,6 +423,11 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
                         src: cur_src.get(j).copied().unwrap_or(EventId::NONE),
                     });
                 }
+                if fine {
+                    if let Some(c) = clock.as_mut() {
+                        c.mark(crate::timeline::STAGE_TRACE);
+                    }
+                }
             }
             outbox.clear();
             causes.clear();
@@ -405,6 +447,11 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
                     &mut *causes,
                 );
                 nodes[i].on_round(&mut ctx);
+            }
+            if fine {
+                if let Some(c) = clock.as_mut() {
+                    c.mark(crate::timeline::STAGE_ABSORB);
+                }
             }
             if outbox.is_empty() {
                 continue;
@@ -461,6 +508,16 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
                 }
             }
             sends.push(SendRec { sender: i as u32, lo: win_lo, hi: win_hi });
+            if fine {
+                if let Some(c) = clock.as_mut() {
+                    c.mark(crate::timeline::STAGE_SEND);
+                }
+            }
+        }
+        if !fine {
+            if let Some(c) = clock.as_mut() {
+                c.mark(crate::timeline::STAGE_ABSORB);
+            }
         }
         // ---- Delivery build: counting-sort scatter into the (now dead)
         // consumed CSR, giving next round's inboxes in O(N + deliveries).
@@ -545,6 +602,9 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
         // The round's payloads become next round's arena; the old arena's
         // allocation is recycled for the round after.
         std::mem::swap(cur_arena, pend_arena);
+        if let Some(c) = clock.as_mut() {
+            c.mark(crate::timeline::STAGE_SCATTER);
+        }
         telemetry.deliveries += enqueued;
         telemetry.peak_inflight = telemetry.peak_inflight.max(enqueued);
         if let Some(cb) = round_stream.as_deref_mut() {
@@ -554,6 +614,12 @@ impl<M: Message, L: NodeLogic<M>> SoaEngine<M, L> {
                 logical: round_logical,
                 deliveries: enqueued,
             });
+        }
+        if let Some(mut c) = clock {
+            c.mark(crate::timeline::STAGE_TELEMETRY);
+            if let Some((tl, lane)) = timeline.as_ref() {
+                tl.push_round(r, *lane, c);
+            }
         }
         self.round = r;
         if stop {
@@ -652,6 +718,12 @@ impl<M: Message, L: NodeLogic<M>> AnyEngine<M, L> {
     /// Installs an event sink; call before the first step.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> &mut Self {
         on_engine!(self, e => { e.set_sink(sink); });
+        self
+    }
+
+    /// Installs a wall-clock profiler (see [`Engine::set_timeline`]).
+    pub fn set_timeline(&mut self, tl: &crate::timeline::Timeline, lane: u32) -> &mut Self {
+        on_engine!(self, e => { e.set_timeline(tl, lane); });
         self
     }
 

@@ -45,7 +45,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer. Used for
 /// every deterministic "coin" in this module (reservoir replacement,
 /// node admission) so results are identical across runs and platforms.
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -1286,5 +1286,71 @@ mod tests {
             .with(Box::new(FlightRecorder::new(2).without_delivers()))
             .with(Box::new(FlightRecorder::new(2).without_delivers()));
         assert!(!deaf.wants_delivers());
+    }
+
+    #[test]
+    fn tee_keeps_fanning_out_when_one_inner_sink_truncates() {
+        // A tiny ring inside the tee evicts its head and says so (the
+        // RingSink precedent: `to_trace()` comes back truncated), while
+        // the sibling ring keeps the whole stream — one degraded sink
+        // never steals events from the others.
+        let mut tee = TeeSink::new()
+            .with(Box::new(crate::trace::RingSink::new(2)))
+            .with(Box::new(crate::trace::RingSink::new(64)));
+        for i in 0..8 {
+            tee.record(&send(1, i, 8));
+        }
+        let sinks = tee.into_sinks();
+        let tiny = sinks[0].as_any().downcast_ref::<crate::trace::RingSink>().expect("ring");
+        let full = sinks[1].as_any().downcast_ref::<crate::trace::RingSink>().expect("ring");
+        assert_eq!(tiny.dropped(), 6);
+        assert_eq!(tiny.seen(), 8);
+        assert!(tiny.to_trace().truncated(), "eviction must be visible downstream");
+        assert_eq!(full.dropped(), 0);
+        assert_eq!(full.seen(), 8);
+        assert!(!full.to_trace().truncated());
+    }
+
+    #[test]
+    fn tee_isolates_an_erroring_inner_sink_and_the_error_stays_visible() {
+        use crate::trace::JsonlSink;
+        use std::io::{self, Write};
+
+        /// Accepts the schema header, then fails every later write.
+        #[derive(Debug)]
+        struct FailAfterHeader {
+            writes: u32,
+        }
+        impl Write for FailAfterHeader {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.writes += 1;
+                if self.writes > 1 {
+                    return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut tee = TeeSink::new()
+            .with(Box::new(JsonlSink::new(FailAfterHeader { writes: 0 })))
+            .with(Box::new(crate::trace::RingSink::new(64)));
+        tee.record(&send(1, 0, 8));
+        tee.record(&send(1, 1, 8));
+        let sinks = tee.into_sinks();
+        // The failing writer latched on its first event line and wrote
+        // nothing further; the sibling still saw every event.
+        let jsonl = sinks[0].as_any().downcast_ref::<JsonlSink<FailAfterHeader>>().expect("jsonl");
+        assert_eq!(jsonl.lines(), 1, "only the header made it out");
+        let ring = sinks[1].as_any().downcast_ref::<crate::trace::RingSink>().expect("ring");
+        assert_eq!(ring.seen(), 2, "fan-out must survive a failing sibling");
+        // The latched error is propagated, not swallowed: finish() on an
+        // identically failing sink surfaces the first I/O error.
+        let mut solo = JsonlSink::new(FailAfterHeader { writes: 0 });
+        solo.record(&send(1, 0, 8));
+        let err = solo.finish().expect_err("the latched write error must surface");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
     }
 }

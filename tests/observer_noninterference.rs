@@ -14,7 +14,7 @@ use ftagg::{run_pair, run_pair_with_sink, Instance, PairReport};
 use netsim::{
     adversary::schedules, round_observer, topology, Engine, FailureSchedule, FlightRecorder, Graph,
     JsonlSink, Message, Metrics, NodeId, NodeLogic, PhaseStats, Received, Round, RoundCtx,
-    SamplingSink, SoaEngine, TeeSink, TelemetryHub, Trace, TraceSink,
+    SamplingSink, SoaEngine, SpanKind, TeeSink, TelemetryHub, Timeline, Trace, TraceSink,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -270,6 +270,82 @@ fn soa_engine_observer_stack_does_not_perturb() {
             .unwrap();
         let teed_trace = *(tee.into_sinks().remove(0) as Box<dyn Any>).downcast::<Trace>().unwrap();
         assert_eq!(teed_trace.events(), trace.events(), "teed trace diverged on seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 1c: the wall-clock timeline profiler, in both of its stage-
+// attribution modes (coarse without a sink, per-node with one), on both
+// engine cores — pure observation, byte-identical executions.
+// ---------------------------------------------------------------------
+
+/// [`run_probes`] with a timeline installed (classic engine).
+fn run_probes_timed(seed: u64, tl: &Timeline) -> ProbeObservation {
+    let (g, s, horizon) = probe_setup(seed);
+    let mut eng = Engine::new(g, s, |v| Probe {
+        me: v,
+        seed,
+        active_rounds: Vec::new(),
+        received: Vec::new(),
+    });
+    eng.set_timeline(tl, 1);
+    eng.run(horizon);
+    let per_node = eng
+        .graph()
+        .nodes()
+        .map(|v| {
+            let p = eng.node(v);
+            (p.active_rounds.clone(), p.received.clone())
+        })
+        .collect();
+    let fp = fingerprint(eng.metrics());
+    (per_node, fp)
+}
+
+#[test]
+fn timeline_profiler_does_not_perturb_either_engine() {
+    for seed in 0..6u64 {
+        // Classic engine, coarse mode (no sink installed).
+        let (quiet, _) = run_probes(seed, None);
+        let tl = Timeline::new();
+        let timed = run_probes_timed(seed, &tl);
+        assert_eq!(timed, quiet, "timeline perturbed the classic engine on seed {seed}");
+        let data = tl.snapshot();
+        assert!(
+            data.spans.iter().any(|s| s.kind == SpanKind::Round),
+            "timeline captured no round spans on seed {seed}"
+        );
+
+        // SoA engine, coarse mode.
+        let (quiet_soa, _) = run_probes_soa(seed, |_| {});
+        let tl = Timeline::new();
+        let (timed_soa, _) = run_probes_soa(seed, |e| {
+            e.set_timeline(&tl, 1);
+        });
+        assert_eq!(timed_soa, quiet_soa, "timeline perturbed the SoA engine on seed {seed}");
+
+        // SoA engine, fine mode: timeline + trace sink flips the engines
+        // into per-node stage attribution — still byte-identical, and
+        // the teed trace still exact against a timeline-less reference.
+        let (reference, mut eng_ref) = run_probes_soa(seed, |e| {
+            e.set_sink(Box::new(Trace::new()));
+        });
+        let ref_trace =
+            eng_ref.take_sink().map(|s| *(s as Box<dyn Any>).downcast::<Trace>().unwrap()).unwrap();
+        let tl = Timeline::new();
+        let (fine, mut eng_f) = run_probes_soa(seed, |e| {
+            e.set_timeline(&tl, 1);
+            e.set_sink(Box::new(Trace::new()));
+        });
+        assert_eq!(fine, reference, "fine-mode timeline perturbed the SoA engine on seed {seed}");
+        assert_eq!(fine, quiet_soa, "sink + timeline perturbed the SoA engine on seed {seed}");
+        let fine_trace =
+            eng_f.take_sink().map(|s| *(s as Box<dyn Any>).downcast::<Trace>().unwrap()).unwrap();
+        assert_eq!(
+            fine_trace.events(),
+            ref_trace.events(),
+            "timeline changed the event stream on seed {seed}"
+        );
     }
 }
 
